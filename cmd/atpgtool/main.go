@@ -1,0 +1,111 @@
+// Command atpgtool runs the DFM fault flow (place, route, guideline check,
+// ATPG) on one benchmark circuit and reports fault statistics by model and
+// status, plus the guideline violation tallies.
+//
+// Usage:
+//
+//	atpgtool -circuit aes_core
+//	atpgtool -circuit tv80 -undetectable   # list the members of U
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/scan"
+	"dfmresyn/internal/verilog"
+	"dfmresyn/internal/yield"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "benchmark circuit name")
+		listU   = flag.Bool("undetectable", false, "list every undetectable fault")
+		vOut    = flag.String("verilog", "", "export the netlist as structural Verilog to this file")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *circuit == "" {
+		fmt.Fprintln(os.Stderr, "pass -circuit <name>")
+		os.Exit(2)
+	}
+
+	env := flow.NewEnv()
+	env.Seed = *seed
+	env.ATPG.Seed = *seed
+	c, err := bench.Build(*circuit, env.Lib)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	st := c.Stats()
+	fmt.Printf("circuit %s: %d gates, %d nets, %d PIs, %d POs, area %.0f\n",
+		c.Name, st.Gates, st.Nets, st.PIs, st.POs, st.Area)
+	fmt.Printf("die %dx%d, wirelength %d, vias %d, critical delay %.1f, power %.1f\n",
+		d.Die.W(), d.Die.H(), d.Lay.TotalWireLength(), d.Lay.TotalVias(),
+		d.Timing.CriticalDelay, d.Power.Total)
+
+	counts := d.Faults.Count()
+	fmt.Printf("\nfaults F=%d (internal %d, external %d)\n", counts.Total, counts.Internal, counts.External)
+	for _, m := range []fault.Model{fault.StuckAt, fault.Transition, fault.Bridge, fault.CellAware} {
+		fmt.Printf("  %-11s %6d (undetectable %d)\n", m, counts.ByModel[m], counts.UndetectableByModel[m])
+	}
+	fmt.Printf("detected %d, undetectable %d, aborted %d; coverage %.2f%%; tests %d\n",
+		counts.Detected, counts.Undetectable, counts.Aborted, 100*d.Faults.Coverage(), len(d.Result.Tests))
+
+	fmt.Printf("\nclusters: %d subsets, Smax=%d, Gmax=%d, G_U=%d\n",
+		len(d.Clusters.Sets), len(d.Clusters.Smax()), len(d.Clusters.Gmax()), len(d.Clusters.GU))
+
+	// Scan-chain view: tester time for the generated test set, and the
+	// test-escape DPPM estimate driven by the undetectable clusters.
+	ch := scan.Build(d.P)
+	tt := ch.Time(len(d.Result.Tests))
+	fmt.Printf("\nscan chain: %d flops, stitch length %d; tester time %d cycles for %d tests\n",
+		ch.Length(), ch.WireLength, tt.Cycles, tt.Tests)
+	est := yield.DefaultModel().Assess(d)
+	fmt.Printf("test-escape risk: %.2f DPPM across %d escape sites (%.0f%% inside large clusters)\n",
+		est.DPPM, est.EscapeSites, 100*est.ClusteredRisk)
+
+	fmt.Println("\nguideline violations:")
+	ids := make([]string, 0, len(d.DFMRep.PerGuideline))
+	for id := range d.DFMRep.PerGuideline {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("  %-8s %6d\n", id, d.DFMRep.PerGuideline[id])
+	}
+
+	if *vOut != "" {
+		f, err := os.Create(*vOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := verilog.WriteModule(f, c); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nwrote structural Verilog to %s\n", *vOut)
+	}
+
+	if *listU {
+		fmt.Println("\nundetectable faults:")
+		for _, f := range d.Faults.UndetectableFaults() {
+			fmt.Printf("  %v\n", f)
+		}
+	}
+}

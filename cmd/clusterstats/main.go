@@ -1,0 +1,66 @@
+// Command clusterstats reproduces the Table I analysis for any benchmark
+// circuit: the partition of undetectable DFM faults into subsets of
+// structurally adjacent faults, with the cluster size distribution.
+//
+// Usage:
+//
+//	clusterstats -circuit sparc_exu
+//	clusterstats -circuit des_perf -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/cluster"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/report"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "benchmark circuit name")
+		top     = flag.Int("top", 5, "how many largest clusters to detail")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *circuit == "" {
+		fmt.Fprintln(os.Stderr, "pass -circuit <name>")
+		os.Exit(2)
+	}
+
+	env := flow.NewEnv()
+	env.Seed = *seed
+	env.ATPG.Seed = *seed
+	c, err := bench.Build(*circuit, env.Lib)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(report.TableIHeader())
+	fmt.Println(report.TableIRow(*circuit, d.Metrics()))
+
+	fmt.Printf("\ncluster size distribution (%d clusters):\n", len(d.Clusters.Sets))
+	for i, set := range d.Clusters.Sets {
+		if i >= *top {
+			rest := 0
+			for _, s := range d.Clusters.Sets[i:] {
+				rest += len(s)
+			}
+			fmt.Printf("  ... %d more clusters totalling %d faults\n", len(d.Clusters.Sets)-i, rest)
+			break
+		}
+		gates := cluster.GatesOf(set)
+		fmt.Printf("  S_%d: %4d faults (%d internal) over %d gates\n",
+			i, len(set), cluster.InternalCount(set), len(gates))
+	}
+}

@@ -1,0 +1,122 @@
+// Command dfmresyn runs the paper's full flow: it builds a benchmark
+// circuit, synthesizes its layout, extracts the DFM fault universe, runs
+// ATPG, and applies the two-phase resynthesis procedure, printing Table I /
+// Table II rows and the Fig. 2 iteration trace.
+//
+// Usage:
+//
+//	dfmresyn -table1                 # Table I over its four circuits
+//	dfmresyn -table2 -circuit tv80   # Table II rows for one circuit
+//	dfmresyn -table2 -all            # full Table II (slow: full q sweep)
+//	dfmresyn -trace -circuit aes_core
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/report"
+	"dfmresyn/internal/resyn"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "benchmark circuit name (see -list)")
+		all     = flag.Bool("all", false, "run every Table II circuit")
+		table1  = flag.Bool("table1", false, "print Table I (clustering before resynthesis)")
+		table2  = flag.Bool("table2", false, "print Table II (resynthesis results)")
+		trace   = flag.Bool("trace", false, "print the Fig. 2 iteration trace")
+		list    = flag.Bool("list", false, "list circuit names")
+		maxQ    = flag.Int("q", 5, "maximum acceptable delay/power increase in percent")
+		seed    = flag.Int64("seed", 1, "random seed for the whole flow")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	env := flow.NewEnv()
+	env.Seed = *seed
+	env.ATPG.Seed = *seed
+
+	if *table1 {
+		fmt.Println("TABLE I. CLUSTERED UNDETECTABLE FAULTS")
+		fmt.Println(report.TableIHeader())
+		for _, name := range bench.TableINames {
+			d := analyze(env, name)
+			fmt.Println(report.TableIRow(name, d.Metrics()))
+		}
+		return
+	}
+
+	if !*table2 && !*trace {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2 or -trace (see -help)")
+		os.Exit(2)
+	}
+
+	names := []string{*circuit}
+	if *all {
+		names = bench.Names
+	} else if *circuit == "" {
+		fmt.Fprintln(os.Stderr, "pass -circuit <name> or -all")
+		os.Exit(2)
+	}
+
+	if *table2 {
+		fmt.Println("TABLE II. EXPERIMENTAL RESULTS")
+		fmt.Println(report.TableIIHeader())
+	}
+	avg := &report.Averages{}
+	for _, name := range names {
+		c := bench.MustBuild(name, env.Lib)
+
+		// Rtime baseline: one synthesis + physical design + test
+		// generation pass is the original analysis itself.
+		t0 := time.Now()
+		orig, err := env.Analyze(c, geom.Rect{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		baseline := time.Since(t0)
+
+		t1 := time.Now()
+		r, err := resyn.RunFrom(env, orig, resyn.Options{MaxQ: *maxQ})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rtime := float64(time.Since(t1)) / float64(baseline)
+		if *table2 {
+			fmt.Println(report.TableIIOrigRow(name, r.Orig.Metrics()))
+			fmt.Println(report.TableIIResynRow(r, rtime))
+			avg.Add(r, rtime)
+		}
+		if *trace {
+			fmt.Printf("---- %s iteration trace (Fig. 2 series)\n", name)
+			fmt.Print(report.Fig2Trace(r))
+		}
+	}
+	if *table2 && *all {
+		fmt.Println(avg.Row())
+	}
+}
+
+func analyze(env *flow.Env, name string) *flow.Design {
+	c := bench.MustBuild(name, env.Lib)
+	d, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	return d
+}

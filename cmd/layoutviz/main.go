@@ -1,0 +1,121 @@
+// Command layoutviz renders an ASCII view of a benchmark circuit's placed
+// and routed layout: cell rows, routing congestion per layer, and the
+// gates hosting undetectable faults (the clusters the resynthesis procedure
+// targets) highlighted.
+//
+// Usage:
+//
+//	layoutviz -circuit tv80             # placement + congestion maps
+//	layoutviz -circuit sparc_ifu -umap  # undetectable-fault heat map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "benchmark circuit name")
+		umap    = flag.Bool("umap", false, "overlay gates hosting undetectable faults (runs ATPG)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *circuit == "" {
+		fmt.Fprintln(os.Stderr, "pass -circuit <name>")
+		os.Exit(2)
+	}
+
+	env := flow.NewEnv()
+	env.Seed = *seed
+	env.ATPG.Seed = *seed
+	c, err := bench.Build(*circuit, env.Lib)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var d *flow.Design
+	if *umap {
+		d, err = env.Analyze(c, geom.Rect{})
+	} else {
+		d, err = env.PhysicalOnly(c, geom.Rect{})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w, h := d.Die.W(), d.Die.H()
+	fmt.Printf("%s: die %dx%d, %d gates, wirelength %d, vias %d\n\n",
+		*circuit, w, h, len(c.Gates), d.Lay.TotalWireLength(), d.Lay.TotalVias())
+
+	// Placement map: '.' empty, '#' cell, 'U' cell hosting undetectable
+	// faults (with -umap).
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = make([]byte, w)
+		for x := range grid[y] {
+			grid[y][x] = '.'
+		}
+	}
+	hosts := map[int]bool{}
+	if *umap && d.Faults != nil {
+		for _, f := range d.Faults.Faults {
+			if f.Status == fault.Undetectable {
+				for _, g := range f.CorrespondingGates() {
+					hosts[g.ID] = true
+				}
+			}
+		}
+	}
+	for _, g := range c.Gates {
+		loc := d.P.Loc[g.ID]
+		mark := byte('#')
+		if hosts[g.ID] {
+			mark = 'U'
+		}
+		for dx := 0; dx < d.P.W[g.ID]; dx++ {
+			x, y := loc.X-d.Die.X0+dx, loc.Y-d.Die.Y0
+			if y >= 0 && y < h && x >= 0 && x < w {
+				grid[y][x] = mark
+			}
+		}
+	}
+	fmt.Println("placement ('#' cell, 'U' hosts undetectable faults):")
+	printGrid(grid)
+
+	// Congestion per routing layer: digits = tracks in the cell.
+	for li, name := range []string{"M2 (horizontal)", "M3 (vertical)"} {
+		cg := make([][]byte, h)
+		for y := range cg {
+			cg[y] = make([]byte, w)
+			for x := range cg[y] {
+				n := len(d.Lay.Occ[li][y][x])
+				switch {
+				case n == 0:
+					cg[y][x] = '.'
+				case n < 10:
+					cg[y][x] = byte('0' + n)
+				default:
+					cg[y][x] = '+'
+				}
+			}
+		}
+		fmt.Printf("\n%s congestion (tracks per grid cell):\n", name)
+		printGrid(cg)
+	}
+}
+
+func printGrid(grid [][]byte) {
+	// Top row last so Y grows upward like a die plot.
+	for y := len(grid) - 1; y >= 0; y-- {
+		fmt.Printf("%3d %s\n", y, string(grid[y]))
+	}
+}

@@ -1,0 +1,11 @@
+// Package dfmresyn reproduces "Resynthesis for Avoiding Undetectable
+// Faults Based on Design-for-Manufacturability Guidelines" (Wang, Pomeranz,
+// Reddy, Sinha, Venkataraman — DATE 2019).
+//
+// The implementation lives under internal/: the netlist, standard-cell
+// library, switch-level simulator, DFM guideline engine, ATPG, placement
+// and routing, clustering analysis, the technology mapper, and the paper's
+// two-phase resynthesis procedure. Executables are under cmd/, runnable
+// examples under examples/, and the benchmark harness regenerating every
+// table and figure of the paper is bench_test.go in this directory.
+package dfmresyn

@@ -1,0 +1,59 @@
+// Quickstart: build a small circuit, find its DFM fault universe, generate
+// tests, prove the undetectable set, cluster it, and remove the cluster by
+// resynthesis — the whole library surface in about eighty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/resyn"
+)
+
+func main() {
+	// The environment bundles the 21-cell standard library, its DFM
+	// profile (cell-internal defects derived by switch-level
+	// simulation), the technology mapper, and the ATPG configuration.
+	env := flow.NewEnv()
+
+	// tv80 is the smallest benchmark: a Z80-style ALU slice.
+	c := bench.MustBuild("tv80", env.Lib)
+	st := c.Stats()
+	fmt.Printf("circuit %s: %d gates, %d nets, %d PIs, %d POs\n",
+		c.Name, st.Gates, st.Nets, st.PIs, st.POs)
+
+	// Analyze: place at 70%% utilization, route, check the 59 DFM
+	// guidelines, translate violations into faults, run ATPG.
+	d, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := d.Metrics()
+	fmt.Printf("faults F=%d (internal %d, external %d)\n", m.F, m.FIn, m.FEx)
+	fmt.Printf("tests T=%d, coverage %.2f%%, undetectable U=%d\n", m.T, 100*m.Cov, m.U)
+	fmt.Printf("largest cluster S_max=%d faults over G_max=%d gates\n", m.Smax, m.Gmax)
+
+	// A few members of U, to see what an undetectable DFM fault is.
+	for i, f := range d.Faults.UndetectableFaults() {
+		if i == 5 {
+			fmt.Println("   ...")
+			break
+		}
+		fmt.Printf("   %v\n", f)
+	}
+
+	// The paper's procedure: two-phase resynthesis with a q sweep.
+	r, err := resyn.RunFrom(env, d, resyn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mf := r.Final.Metrics()
+	fmt.Printf("\nafter resynthesis (q up to %d%%):\n", r.BestQ)
+	fmt.Printf("U %d -> %d, coverage %.2f%% -> %.2f%%, S_max %d -> %d\n",
+		m.U, mf.U, 100*m.Cov, 100*mf.Cov, m.Smax, mf.Smax)
+	fmt.Printf("delay %.1f%%, power %.1f%% of the original; same die %dx%d\n",
+		100*mf.Delay/m.Delay, 100*mf.Power/m.Power, r.Final.Die.W(), r.Final.Die.H())
+}

@@ -1,0 +1,86 @@
+// Restricted_library reproduces the closing experiment of the paper's
+// Section IV: instead of the targeted resynthesis procedure, simply remove
+// the seven cells with the largest numbers of internal faults from the
+// library and synthesize the whole design with what remains. The paper
+// measured critical-path delays of 130% and 137% (and 109% power) for
+// sparc_ifu and sparc_fpu — naive cell avoidance does not maintain the
+// design constraints, while the targeted procedure does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/synth"
+)
+
+func main() {
+	env := flow.NewEnv()
+
+	ordered := env.Lib.SortedBy(func(c *library.Cell) float64 {
+		return float64(env.Prof.InternalFaultCount(c))
+	})
+	dropped := map[*library.Cell]bool{}
+	fmt.Println("dropping the 7 cells with the most internal faults:")
+	for _, c := range ordered[:7] {
+		dropped[c] = true
+		fmt.Printf("  %-9s %d internal faults per instance\n",
+			c.Name, env.Prof.InternalFaultCount(c))
+	}
+	allowed := func(c *library.Cell) bool { return !dropped[c] }
+
+	for _, name := range []string{"sparc_ifu", "sparc_fpu"} {
+		c := bench.MustBuild(name, env.Lib)
+
+		// Baseline: whole-circuit synthesis with the FULL library (the
+		// paper compares two synthesized designs, differing only in the
+		// allowed cells), placed at 70% utilization.
+		region := netlist.ExtractRegion(c.Gates)
+		rsFull, err := synth.SynthesizeRegion(c, region, env.Mapper,
+			func(*library.Cell) bool { return true }, synth.Delay, nil, "fl_")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fullC, err := rsFull.Rebuild(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		orig, err := env.Analyze(fullC, geom.Rect{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Restricted: same synthesis without the 7 fault-rich cells,
+		// into the same floorplan.
+		rsRestr, err := synth.SynthesizeRegion(c, region, env.Mapper, allowed, synth.Delay, nil, "rl_")
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		nc, err := rsRestr.Rebuild(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		restricted, err := env.Analyze(nc, orig.Die)
+		if err != nil {
+			fmt.Printf("%-10s restricted: does not fit the original floorplan (%v)\n", name, err)
+			continue
+		}
+
+		fmt.Printf("\n%s (paper: restricted library hits 130-137%% delay, 109%% power)\n", name)
+		fmt.Printf("  full library:       %5d gates, delay %7.1f, power %7.1f, U=%d\n",
+			len(fullC.Gates), orig.Timing.CriticalDelay, orig.Power.Total,
+			orig.Faults.Count().Undetectable)
+		fmt.Printf("  restricted library: %5d gates, delay %6.1f%%, power %6.1f%%, U=%d\n",
+			len(nc.Gates),
+			100*restricted.Timing.CriticalDelay/orig.Timing.CriticalDelay,
+			100*restricted.Power.Total/orig.Power.Total,
+			restricted.Faults.Count().Undetectable)
+		fmt.Println("  (the targeted procedure — Table II — achieves its U reduction")
+		fmt.Println("   within a few percent of the original delay and power instead)")
+	}
+}

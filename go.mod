@@ -1,0 +1,3 @@
+module dfmresyn
+
+go 1.22

@@ -1,0 +1,157 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/faultsim"
+	"dfmresyn/internal/netlist"
+)
+
+// Config controls the test-generation run.
+type Config struct {
+	// BacktrackLimit bounds each PODEM search; a fault whose search
+	// exhausts the limit is marked Aborted rather than Undetectable.
+	BacktrackLimit int
+	// RandomBlocks is the number of 64-test random-pair blocks simulated
+	// before the deterministic phase.
+	RandomBlocks int
+	// Seed drives all randomness (pattern fill, random phase).
+	Seed int64
+	// NoCompact disables reverse-order test-set compaction.
+	NoCompact bool
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+// The backtrack limit is sized so that redundancy proofs that must exhaust
+// the value space of a ~12-input cone (consensus-style redundancy wrapped
+// around comparators) complete instead of aborting.
+func DefaultConfig() Config {
+	return Config{BacktrackLimit: 12000, RandomBlocks: 6, Seed: 1}
+}
+
+// Result summarizes a test-generation run.
+type Result struct {
+	Tests        []faultsim.Test
+	Detected     int
+	Undetectable int
+	Aborted      int
+}
+
+// Run generates a test set T detecting every detectable fault in l and
+// proves the remaining faults undetectable (the set U), mirroring the
+// paper's Section II procedure. Fault statuses in l are updated in place.
+func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
+	if cfg.BacktrackLimit <= 0 {
+		cfg.BacktrackLimit = 12000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eng := faultsim.New(c)
+	order := eng.Circuit().Levelize()
+	levels := c.Levels()
+
+	var tests []faultsim.Test
+
+	// Phase 1: random pattern pairs with fault dropping; keep only tests
+	// that are first to detect at least one fault.
+	npi := len(c.PIs)
+	for blk := 0; blk < cfg.RandomBlocks; blk++ {
+		if npi == 0 {
+			break
+		}
+		cand := make([]faultsim.Test, 64)
+		for i := range cand {
+			cand[i] = faultsim.Test{Init: randomVec(rng, npi), Vec: randomVec(rng, npi)}
+		}
+		b := eng.SimBlock(cand)
+		credit := make([]bool, len(cand))
+		for _, f := range l.Faults {
+			if f.Status != fault.Untried {
+				continue
+			}
+			det := eng.Detects(f, b)
+			if det == 0 {
+				continue
+			}
+			f.Status = fault.Detected
+			for p := 0; p < len(cand); p++ {
+				if det>>uint(p)&1 == 1 {
+					credit[p] = true
+					break
+				}
+			}
+		}
+		for p, ok := range credit {
+			if ok {
+				tests = append(tests, cand[p])
+			}
+		}
+	}
+
+	// Phase 2: deterministic PODEM per remaining fault, dropping
+	// collaterally-detected faults after each new test.
+	gen := NewGenerator(c, order, levels, cfg.BacktrackLimit)
+	for _, f := range l.Faults {
+		if f.Status != fault.Untried && f.Status != fault.Aborted {
+			continue
+		}
+		outcome, tv := gen.Generate(f, rng)
+		switch outcome {
+		case FoundTest:
+			t := faultsim.Test{Init: tv.Init, Vec: tv.Vec}
+			tests = append(tests, t)
+			f.Status = fault.Detected
+			b := eng.SimBlock([]faultsim.Test{t})
+			for _, g := range l.Faults {
+				if g.Status != fault.Untried && g.Status != fault.Aborted {
+					continue
+				}
+				if eng.Detects(g, b) != 0 {
+					g.Status = fault.Detected
+				}
+			}
+		case ProvenImpossible:
+			f.Status = fault.Undetectable
+		case LimitExceeded:
+			f.Status = fault.Aborted
+		}
+	}
+
+	// Phase 3: reverse-order compaction — keep only tests that are first
+	// to detect some fault when simulating in reverse order.
+	if !cfg.NoCompact && len(tests) > 0 {
+		rev := make([]faultsim.Test, len(tests))
+		for i, t := range tests {
+			rev[len(tests)-1-i] = t
+		}
+		per := eng.DetectedBy(l, rev)
+		var kept []faultsim.Test
+		for i := len(rev) - 1; i >= 0; i-- {
+			if per[i] > 0 {
+				kept = append(kept, rev[i])
+			}
+		}
+		tests = kept
+	}
+
+	res := Result{Tests: tests}
+	for _, f := range l.Faults {
+		switch f.Status {
+		case fault.Detected:
+			res.Detected++
+		case fault.Undetectable:
+			res.Undetectable++
+		case fault.Aborted:
+			res.Aborted++
+		}
+	}
+	return res
+}
+
+func randomVec(rng *rand.Rand, n int) []uint8 {
+	v := make([]uint8, n)
+	for i := range v {
+		v[i] = uint8(rng.Intn(2))
+	}
+	return v
+}

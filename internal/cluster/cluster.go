@@ -1,0 +1,146 @@
+// Package cluster partitions undetectable faults into subsets of
+// structurally adjacent faults, exactly as in Section II of the paper: two
+// gates are adjacent when one directly drives the other; two faults are
+// adjacent when they are located on the same gate or on two adjacent gates;
+// the subsets S_0, S_1, ... are the transitive closure of fault adjacency.
+package cluster
+
+import (
+	"sort"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/netlist"
+)
+
+// Result holds the clustering of a set of (undetectable) faults.
+type Result struct {
+	// Sets are the adjacency-closed fault subsets, largest first (ties
+	// broken by smallest member fault ID for determinism).
+	Sets [][]*fault.Fault
+	// GU is the set of gates corresponding to all clustered faults
+	// (column G_U of Table I), ordered by gate ID.
+	GU []*netlist.Gate
+}
+
+// Build clusters the given faults.
+func Build(faults []*fault.Fault) *Result {
+	n := len(faults)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	// Gate -> fault indices corresponding to it.
+	gateFaults := map[*netlist.Gate][]int{}
+	corresponding := make([][]*netlist.Gate, n)
+	for i, f := range faults {
+		gs := f.CorrespondingGates()
+		corresponding[i] = gs
+		for _, g := range gs {
+			gateFaults[g] = append(gateFaults[g], i)
+		}
+	}
+
+	// Faults sharing a gate are adjacent.
+	for _, idxs := range gateFaults {
+		for k := 1; k < len(idxs); k++ {
+			union(idxs[0], idxs[k])
+		}
+	}
+	// Faults on adjacent gates are adjacent: walk each gate's fanout.
+	for g, idxs := range gateFaults {
+		for _, p := range g.Out.Fanout {
+			if other, ok := gateFaults[p.Gate]; ok && len(other) > 0 && len(idxs) > 0 {
+				union(idxs[0], other[0])
+			}
+		}
+	}
+
+	// Collect sets.
+	groups := map[int][]*fault.Fault{}
+	for i, f := range faults {
+		r := find(i)
+		groups[r] = append(groups[r], f)
+	}
+	res := &Result{}
+	for _, set := range groups {
+		sort.Slice(set, func(i, j int) bool { return set[i].ID < set[j].ID })
+		res.Sets = append(res.Sets, set)
+	}
+	sort.Slice(res.Sets, func(i, j int) bool {
+		if len(res.Sets[i]) != len(res.Sets[j]) {
+			return len(res.Sets[i]) > len(res.Sets[j])
+		}
+		return res.Sets[i][0].ID < res.Sets[j][0].ID
+	})
+
+	// G_U: all gates corresponding to clustered faults.
+	seen := map[*netlist.Gate]bool{}
+	for i := range faults {
+		for _, g := range corresponding[i] {
+			if !seen[g] {
+				seen[g] = true
+				res.GU = append(res.GU, g)
+			}
+		}
+	}
+	sort.Slice(res.GU, func(i, j int) bool { return res.GU[i].ID < res.GU[j].ID })
+	return res
+}
+
+// Smax returns the largest cluster (nil when empty).
+func (r *Result) Smax() []*fault.Fault {
+	if len(r.Sets) == 0 {
+		return nil
+	}
+	return r.Sets[0]
+}
+
+// Gmax returns the gates corresponding to the faults of S_max, ordered by
+// gate ID.
+func (r *Result) Gmax() []*netlist.Gate {
+	return GatesOf(r.Smax())
+}
+
+// GatesOf returns the union of gates corresponding to the given faults,
+// ordered by gate ID.
+func GatesOf(faults []*fault.Fault) []*netlist.Gate {
+	seen := map[*netlist.Gate]bool{}
+	var out []*netlist.Gate
+	for _, f := range faults {
+		for _, g := range f.CorrespondingGates() {
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// InternalCount returns the number of internal faults in the set (column
+// Smax_I of Table II).
+func InternalCount(faults []*fault.Fault) int {
+	n := 0
+	for _, f := range faults {
+		if f.Internal {
+			n++
+		}
+	}
+	return n
+}

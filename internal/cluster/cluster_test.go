@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"testing"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+var lib = library.OSU018Like()
+
+// buildLine builds a chain g0 -> g1 -> g2 -> g3 (INVs) plus a detached pair
+// g4 -> g5 fed from a separate PI.
+func buildLine(t *testing.T) (*netlist.Circuit, []*netlist.Gate) {
+	t.Helper()
+	c := netlist.New("line", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	n := a
+	for i := 0; i < 4; i++ {
+		n = c.AddGate("", lib.ByName("INVX1"), n)
+	}
+	c.MarkPO(n)
+	m := b
+	for i := 0; i < 2; i++ {
+		m = c.AddGate("", lib.ByName("INVX1"), m)
+	}
+	c.MarkPO(m)
+	return c, c.Gates
+}
+
+func saFault(id int, n *netlist.Net, v uint8) *fault.Fault {
+	return &fault.Fault{ID: id, Model: fault.StuckAt, Net: n, Value: v}
+}
+
+func caFault(id int, g *netlist.Gate) *fault.Fault {
+	return &fault.Fault{ID: id, Model: fault.CellAware, Internal: true, Gate: g}
+}
+
+func TestFig1Adjacency(t *testing.T) {
+	// Reproduce Fig. 1: gates sharing only a fanin are NOT adjacent (a);
+	// gates in a driver-load relation ARE adjacent (c).
+	c := netlist.New("fig1", lib)
+	x := c.AddPI("x")
+	g1 := c.AddGate("g1", lib.ByName("INVX1"), x)
+	g2 := c.AddGate("g2", lib.ByName("INVX1"), x)  // shares fanin with g1
+	g3 := c.AddGate("g3", lib.ByName("INVX1"), g1) // driven by g1
+	c.MarkPO(g2)
+	c.MarkPO(g3)
+	if netlist.Adjacent(g1.Driver, g2.Driver) {
+		t.Error("gates sharing only a fanin must not be adjacent (Fig. 1a)")
+	}
+	if !netlist.Adjacent(g1.Driver, g3.Driver) {
+		t.Error("driver and load must be adjacent (Fig. 1c)")
+	}
+}
+
+func TestChainFormsSingleCluster(t *testing.T) {
+	_, gates := buildLine(t)
+	// Internal faults on the four chain gates: all pairwise chained by
+	// adjacency -> one cluster. Plus one fault on the detached pair.
+	var fs []*fault.Fault
+	for i := 0; i < 4; i++ {
+		fs = append(fs, caFault(i, gates[i]))
+	}
+	fs = append(fs, caFault(4, gates[4]))
+	r := Build(fs)
+	if len(r.Sets) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(r.Sets))
+	}
+	if len(r.Smax()) != 4 {
+		t.Errorf("Smax = %d, want 4", len(r.Smax()))
+	}
+	if len(r.Sets[1]) != 1 {
+		t.Errorf("second cluster = %d, want 1", len(r.Sets[1]))
+	}
+}
+
+func TestExternalFaultBridgesGates(t *testing.T) {
+	_, gates := buildLine(t)
+	// Fault on the net between g1 and g2 corresponds to both gates; an
+	// internal fault on g0 and one on g3 are pulled into one cluster
+	// through the chain of adjacencies.
+	f0 := caFault(0, gates[0])
+	f1 := saFault(1, gates[1].Out, 0) // corresponds to g1 (driver) and g2 (sink)
+	f2 := caFault(2, gates[3])
+	r := Build([]*fault.Fault{f0, f1, f2})
+	// g0 adj g1 (drive), f1 on g1&g2, g2 adj g3 -> all one cluster.
+	if len(r.Sets) != 1 {
+		t.Fatalf("clusters = %d, want 1 (external fault bridges the chain)", len(r.Sets))
+	}
+}
+
+func TestGUAndGmax(t *testing.T) {
+	_, gates := buildLine(t)
+	fs := []*fault.Fault{
+		caFault(0, gates[0]),
+		caFault(1, gates[1]),
+		caFault(2, gates[4]), // detached pair
+	}
+	r := Build(fs)
+	if len(r.GU) != 3 {
+		t.Errorf("G_U = %d gates, want 3", len(r.GU))
+	}
+	gm := r.Gmax()
+	if len(gm) != 2 {
+		t.Errorf("Gmax = %d gates, want 2", len(gm))
+	}
+	// Gmax must be the chain gates, not the detached one.
+	for _, g := range gm {
+		if g == gates[4] {
+			t.Error("Gmax contains a gate from the smaller cluster")
+		}
+	}
+}
+
+func TestSameGateFaultsCluster(t *testing.T) {
+	_, gates := buildLine(t)
+	// Two internal faults on the same gate must share a cluster even
+	// with no other faults around.
+	fs := []*fault.Fault{caFault(0, gates[2]), caFault(1, gates[2])}
+	r := Build(fs)
+	if len(r.Sets) != 1 || len(r.Sets[0]) != 2 {
+		t.Errorf("same-gate faults must form one cluster: %d sets", len(r.Sets))
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	r := Build(nil)
+	if len(r.Sets) != 0 || r.Smax() != nil || len(r.GU) != 0 {
+		t.Error("empty input must produce empty result")
+	}
+	_, gates := buildLine(t)
+	r = Build([]*fault.Fault{caFault(0, gates[0])})
+	if len(r.Sets) != 1 || len(r.Smax()) != 1 {
+		t.Error("singleton clustering wrong")
+	}
+}
+
+func TestInternalCount(t *testing.T) {
+	_, gates := buildLine(t)
+	fs := []*fault.Fault{
+		caFault(0, gates[0]),
+		saFault(1, gates[0].Out, 1),
+		caFault(2, gates[1]),
+	}
+	if got := InternalCount(fs); got != 2 {
+		t.Errorf("InternalCount = %d, want 2", got)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	_, gates := buildLine(t)
+	fs := []*fault.Fault{
+		caFault(0, gates[4]),
+		caFault(1, gates[5]),
+		caFault(2, gates[0]),
+		caFault(3, gates[1]),
+	}
+	// Two clusters of equal size 2: order must tie-break by smallest ID.
+	r1 := Build(fs)
+	r2 := Build(fs)
+	for i := range r1.Sets {
+		if len(r1.Sets[i]) != len(r2.Sets[i]) || r1.Sets[i][0].ID != r2.Sets[i][0].ID {
+			t.Fatal("cluster ordering not deterministic")
+		}
+	}
+	if r1.Sets[0][0].ID != 0 {
+		t.Errorf("equal-size tie must break by smallest fault ID, got %d", r1.Sets[0][0].ID)
+	}
+}

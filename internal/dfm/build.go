@@ -1,0 +1,300 @@
+package dfm
+
+import (
+	"sort"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/route"
+)
+
+// Report tallies guideline violations found while building the fault list.
+type Report struct {
+	PerGuideline map[string]int
+	PerCategory  map[Category]int
+}
+
+func newReport() *Report {
+	return &Report{PerGuideline: map[string]int{}, PerCategory: map[Category]int{}}
+}
+
+func (r *Report) hit(g *Guideline) {
+	r.PerGuideline[g.ID]++
+	r.PerCategory[g.Cat]++
+}
+
+// BuildFaults translates DFM guideline violations into the target fault set
+// F for the placed-and-routed circuit: cell-aware internal faults from the
+// library profile, and external stuck-at / transition / bridging faults
+// from the routed layout. The result is deterministic for a given layout.
+func BuildFaults(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*fault.List, *Report) {
+	l := &fault.List{}
+	rep := newReport()
+	gs := Guidelines()
+
+	// ---- Internal faults: every instance introduces its type's defects.
+	byID := map[string]*Guideline{}
+	for _, g := range gs {
+		byID[g.ID] = g
+	}
+	for _, g := range c.Gates {
+		for i := range prof.PerCell[g.Type.Index] {
+			cd := &prof.PerCell[g.Type.Index][i]
+			l.Add(&fault.Fault{
+				Model:     fault.CellAware,
+				Internal:  true,
+				Gate:      g,
+				Defect:    cd.Defect,
+				Behavior:  cd.Behavior,
+				Guideline: cd.Guideline,
+			})
+			rep.hit(byID[cd.Guideline])
+		}
+	}
+
+	// ---- External via opens -> transition faults on the net. An open
+	// at a *pin* via (M1 stack) disconnects a single sink, so it becomes
+	// a branch fault at that gate input; other vias break the stem.
+	type netRule struct {
+		net int
+		gid string
+	}
+	type pinRule struct {
+		net, gate, pin int
+		gid            string
+	}
+	viaHits := map[netRule]bool{}
+	pinHits := map[pinRule]bool{}
+	for _, n := range c.Nets {
+		r := &lay.Routes[n.ID]
+		netLen := r.Length()
+		for _, v := range r.Vias {
+			for _, g := range gs {
+				if g.CheckVia == nil || !g.CheckVia(v, netLen) {
+					continue
+				}
+				rep.hit(g)
+				// Pin vias at a sink location: branch faults.
+				if v.From == route.M1 {
+					if bg, bp, ok := sinkAt(lay, n, v.At); ok {
+						key := pinRule{n.ID, bg.ID, bp, g.ID}
+						if pinHits[key] {
+							continue
+						}
+						pinHits[key] = true
+						for val := uint8(0); val <= 1; val++ {
+							l.Add(&fault.Fault{
+								Model:      fault.Transition,
+								Net:        n,
+								Value:      val,
+								BranchGate: bg,
+								BranchPin:  bp,
+								Guideline:  g.ID,
+							})
+						}
+						continue
+					}
+				}
+				key := netRule{n.ID, g.ID}
+				if viaHits[key] {
+					continue
+				}
+				viaHits[key] = true
+				for val := uint8(0); val <= 1; val++ {
+					l.Add(&fault.Fault{
+						Model:     fault.Transition,
+						Net:       n,
+						Value:     val,
+						Guideline: g.ID,
+					})
+				}
+			}
+		}
+	}
+
+	// ---- External metal spacing -> bridge faults between net pairs.
+	type pairRule struct {
+		a, b int
+		gid  string
+	}
+	bridgeHits := map[pairRule]bool{}
+	addBridge := func(g *Guideline, aID, bID int) {
+		if aID == bID {
+			return
+		}
+		if aID > bID {
+			aID, bID = bID, aID
+		}
+		key := pairRule{aID, bID, g.ID}
+		if bridgeHits[key] {
+			return
+		}
+		bridgeHits[key] = true
+		rep.hit(g)
+		na, nb := c.Nets[aID], c.Nets[bID]
+		l.Add(&fault.Fault{Model: fault.Bridge, Net: na, Other: nb, Guideline: g.ID})
+		l.Add(&fault.Fault{Model: fault.Bridge, Net: nb, Other: na, Guideline: g.ID})
+	}
+	for li := 0; li < 2; li++ {
+		layer := route.Layer(li) + route.M2
+		for y := range lay.Occ[li] {
+			rowCells := lay.Occ[li][y]
+			for x := range rowCells {
+				occ := rowCells[x]
+				// Same-cell crowding.
+				if len(occ) >= 2 {
+					a, b, ok := firstDistinct(occ)
+					if ok {
+						for _, g := range gs {
+							if g.CheckSpacing != nil && g.CheckSpacing(layer, len(occ), false) {
+								addBridge(g, a, b)
+							}
+						}
+					}
+				}
+				// Adjacent-cell (minimum pitch) neighbours.
+				if len(occ) >= 1 {
+					nb := neighborOcc(lay, li, x, y)
+					if nb >= 0 && nb != int(occ[0]) {
+						for _, g := range gs {
+							if g.CheckSpacing != nil && g.CheckSpacing(layer, len(occ), true) {
+								addBridge(g, int(occ[0]), nb)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// ---- External long segments -> transition faults (opens).
+	segHits := map[netRule]bool{}
+	for _, n := range c.Nets {
+		r := &lay.Routes[n.ID]
+		for _, s := range r.Segs {
+			for _, g := range gs {
+				if g.CheckSegment == nil || !g.CheckSegment(s) {
+					continue
+				}
+				key := netRule{n.ID, g.ID}
+				if segHits[key] {
+					continue
+				}
+				segHits[key] = true
+				rep.hit(g)
+				for val := uint8(0); val <= 1; val++ {
+					l.Add(&fault.Fault{
+						Model:     fault.Transition,
+						Net:       n,
+						Value:     val,
+						Guideline: g.ID,
+					})
+				}
+			}
+		}
+	}
+
+	// ---- Density windows -> stuck-at faults on the dominant net.
+	densHits := map[netRule]bool{}
+	for _, g := range gs {
+		if g.CheckDensity == nil {
+			continue
+		}
+		for li := 0; li < 2; li++ {
+			layer := route.Layer(li) + route.M2
+			geom.Windows(lay.P.Die, g.Window, g.Window, func(w geom.Rect) {
+				used := 0
+				counts := map[int32]int{}
+				for y := w.Y0; y < w.Y1; y++ {
+					for x := w.X0; x < w.X1; x++ {
+						occ := lay.Occ[li][y][x]
+						if len(occ) > 0 {
+							used++
+						}
+						for _, id := range occ {
+							counts[id]++
+						}
+					}
+				}
+				d := float64(used) / float64(w.Area())
+				if !g.CheckDensity(layer, d) {
+					return
+				}
+				dom := dominantNet(counts)
+				if dom < 0 {
+					return
+				}
+				key := netRule{dom, g.ID}
+				if densHits[key] {
+					return
+				}
+				densHits[key] = true
+				rep.hit(g)
+				n := c.Nets[dom]
+				for val := uint8(0); val <= 1; val++ {
+					l.Add(&fault.Fault{
+						Model:     fault.StuckAt,
+						Net:       n,
+						Value:     val,
+						Guideline: g.ID,
+					})
+				}
+			})
+		}
+	}
+
+	return l, rep
+}
+
+// sinkAt finds the sink pin of net n placed at point pt (the pin the via
+// serves), if any.
+func sinkAt(lay *route.Layout, n *netlist.Net, pt geom.Pt) (*netlist.Gate, int, bool) {
+	for _, p := range n.Fanout {
+		if lay.P.Loc[p.Gate.ID] == pt {
+			return p.Gate, p.Pin, true
+		}
+	}
+	return nil, 0, false
+}
+
+// firstDistinct returns the first two distinct net IDs in the occupancy
+// list.
+func firstDistinct(occ []int32) (int, int, bool) {
+	for i := 1; i < len(occ); i++ {
+		if occ[i] != occ[0] {
+			return int(occ[0]), int(occ[i]), true
+		}
+	}
+	return 0, 0, false
+}
+
+// neighborOcc returns the first occupant of the cell to the right (same
+// layer), or -1.
+func neighborOcc(lay *route.Layout, li, x, y int) int {
+	if x+1 >= len(lay.Occ[li][y]) {
+		return -1
+	}
+	occ := lay.Occ[li][y][x+1]
+	if len(occ) == 0 {
+		return -1
+	}
+	return int(occ[0])
+}
+
+// dominantNet picks the net with the most cells in the window
+// (deterministic tie-break by ID).
+func dominantNet(counts map[int32]int) int {
+	ids := make([]int32, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	best, bestN := -1, 0
+	for _, id := range ids {
+		if counts[id] > bestN {
+			best, bestN = int(id), counts[id]
+		}
+	}
+	return best
+}

@@ -1,0 +1,248 @@
+package dfm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/place"
+	"dfmresyn/internal/route"
+)
+
+var lib = library.OSU018Like()
+
+func TestGuidelineDeckCounts(t *testing.T) {
+	gs := Guidelines()
+	counts := CountByCategory(gs)
+	if counts[Via] != 19 {
+		t.Errorf("Via guidelines = %d, want 19", counts[Via])
+	}
+	if counts[Metal] != 29 {
+		t.Errorf("Metal guidelines = %d, want 29", counts[Metal])
+	}
+	if counts[Density] != 11 {
+		t.Errorf("Density guidelines = %d, want 11", counts[Density])
+	}
+	if len(gs) != 59 {
+		t.Errorf("total guidelines = %d, want 59", len(gs))
+	}
+	seen := map[string]bool{}
+	for _, g := range gs {
+		if seen[g.ID] {
+			t.Errorf("duplicate guideline ID %s", g.ID)
+		}
+		seen[g.ID] = true
+		nChecks := 0
+		if g.CheckFeature != nil {
+			nChecks++
+		}
+		if g.CheckVia != nil {
+			nChecks++
+		}
+		if g.CheckSpacing != nil {
+			nChecks++
+		}
+		if g.CheckSegment != nil {
+			nChecks++
+		}
+		if g.CheckDensity != nil {
+			nChecks++
+		}
+		if nChecks != 1 {
+			t.Errorf("%s: %d check predicates, want exactly 1", g.ID, nChecks)
+		}
+	}
+}
+
+func TestProfileLibraryShape(t *testing.T) {
+	prof := ProfileLibrary(lib)
+	if len(prof.PerCell) != lib.Len() {
+		t.Fatalf("profile covers %d cells", len(prof.PerCell))
+	}
+	totalDefects := 0
+	for _, cell := range lib.Cells {
+		n := prof.InternalFaultCount(cell)
+		totalDefects += n
+		for _, cd := range prof.PerCell[cell.Index] {
+			if !cd.Behavior.Detectable() {
+				t.Errorf("%s: undetectable behavior kept for %v", cell.Name, cd.Defect)
+			}
+			if cd.Guideline == "" {
+				t.Errorf("%s: defect without guideline attribution", cell.Name)
+			}
+		}
+	}
+	if totalDefects == 0 {
+		t.Fatal("library profile found no internal defects at all")
+	}
+	// Complex cells must carry more internal faults than the smallest
+	// inverter on average; check the aggregate trend used by the
+	// resynthesis ordering.
+	inv := prof.InternalFaultCount(lib.ByName("INVX1"))
+	big := prof.InternalFaultCount(lib.ByName("XOR2X1")) +
+		prof.InternalFaultCount(lib.ByName("MUX2X1")) +
+		prof.InternalFaultCount(lib.ByName("AOI22X1"))
+	if big <= 3*inv {
+		t.Errorf("complex cells (%d total) must out-fault 3x INVX1 (%d)", big, 3*inv)
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	p1 := ProfileLibrary(lib)
+	p2 := ProfileLibrary(lib)
+	for i := range p1.PerCell {
+		if len(p1.PerCell[i]) != len(p2.PerCell[i]) {
+			t.Fatalf("cell %d: defect count differs between profiles", i)
+		}
+		for j := range p1.PerCell[i] {
+			if p1.PerCell[i][j].Defect != p2.PerCell[i][j].Defect ||
+				p1.PerCell[i][j].Guideline != p2.PerCell[i][j].Guideline {
+				t.Fatalf("cell %d defect %d differs", i, j)
+			}
+		}
+	}
+}
+
+func buildTestLayout(t *testing.T, seed int64, gates int) (*netlist.Circuit, *route.Layout) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"NAND2X1", "NOR2X1", "INVX1", "AND2X2", "XOR2X1", "AOI22X1", "MUX2X1"}
+	c := netlist.New("t", lib)
+	var nets []*netlist.Net
+	for i := 0; i < 8; i++ {
+		nets = append(nets, c.AddPI(string(rune('a'+i))))
+	}
+	for i := 0; i < gates; i++ {
+		cell := lib.ByName(names[rng.Intn(len(names))])
+		fanin := make([]*netlist.Net, cell.NumInputs())
+		for j := range fanin {
+			fanin[j] = nets[rng.Intn(len(nets))]
+		}
+		nets = append(nets, c.AddGate("", cell, fanin...))
+	}
+	for i := 0; i < 4; i++ {
+		c.MarkPO(nets[len(nets)-1-i])
+	}
+	p, err := place.Place(c, 0.70, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, route.Route(p)
+}
+
+func TestBuildFaultsUniverse(t *testing.T) {
+	c, lay := buildTestLayout(t, 1, 150)
+	prof := ProfileLibrary(lib)
+	l, rep := BuildFaults(c, lay, prof)
+	if l.Len() == 0 {
+		t.Fatal("no faults built")
+	}
+	counts := l.Count()
+	if counts.Internal == 0 {
+		t.Error("no internal faults")
+	}
+	if counts.External == 0 {
+		t.Error("no external faults")
+	}
+	// The paper's Table I shows external faults outnumbering internal.
+	if counts.External <= counts.Internal {
+		t.Errorf("external (%d) should outnumber internal (%d) as in Table I",
+			counts.External, counts.Internal)
+	}
+	// All four fault models must be represented.
+	for _, m := range []fault.Model{fault.StuckAt, fault.Transition, fault.Bridge, fault.CellAware} {
+		if counts.ByModel[m] == 0 {
+			t.Errorf("no %v faults in the universe", m)
+		}
+	}
+	// Every fault carries a guideline attribution.
+	for _, f := range l.Faults {
+		if f.Guideline == "" {
+			t.Fatalf("fault %v lacks guideline attribution", f)
+		}
+	}
+	// Report tallies at least one violation in each category.
+	for _, cat := range []Category{Via, Metal, Density} {
+		if rep.PerCategory[cat] == 0 {
+			t.Errorf("no %v violations found", cat)
+		}
+	}
+}
+
+func TestBuildFaultsInternalPerInstance(t *testing.T) {
+	// Two instances of the same cell type get identical internal fault
+	// counts — the paper's core observation about internal faults.
+	c := netlist.New("two", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	x1 := c.AddGate("u1", lib.ByName("XOR2X1"), a, b)
+	x2 := c.AddGate("u2", lib.ByName("XOR2X1"), a, b)
+	y := c.AddGate("u3", lib.ByName("NAND2X1"), x1, x2)
+	c.MarkPO(y)
+	p, err := place.Place(c, 0.70, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := route.Route(p)
+	prof := ProfileLibrary(lib)
+	l, _ := BuildFaults(c, lay, prof)
+
+	per := map[string]int{}
+	for _, f := range l.Faults {
+		if f.Internal {
+			per[f.Gate.Name]++
+		}
+	}
+	if per["u1"] != per["u2"] {
+		t.Errorf("same-type instances differ in internal faults: %d vs %d", per["u1"], per["u2"])
+	}
+	if per["u1"] != prof.InternalFaultCount(lib.ByName("XOR2X1")) {
+		t.Errorf("instance internal faults %d != profile count %d",
+			per["u1"], prof.InternalFaultCount(lib.ByName("XOR2X1")))
+	}
+}
+
+func TestBuildFaultsDeterministic(t *testing.T) {
+	prof := ProfileLibrary(lib)
+	c1, l1 := buildTestLayout(t, 3, 100)
+	c2, l2 := buildTestLayout(t, 3, 100)
+	fl1, _ := BuildFaults(c1, l1, prof)
+	fl2, _ := BuildFaults(c2, l2, prof)
+	if fl1.Len() != fl2.Len() {
+		t.Fatalf("fault counts differ: %d vs %d", fl1.Len(), fl2.Len())
+	}
+	for i := range fl1.Faults {
+		a, b := fl1.Faults[i], fl2.Faults[i]
+		if a.Model != b.Model || a.Guideline != b.Guideline || a.Internal != b.Internal {
+			t.Fatalf("fault %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestBridgeFaultsComeInPairs(t *testing.T) {
+	c, lay := buildTestLayout(t, 5, 120)
+	prof := ProfileLibrary(lib)
+	l, _ := BuildFaults(c, lay, prof)
+	type pair struct {
+		a, b int
+		gid  string
+	}
+	dir := map[pair]int{}
+	for _, f := range l.Faults {
+		if f.Model != fault.Bridge {
+			continue
+		}
+		a, b := f.Net.ID, f.Other.ID
+		if a > b {
+			a, b = b, a
+		}
+		dir[pair{a, b, f.Guideline}]++
+	}
+	for p, n := range dir {
+		if n != 2 {
+			t.Errorf("bridge %v has %d directions, want 2", p, n)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package dfm implements the design-for-manufacturability guideline engine:
+// the 59 recommended-layout guidelines the paper uses (19 Via, 29 Metal, 11
+// Density), the checker that finds violation locations in cell templates and
+// in the routed layout, and the translation of violations into the
+// gate-level fault universe (stuck-at, transition, bridging, cell-aware).
+package dfm
+
+import (
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/route"
+)
+
+// Category is a DFM guideline category.
+type Category uint8
+
+// The three guideline categories of Section IV.
+const (
+	Via Category = iota
+	Metal
+	Density
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case Via:
+		return "Via"
+	case Metal:
+		return "Metal"
+	case Density:
+		return "Density"
+	}
+	return "?"
+}
+
+// Guideline is one recommended-layout rule. Exactly one of the Check*
+// predicates is non-nil, determining where the guideline applies:
+//
+//   - CheckFeature: cell-internal layout features (internal faults);
+//   - CheckVia: routed vias (external opens);
+//   - CheckSpacing: same-layer track crowding (external bridges);
+//   - CheckSegment: routed wire segments (external opens);
+//   - CheckDensity: metal density windows (external opens/shorts).
+type Guideline struct {
+	ID   string
+	Cat  Category
+	Desc string
+
+	CheckFeature func(f library.Feature) bool
+	CheckVia     func(v route.Via, netLen int) bool
+	CheckSpacing func(layer route.Layer, occupants int, adjacent bool) bool
+	CheckSegment func(s route.Seg) bool
+	CheckDensity func(layer route.Layer, density float64) (violates bool)
+	// Window edge for density guidelines (grid units).
+	Window int
+}
+
+// Guidelines returns the full rule deck: 19 Via + 29 Metal + 11 Density.
+func Guidelines() []*Guideline {
+	var gs []*Guideline
+	add := func(g *Guideline) { gs = append(gs, g) }
+
+	// ---- Via guidelines (19): recommended contact/via redundancy,
+	// enclosure and isolation. VIA.01-VIA.10 are cell-internal
+	// (contacts, poly contacts, pin vias); VIA.11-VIA.19 apply to the
+	// routed vias.
+	add(&Guideline{ID: "VIA.01", Cat: Via, Desc: "diffusion contact enclosure below recommended minimum",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatDiffContact && f.Enclosure < 15
+		}})
+	add(&Guideline{ID: "VIA.02", Cat: Via, Desc: "non-redundant diffusion contact in tight surroundings",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatDiffContact && !f.Redundant && f.Space < 250
+		}})
+	add(&Guideline{ID: "VIA.03", Cat: Via, Desc: "diffusion contact spacing below recommended",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatDiffContact && f.Space < 240 && f.Enclosure < 20
+		}})
+	add(&Guideline{ID: "VIA.04", Cat: Via, Desc: "poly contact enclosure below recommended minimum",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatPolyContact && f.Enclosure < 15
+		}})
+	add(&Guideline{ID: "VIA.05", Cat: Via, Desc: "non-redundant poly contact",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatPolyContact && !f.Redundant && f.Enclosure < 20
+		}})
+	add(&Guideline{ID: "VIA.06", Cat: Via, Desc: "poly contact in tight surroundings",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatPolyContact && f.Space < 240
+		}})
+	add(&Guideline{ID: "VIA.07", Cat: Via, Desc: "cell pin via without redundancy",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatPinVia && !f.Redundant
+		}})
+	add(&Guideline{ID: "VIA.08", Cat: Via, Desc: "cell pin via enclosure below recommended",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatPinVia && f.Enclosure < 15
+		}})
+	add(&Guideline{ID: "VIA.09", Cat: Via, Desc: "cell pin via isolation below recommended",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatPinVia && f.Space < 240 && f.Enclosure < 25
+		}})
+	add(&Guideline{ID: "VIA.10", Cat: Via, Desc: "contact on narrow diffusion",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatDiffContact && f.Width < 210 && f.Enclosure < 20
+		}})
+
+	viaExt := []struct {
+		id, desc string
+		check    func(v route.Via, netLen int) bool
+	}{
+		{"VIA.11", "single (non-redundant) via on a long net", func(v route.Via, l int) bool {
+			return !v.Redundant && l > 24
+		}},
+		{"VIA.12", "single via on a medium net", func(v route.Via, l int) bool {
+			return !v.Redundant && l > 12 && l <= 24
+		}},
+		{"VIA.13", "non-redundant stacked pin via", func(v route.Via, l int) bool {
+			return !v.Redundant && v.From == route.M1 && v.To == route.M3
+		}},
+		{"VIA.14", "non-redundant corner via M2-M3", func(v route.Via, l int) bool {
+			return !v.Redundant && v.From == route.M2 && v.To == route.M3
+		}},
+		{"VIA.15", "pin via to M3 on a long net", func(v route.Via, l int) bool {
+			return v.From == route.M1 && v.To == route.M3 && l > 20
+		}},
+		{"VIA.16", "pin via to M2 without redundancy on a long net", func(v route.Via, l int) bool {
+			return !v.Redundant && v.From == route.M1 && v.To == route.M2 && l > 28
+		}},
+		{"VIA.17", "corner via on a very long net", func(v route.Via, l int) bool {
+			return v.From == route.M2 && v.To == route.M3 && l > 40
+		}},
+		{"VIA.18", "any single via on a very long net", func(v route.Via, l int) bool {
+			return !v.Redundant && l > 48
+		}},
+		{"VIA.19", "redundantly-placeable via left single on a long net", func(v route.Via, l int) bool {
+			return v.Redundant && l > 56
+		}},
+	}
+	for _, ve := range viaExt {
+		add(&Guideline{ID: ve.id, Cat: Via, Desc: ve.desc, CheckVia: ve.check})
+	}
+
+	// ---- Metal guidelines (29): width, spacing and run-length
+	// recommendations. MET.01-MET.12 are cell-internal (metal1 stubs and
+	// gate poly); MET.13-MET.29 apply to routed segments and track
+	// crowding.
+	add(&Guideline{ID: "MET.01", Cat: Metal, Desc: "metal1 stub below recommended width",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatMetal1Stub && f.Width < 210
+		}})
+	add(&Guideline{ID: "MET.02", Cat: Metal, Desc: "metal1 stub spacing below recommended",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatMetal1Stub && f.Space < 240 && f.Node2 >= 0
+		}})
+	add(&Guideline{ID: "MET.03", Cat: Metal, Desc: "long narrow metal1 stub",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatMetal1Stub && f.Length > 1500 && f.Width < 240
+		}})
+	add(&Guideline{ID: "MET.04", Cat: Metal, Desc: "metal1 stub at minimum width and spacing",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatMetal1Stub && f.Width < 210 && f.Space < 240 && f.Node2 >= 0
+		}})
+	add(&Guideline{ID: "MET.05", Cat: Metal, Desc: "gate poly below recommended width",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatGatePoly && f.Width < 210
+		}})
+	add(&Guideline{ID: "MET.06", Cat: Metal, Desc: "long gate poly run",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatGatePoly && f.Length > 1500
+		}})
+	add(&Guideline{ID: "MET.07", Cat: Metal, Desc: "gate poly spacing below recommended",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatGatePoly && f.Space < 240
+		}})
+	add(&Guideline{ID: "MET.08", Cat: Metal, Desc: "long narrow gate poly",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatGatePoly && f.Length > 1000 && f.Width < 230
+		}})
+	add(&Guideline{ID: "MET.09", Cat: Metal, Desc: "metal1 stub at tight pitch over diffusion",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatMetal1Stub && f.Space < 260 && f.Length > 1100 && f.Node2 >= 0
+		}})
+	add(&Guideline{ID: "MET.10", Cat: Metal, Desc: "very long metal1 stub",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatMetal1Stub && f.Length > 1500 && f.Node2 >= 0
+		}})
+	add(&Guideline{ID: "MET.11", Cat: Metal, Desc: "narrow metal1 in tight surroundings",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatMetal1Stub && f.Width < 230 && f.Space < 250
+		}})
+	add(&Guideline{ID: "MET.12", Cat: Metal, Desc: "poly at minimum dimensions",
+		CheckFeature: func(f library.Feature) bool {
+			return f.Kind == library.FeatGatePoly && f.Width < 210 && f.Space < 250
+		}})
+
+	// External spacing rules (bridge risks).
+	spc := []struct {
+		id, desc string
+		check    func(layer route.Layer, occ int, adjacent bool) bool
+	}{
+		{"MET.13", "two M2 tracks at minimum pitch", func(l route.Layer, o int, adj bool) bool {
+			return l == route.M2 && o >= 2 && !adj
+		}},
+		{"MET.14", "two M3 tracks at minimum pitch", func(l route.Layer, o int, adj bool) bool {
+			return l == route.M3 && o >= 2 && !adj
+		}},
+		{"MET.15", "three or more M2 tracks packed", func(l route.Layer, o int, adj bool) bool {
+			return l == route.M2 && o >= 3 && !adj
+		}},
+		{"MET.16", "three or more M3 tracks packed", func(l route.Layer, o int, adj bool) bool {
+			return l == route.M3 && o >= 3 && !adj
+		}},
+		{"MET.17", "adjacent M2 tracks without relief", func(l route.Layer, o int, adj bool) bool {
+			return l == route.M2 && adj
+		}},
+		{"MET.18", "adjacent M3 tracks without relief", func(l route.Layer, o int, adj bool) bool {
+			return l == route.M3 && adj
+		}},
+		{"MET.19", "heavily crowded M2 region", func(l route.Layer, o int, adj bool) bool {
+			return l == route.M2 && o >= 4 && !adj
+		}},
+		{"MET.20", "heavily crowded M3 region", func(l route.Layer, o int, adj bool) bool {
+			return l == route.M3 && o >= 4 && !adj
+		}},
+	}
+	for _, s := range spc {
+		add(&Guideline{ID: s.id, Cat: Metal, Desc: s.desc, CheckSpacing: s.check})
+	}
+
+	// External segment rules (open risks on long runs).
+	segs := []struct {
+		id, desc string
+		check    func(s route.Seg) bool
+	}{
+		{"MET.21", "long M2 run without widening", func(s route.Seg) bool {
+			return s.Layer == route.M2 && s.Len() > 16
+		}},
+		{"MET.22", "long M3 run without widening", func(s route.Seg) bool {
+			return s.Layer == route.M3 && s.Len() > 16
+		}},
+		{"MET.23", "very long M2 run", func(s route.Seg) bool {
+			return s.Layer == route.M2 && s.Len() > 32
+		}},
+		{"MET.24", "very long M3 run", func(s route.Seg) bool {
+			return s.Layer == route.M3 && s.Len() > 32
+		}},
+		{"MET.25", "extreme M2 run", func(s route.Seg) bool {
+			return s.Layer == route.M2 && s.Len() > 48
+		}},
+		{"MET.26", "extreme M3 run", func(s route.Seg) bool {
+			return s.Layer == route.M3 && s.Len() > 48
+		}},
+		{"MET.27", "M2 run crossing half the die", func(s route.Seg) bool {
+			return s.Layer == route.M2 && s.Len() > 64
+		}},
+		{"MET.28", "M3 run crossing half the die", func(s route.Seg) bool {
+			return s.Layer == route.M3 && s.Len() > 64
+		}},
+		{"MET.29", "medium M2 run at risk", func(s route.Seg) bool {
+			return s.Layer == route.M2 && s.Len() > 8 && s.Len() <= 16
+		}},
+	}
+	for _, s := range segs {
+		add(&Guideline{ID: s.id, Cat: Metal, Desc: s.desc, CheckSegment: s.check})
+	}
+
+	// ---- Density guidelines (11): metal density windows outside the
+	// recommended band (CMP dishing / erosion risks).
+	dens := []struct {
+		id, desc string
+		window   int
+		check    func(l route.Layer, d float64) bool
+	}{
+		{"DEN.01", "M2 window over maximum density", 8, func(l route.Layer, d float64) bool { return l == route.M2 && d > 0.75 }},
+		{"DEN.02", "M3 window over maximum density", 8, func(l route.Layer, d float64) bool { return l == route.M3 && d > 0.75 }},
+		{"DEN.03", "M2 window strongly over density", 8, func(l route.Layer, d float64) bool { return l == route.M2 && d > 0.90 }},
+		{"DEN.04", "M3 window strongly over density", 8, func(l route.Layer, d float64) bool { return l == route.M3 && d > 0.90 }},
+		{"DEN.05", "M2 wide-window over density", 16, func(l route.Layer, d float64) bool { return l == route.M2 && d > 0.65 }},
+		{"DEN.06", "M3 wide-window over density", 16, func(l route.Layer, d float64) bool { return l == route.M3 && d > 0.65 }},
+		{"DEN.07", "M2 window under minimum density", 8, func(l route.Layer, d float64) bool { return l == route.M2 && d > 0 && d < 0.04 }},
+		{"DEN.08", "M3 window under minimum density", 8, func(l route.Layer, d float64) bool { return l == route.M3 && d > 0 && d < 0.04 }},
+		{"DEN.09", "M2 wide-window under density", 16, func(l route.Layer, d float64) bool { return l == route.M2 && d > 0 && d < 0.03 }},
+		{"DEN.10", "M3 wide-window under density", 16, func(l route.Layer, d float64) bool { return l == route.M3 && d > 0 && d < 0.03 }},
+		{"DEN.11", "gradient: dense window next to empty window", 8, nil},
+	}
+	for _, d := range dens {
+		g := &Guideline{ID: d.id, Cat: Density, Desc: d.desc, Window: d.window}
+		if d.check != nil {
+			g.CheckDensity = d.check
+		} else {
+			// DEN.11 is evaluated specially by the checker (gradient
+			// between neighbouring windows); give it a predicate that
+			// flags extremely dense windows as the proxy.
+			g.CheckDensity = func(l route.Layer, dd float64) bool { return dd > 0.95 }
+		}
+		add(g)
+	}
+	return gs
+}
+
+// CountByCategory tallies the rule deck (used to assert 19/29/11).
+func CountByCategory(gs []*Guideline) map[Category]int {
+	out := map[Category]int{}
+	for _, g := range gs {
+		out[g.Cat]++
+	}
+	return out
+}

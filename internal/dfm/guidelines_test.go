@@ -1,0 +1,197 @@
+package dfm
+
+import (
+	"testing"
+
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/route"
+)
+
+func byID(t *testing.T, id string) *Guideline {
+	t.Helper()
+	for _, g := range Guidelines() {
+		if g.ID == id {
+			return g
+		}
+	}
+	t.Fatalf("no guideline %s", id)
+	return nil
+}
+
+func TestFeatureGuidelinesFire(t *testing.T) {
+	cases := []struct {
+		id        string
+		violating library.Feature
+		clean     library.Feature
+	}{
+		{"VIA.01",
+			library.Feature{Kind: library.FeatDiffContact, Enclosure: 12},
+			library.Feature{Kind: library.FeatDiffContact, Enclosure: 30}},
+		{"VIA.02",
+			library.Feature{Kind: library.FeatDiffContact, Redundant: false, Space: 230},
+			library.Feature{Kind: library.FeatDiffContact, Redundant: true, Space: 230}},
+		{"VIA.04",
+			library.Feature{Kind: library.FeatPolyContact, Enclosure: 12},
+			library.Feature{Kind: library.FeatPolyContact, Enclosure: 24}},
+		{"VIA.07",
+			library.Feature{Kind: library.FeatPinVia, Redundant: false},
+			library.Feature{Kind: library.FeatPinVia, Redundant: true}},
+		{"VIA.10",
+			library.Feature{Kind: library.FeatDiffContact, Width: 200, Enclosure: 18},
+			library.Feature{Kind: library.FeatDiffContact, Width: 320, Enclosure: 18}},
+		{"MET.01",
+			library.Feature{Kind: library.FeatMetal1Stub, Width: 200},
+			library.Feature{Kind: library.FeatMetal1Stub, Width: 270}},
+		{"MET.02",
+			library.Feature{Kind: library.FeatMetal1Stub, Space: 230, Node2: 4},
+			library.Feature{Kind: library.FeatMetal1Stub, Space: 230, Node2: -1}},
+		{"MET.05",
+			library.Feature{Kind: library.FeatGatePoly, Width: 200},
+			library.Feature{Kind: library.FeatGatePoly, Width: 230}},
+		{"MET.06",
+			library.Feature{Kind: library.FeatGatePoly, Length: 1600},
+			library.Feature{Kind: library.FeatGatePoly, Length: 700}},
+	}
+	for _, c := range cases {
+		g := byID(t, c.id)
+		if g.CheckFeature == nil {
+			t.Errorf("%s: not a feature guideline", c.id)
+			continue
+		}
+		if !g.CheckFeature(c.violating) {
+			t.Errorf("%s: violating feature not flagged", c.id)
+		}
+		if g.CheckFeature(c.clean) {
+			t.Errorf("%s: clean feature flagged", c.id)
+		}
+		// Wrong-kind features never flagged.
+		other := c.violating
+		other.Kind = library.FeatPinVia
+		if c.violating.Kind == library.FeatPinVia {
+			other.Kind = library.FeatGatePoly
+		}
+		if g.CheckFeature(other) {
+			t.Errorf("%s: fired on wrong feature kind", c.id)
+		}
+	}
+}
+
+func TestViaGuidelinesFire(t *testing.T) {
+	long := 30
+	short := 5
+	cases := []struct {
+		id    string
+		via   route.Via
+		len   int
+		clean route.Via
+		clen  int
+	}{
+		{"VIA.11", route.Via{Redundant: false}, long, route.Via{Redundant: true}, long},
+		{"VIA.12", route.Via{Redundant: false}, 16, route.Via{Redundant: false}, short},
+		{"VIA.13", route.Via{Redundant: false, From: route.M1, To: route.M3}, short,
+			route.Via{Redundant: true, From: route.M1, To: route.M3}, short},
+		{"VIA.14", route.Via{Redundant: false, From: route.M2, To: route.M3}, short,
+			route.Via{Redundant: false, From: route.M1, To: route.M2}, short},
+		{"VIA.18", route.Via{Redundant: false}, 50, route.Via{Redundant: false}, 40},
+		{"VIA.19", route.Via{Redundant: true}, 60, route.Via{Redundant: true}, 40},
+	}
+	for _, c := range cases {
+		g := byID(t, c.id)
+		if g.CheckVia == nil {
+			t.Errorf("%s: not a via guideline", c.id)
+			continue
+		}
+		if !g.CheckVia(c.via, c.len) {
+			t.Errorf("%s: violating via not flagged", c.id)
+		}
+		if g.CheckVia(c.clean, c.clen) {
+			t.Errorf("%s: clean via flagged", c.id)
+		}
+	}
+}
+
+func TestSpacingGuidelinesFire(t *testing.T) {
+	g13 := byID(t, "MET.13")
+	if !g13.CheckSpacing(route.M2, 2, false) {
+		t.Error("MET.13 must flag two M2 tracks in one cell")
+	}
+	if g13.CheckSpacing(route.M3, 2, false) {
+		t.Error("MET.13 must not flag M3")
+	}
+	if g13.CheckSpacing(route.M2, 2, true) {
+		t.Error("MET.13 must not flag adjacent-cell cases (MET.17's job)")
+	}
+	g17 := byID(t, "MET.17")
+	if !g17.CheckSpacing(route.M2, 1, true) {
+		t.Error("MET.17 must flag adjacent M2 tracks")
+	}
+	g19 := byID(t, "MET.19")
+	if g19.CheckSpacing(route.M2, 3, false) {
+		t.Error("MET.19 needs occupancy >= 4")
+	}
+	if !g19.CheckSpacing(route.M2, 4, false) {
+		t.Error("MET.19 must flag occupancy 4")
+	}
+}
+
+func TestSegmentGuidelinesFire(t *testing.T) {
+	seg := func(l route.Layer, length int) route.Seg {
+		return route.Seg{Layer: l, A: geom.Pt{X: 0, Y: 0}, B: geom.Pt{X: length, Y: 0}}
+	}
+	vseg := func(l route.Layer, length int) route.Seg {
+		return route.Seg{Layer: l, A: geom.Pt{X: 0, Y: 0}, B: geom.Pt{X: 0, Y: length}}
+	}
+	if !byID(t, "MET.21").CheckSegment(seg(route.M2, 20)) {
+		t.Error("MET.21 must flag a 20-unit M2 run")
+	}
+	if byID(t, "MET.21").CheckSegment(seg(route.M2, 10)) {
+		t.Error("MET.21 must not flag a 10-unit run")
+	}
+	if !byID(t, "MET.22").CheckSegment(vseg(route.M3, 20)) {
+		t.Error("MET.22 must flag a 20-unit M3 run")
+	}
+	if byID(t, "MET.22").CheckSegment(seg(route.M2, 20)) {
+		t.Error("MET.22 must not flag M2")
+	}
+	if !byID(t, "MET.29").CheckSegment(seg(route.M2, 12)) {
+		t.Error("MET.29 must flag a medium 12-unit run")
+	}
+	if byID(t, "MET.29").CheckSegment(seg(route.M2, 20)) {
+		t.Error("MET.29 must not flag runs above its band (MET.21 takes over)")
+	}
+}
+
+func TestDensityGuidelinesFire(t *testing.T) {
+	g1 := byID(t, "DEN.01")
+	if !g1.CheckDensity(route.M2, 0.8) {
+		t.Error("DEN.01 must flag 80% M2 density")
+	}
+	if g1.CheckDensity(route.M2, 0.5) || g1.CheckDensity(route.M3, 0.8) {
+		t.Error("DEN.01 overfires")
+	}
+	g7 := byID(t, "DEN.07")
+	if !g7.CheckDensity(route.M2, 0.01) {
+		t.Error("DEN.07 must flag under-density")
+	}
+	if g7.CheckDensity(route.M2, 0.0) {
+		t.Error("DEN.07 must not flag empty windows")
+	}
+	if g7.CheckDensity(route.M2, 0.10) {
+		t.Error("DEN.07 must not flag healthy density")
+	}
+	for _, g := range Guidelines() {
+		if g.CheckDensity != nil && g.Window <= 0 {
+			t.Errorf("%s: density guideline without window size", g.ID)
+		}
+	}
+}
+
+func TestShortClassGuidelinesAreFeatureRules(t *testing.T) {
+	for id := range shortClass {
+		g := byID(t, id)
+		if g.CheckFeature == nil {
+			t.Errorf("%s in shortClass is not a feature guideline", id)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package dfm
+
+import (
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/switchsim"
+)
+
+// CellDefect is one cell-internal defect predicted by a guideline violation
+// in a cell's layout template, with its derived cell-aware (UDFM) behavior.
+type CellDefect struct {
+	Guideline string
+	Defect    switchsim.Defect
+	Behavior  *switchsim.Behavior
+}
+
+// LibraryProfile caches, per cell type, the internal defects implied by the
+// rule deck and their switch-level behaviors. Because the cell layout
+// template is fixed per type, every instance of a cell introduces exactly
+// the same internal faults — the property the resynthesis procedure
+// exploits.
+type LibraryProfile struct {
+	Lib     *library.Library
+	PerCell [][]CellDefect // indexed by cell.Index
+}
+
+// shortClass lists guidelines whose violation predicts a short; all other
+// feature guidelines predict opens.
+var shortClass = map[string]bool{
+	"MET.02": true, "MET.04": true, "MET.09": true, // metal1 spacing
+	"MET.07": true, "MET.12": true, // poly spacing
+}
+
+// ProfileLibrary evaluates the internal (feature-level) guidelines on every
+// cell template, translates each violation into a transistor-level defect,
+// derives its UDFM behavior by switch-level simulation, and keeps the
+// defects whose behavior is observable at the cell boundary.
+func ProfileLibrary(lib *library.Library) *LibraryProfile {
+	gs := Guidelines()
+	prof := &LibraryProfile{Lib: lib, PerCell: make([][]CellDefect, lib.Len())}
+	for _, cell := range lib.Cells {
+		var defects []CellDefect
+		for _, g := range gs {
+			if g.CheckFeature == nil {
+				continue
+			}
+			for _, f := range cell.Features {
+				if !g.CheckFeature(f) {
+					continue
+				}
+				d, ok := featureDefect(cell, f, shortClass[g.ID])
+				if !ok {
+					continue
+				}
+				beh := switchsim.Derive(cell, d)
+				if !beh.Detectable() {
+					continue // no observable behavior at the cell boundary
+				}
+				defects = append(defects, CellDefect{Guideline: g.ID, Defect: d, Behavior: &beh})
+			}
+		}
+		prof.PerCell[cell.Index] = defects
+	}
+	return prof
+}
+
+// InternalFaultCount returns the number of internal faults a single
+// instance of the cell introduces. The resynthesis procedure orders the
+// library by this count (descending) to pick which cells to exclude first.
+func (p *LibraryProfile) InternalFaultCount(cell *library.Cell) int {
+	return len(p.PerCell[cell.Index])
+}
+
+// featureDefect maps a violated feature to a transistor-level defect.
+func featureDefect(cell *library.Cell, f library.Feature, short bool) (switchsim.Defect, bool) {
+	switch f.Kind {
+	case library.FeatDiffContact:
+		tr := cell.Transistors[f.Transistor]
+		term := 0
+		if f.Node == tr.B {
+			term = 1
+		}
+		return switchsim.Defect{Kind: switchsim.TermBreak, T: f.Transistor, Term: term}, true
+	case library.FeatPolyContact, library.FeatGatePoly:
+		if short {
+			return switchsim.Defect{Kind: switchsim.TransStuckOn, T: f.Transistor}, true
+		}
+		return switchsim.Defect{Kind: switchsim.TransStuckOpen, T: f.Transistor}, true
+	case library.FeatMetal1Stub:
+		if short {
+			if f.Node2 < 0 {
+				return switchsim.Defect{}, false
+			}
+			return switchsim.Defect{Kind: switchsim.NodeBridge, NodeA: f.Node, NodeB: f.Node2}, true
+		}
+		// An open on the node's wiring: break the first transistor
+		// terminal attached to the node.
+		for ti, tr := range cell.Transistors {
+			if tr.A == f.Node {
+				return switchsim.Defect{Kind: switchsim.TermBreak, T: ti, Term: 0}, true
+			}
+			if tr.B == f.Node {
+				return switchsim.Defect{Kind: switchsim.TermBreak, T: ti, Term: 1}, true
+			}
+		}
+		return switchsim.Defect{}, false
+	case library.FeatPinVia:
+		return switchsim.Defect{Kind: switchsim.OutputOpen}, true
+	}
+	return switchsim.Defect{}, false
+}

@@ -1,0 +1,156 @@
+package doublefault
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfmresyn/internal/atpg"
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/sim"
+)
+
+func analyzed(t *testing.T, name string) *flow.Design {
+	t.Helper()
+	env := flow.NewEnv()
+	env.ATPG.RandomBlocks = 4
+	env.ATPG.BacktrackLimit = 2000
+	c := bench.MustBuild(name, env.Lib)
+	d, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPairsAreAdjacent(t *testing.T) {
+	d := analyzed(t, "sparc_tlu")
+	pairs := Pairs(d)
+	if len(pairs) == 0 {
+		t.Fatal("no double-fault pairs found despite undetectable faults")
+	}
+	for _, p := range pairs {
+		if p.Undetectable.Status != fault.Undetectable {
+			t.Fatalf("pair member %v is not undetectable", p.Undetectable)
+		}
+		if p.Detectable.Status != fault.Detected {
+			t.Fatalf("pair member %v is not detected", p.Detectable)
+		}
+		// Adjacency: some gate of one is the same as or adjacent to
+		// some gate of the other.
+		ok := false
+		for _, gu := range p.Undetectable.CorrespondingGates() {
+			for _, gd := range p.Detectable.CorrespondingGates() {
+				if gu == gd || netlist.Adjacent(gu, gd) {
+					ok = true
+				}
+			}
+		}
+		if !ok {
+			t.Fatalf("pair (%v, %v) not structurally adjacent", p.Undetectable, p.Detectable)
+		}
+	}
+}
+
+func TestRunProducesExtraTests(t *testing.T) {
+	d := analyzed(t, "sparc_tlu")
+	res := Run(d, 3, 1)
+	if res.Pairs == 0 {
+		t.Fatal("no pairs targeted")
+	}
+	if res.CoveredPairs+res.UncoverdPairs+res.AbortedPairs != res.Pairs {
+		t.Errorf("pair accounting broken: %d+%d+%d != %d",
+			res.CoveredPairs, res.UncoverdPairs, res.AbortedPairs, res.Pairs)
+	}
+	if res.CoveredPairs > 0 && res.ExtraTests == 0 {
+		t.Error("covered pairs but no extra tests recorded")
+	}
+	if res.BaseTests != len(d.Result.Tests) {
+		t.Errorf("base tests %d, want %d", res.BaseTests, len(d.Result.Tests))
+	}
+	if res.ExtraTests > 0 && res.TesterTimeRel <= 1 {
+		t.Errorf("tester time must grow with extra tests: %v", res.TesterTimeRel)
+	}
+}
+
+func TestMaxPairsPerFaultBounds(t *testing.T) {
+	d := analyzed(t, "sparc_tlu")
+	r1 := Run(d, 1, 1)
+	r3 := Run(d, 3, 1)
+	if r1.Pairs > r3.Pairs {
+		t.Errorf("tighter bound produced more pairs: %d vs %d", r1.Pairs, r3.Pairs)
+	}
+	if r1.Pairs > r1.TargetedFaults+r1.UncoverdPairs+r1.AbortedPairs {
+		// With bound 1, each undetectable fault contributes at most one
+		// pair.
+		t.Errorf("bound 1 violated: %d pairs for %d targeted faults", r1.Pairs, r1.TargetedFaults)
+	}
+}
+
+func TestActivationConditions(t *testing.T) {
+	d := analyzed(t, "sparc_tlu")
+	for _, f := range d.Faults.Faults {
+		conds := ActivationConditions(f)
+		switch f.Model {
+		case fault.StuckAt, fault.Transition:
+			if len(conds) != 1 || conds[0].Net != f.Net || conds[0].Val != f.Value^1 {
+				t.Fatalf("bad conditions for %v: %+v", f, conds)
+			}
+		case fault.Bridge:
+			if len(conds) != 2 {
+				t.Fatalf("bridge conditions = %d, want 2", len(conds))
+			}
+		case fault.CellAware:
+			if f.Behavior != nil && f.Behavior.Detectable() && len(conds) != len(f.Gate.Fanin) {
+				t.Fatalf("cell-aware conditions = %d, want %d", len(conds), len(f.Gate.Fanin))
+			}
+		}
+	}
+}
+
+// TestGenerateWithHonorsConditions: a test produced under extra conditions
+// must actually satisfy them in the good circuit.
+func TestGenerateWithHonorsConditions(t *testing.T) {
+	d := analyzed(t, "sparc_tlu")
+	c := d.C
+	order := c.Levelize()
+	levels := c.Levels()
+	gen := atpg.NewGenerator(c, order, levels, 2000)
+
+	pairs := Pairs(d)
+	checked := 0
+	for _, p := range pairs {
+		conds := ActivationConditions(p.Undetectable)
+		if conds == nil {
+			continue
+		}
+		out, tv := gen.GenerateWith(p.Detectable, conds, rngFor(7))
+		if out != atpg.FoundTest {
+			continue
+		}
+		// Simulate the final vector and verify every condition.
+		vals := simSingle(c, tv.Vec)
+		for _, cond := range conds {
+			if vals[cond.Net.ID] != cond.Val {
+				t.Fatalf("condition %s=%d violated by generated test", cond.Net.Name, cond.Val)
+			}
+		}
+		checked++
+		if checked >= 10 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no coverable pairs to check")
+	}
+}
+
+func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// simSingle runs one vector through the good circuit.
+func simSingle(c *netlist.Circuit, vec []uint8) []uint8 {
+	return sim.New(c).RunSingle(vec)
+}

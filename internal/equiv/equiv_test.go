@@ -1,0 +1,127 @@
+package equiv
+
+import (
+	"testing"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+var lib = library.OSU018Like()
+
+// buildAnd builds y = a AND b two different ways.
+func andDirect() *netlist.Circuit {
+	c := netlist.New("and1", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.MarkPO(c.AddGate("u", lib.ByName("AND2X2"), a, b))
+	return c
+}
+
+func andViaNand() *netlist.Circuit {
+	c := netlist.New("and2", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	n := c.AddGate("u1", lib.ByName("NAND2X1"), a, b)
+	c.MarkPO(c.AddGate("u2", lib.ByName("INVX1"), n))
+	return c
+}
+
+func orGate() *netlist.Circuit {
+	c := netlist.New("or", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	c.MarkPO(c.AddGate("u", lib.ByName("OR2X2"), a, b))
+	return c
+}
+
+func TestEquivalentSmall(t *testing.T) {
+	r, err := Check(andDirect(), andViaNand(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equivalent || !r.Exhaustive {
+		t.Fatalf("AND implementations must be exhaustively equivalent: %+v", r)
+	}
+	if r.Patterns != 4 {
+		t.Errorf("2-PI exhaustive check must use 4 patterns, used %d", r.Patterns)
+	}
+}
+
+func TestInequivalentWithCounterexample(t *testing.T) {
+	r, err := Check(andDirect(), orGate(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Equivalent {
+		t.Fatal("AND and OR must differ")
+	}
+	if len(r.Counterexample) != 2 {
+		t.Fatalf("counterexample missing: %+v", r)
+	}
+	// Verify the counterexample really distinguishes: AND != OR exactly
+	// when inputs differ from each other or are (1,0)/(0,1).
+	a, b := r.Counterexample[0], r.Counterexample[1]
+	if (a & b) == (a | b) {
+		t.Errorf("counterexample (%d,%d) does not distinguish AND from OR", a, b)
+	}
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	c1 := andDirect()
+	c2 := netlist.New("one", lib)
+	x := c2.AddPI("x")
+	c2.MarkPO(c2.AddGate("u", lib.ByName("INVX1"), x))
+	if _, err := Check(c1, c2, 0, 1); err == nil {
+		t.Fatal("PI mismatch must error")
+	}
+	// PO mismatch.
+	c3 := andDirect()
+	c3.MarkPO(c3.PIs[0])
+	if _, err := Check(andDirect(), c3, 0, 1); err == nil {
+		t.Fatal("PO mismatch must error")
+	}
+}
+
+// wideCircuit builds an 20-PI parity-ish circuit, optionally with a bug on
+// one deep minterm.
+func wideCircuit(bug bool) *netlist.Circuit {
+	c := netlist.New("wide", lib)
+	var nets []*netlist.Net
+	for i := 0; i < 20; i++ {
+		nets = append(nets, c.AddPI("x"+string(rune('a'+i))))
+	}
+	x := nets[0]
+	for i := 1; i < 20; i++ {
+		x = c.AddGate("", lib.ByName("XOR2X1"), x, nets[i])
+	}
+	if bug {
+		// Flip the output when all of the first 6 inputs are 1.
+		andAll := nets[0]
+		for i := 1; i < 6; i++ {
+			andAll = c.AddGate("", lib.ByName("AND2X2"), andAll, nets[i])
+		}
+		x = c.AddGate("", lib.ByName("XOR2X1"), x, andAll)
+	}
+	c.MarkPO(x)
+	return c
+}
+
+func TestSamplingModeOnWideCircuits(t *testing.T) {
+	r, err := Check(wideCircuit(false), wideCircuit(false), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equivalent || r.Exhaustive {
+		t.Fatalf("identical wide circuits: %+v", r)
+	}
+	// The injected bug triggers on ~1/64 of inputs: random sampling must
+	// find it.
+	r, err = Check(wideCircuit(false), wideCircuit(true), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Equivalent {
+		t.Fatal("sampling missed a 1/64-density difference")
+	}
+}

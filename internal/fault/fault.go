@@ -1,0 +1,264 @@
+// Package fault defines the fault universe the paper's flow targets: the
+// gate-level logic faults obtained by translating DFM-guideline violations
+// into likely shorts and opens inside standard cells (internal faults) and
+// on the routing between cells (external faults). Four models are used, as
+// in Section II of the paper: stuck-at, transition, bridging, and
+// cell-aware faults modeled by a UDFM.
+package fault
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/switchsim"
+)
+
+// Model is the fault model of a fault.
+type Model uint8
+
+// The four fault models.
+const (
+	StuckAt Model = iota
+	Transition
+	Bridge
+	CellAware
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case StuckAt:
+		return "stuck-at"
+	case Transition:
+		return "transition"
+	case Bridge:
+		return "bridge"
+	case CellAware:
+		return "cell-aware"
+	}
+	return fmt.Sprintf("model(%d)", uint8(m))
+}
+
+// Status is the test-generation status of a fault.
+type Status uint8
+
+// Fault statuses assigned by ATPG / fault simulation.
+const (
+	Untried      Status = iota
+	Detected            // a test in T detects it
+	Undetectable        // proven undetectable (member of U)
+	Aborted             // search limit exceeded without proof
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Untried:
+		return "untried"
+	case Detected:
+		return "detected"
+	case Undetectable:
+		return "undetectable"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Fault is one target fault.
+//
+// Site semantics by model:
+//
+//   - StuckAt / Transition: Net is the fault site. If BranchGate is non-nil
+//     the fault is on the branch feeding pin BranchPin of that gate (an
+//     open on one fanout branch); otherwise it is a stem fault affecting
+//     every sink. Value is the stuck value; for Transition, Value is the
+//     value the slow node is stuck at during launch (0 = slow-to-rise).
+//   - Bridge: Net is the victim, Other the aggressor, using the dominant
+//     model: when the two nets carry opposite values the victim assumes
+//     the aggressor's value. A physical short yields two Fault records,
+//     one per direction.
+//   - CellAware: Gate is the host instance; Behavior gives the activation
+//     masks derived by switch-level simulation of Defect.
+type Fault struct {
+	ID       int
+	Model    Model
+	Internal bool
+
+	Net        *netlist.Net
+	BranchGate *netlist.Gate
+	BranchPin  int
+	Value      uint8
+	Other      *netlist.Net
+
+	Gate     *netlist.Gate
+	Defect   switchsim.Defect
+	Behavior *switchsim.Behavior
+
+	// Guideline records which DFM guideline's violation produced the
+	// fault (e.g. "VIA.07").
+	Guideline string
+
+	Status Status
+}
+
+// TwoPattern reports whether detecting the fault requires a pattern pair.
+func (f *Fault) TwoPattern() bool {
+	switch f.Model {
+	case Transition:
+		return true
+	case CellAware:
+		return f.Behavior != nil && f.Behavior.StaticMask == 0
+	}
+	return false
+}
+
+// String renders a short identity for the fault.
+func (f *Fault) String() string {
+	loc := "ext"
+	if f.Internal {
+		loc = "int"
+	}
+	switch f.Model {
+	case StuckAt, Transition:
+		site := f.Net.Name
+		if f.BranchGate != nil {
+			site = fmt.Sprintf("%s->%s.%d", f.Net.Name, f.BranchGate.Name, f.BranchPin)
+		}
+		return fmt.Sprintf("%s/%s sa%d@%s [%s]", f.Model, loc, f.Value, site, f.Guideline)
+	case Bridge:
+		return fmt.Sprintf("%s/%s %s<-%s [%s]", f.Model, loc, f.Net.Name, f.Other.Name, f.Guideline)
+	case CellAware:
+		return fmt.Sprintf("%s/%s %s:%s [%s]", f.Model, loc, f.Gate.Name, f.Defect, f.Guideline)
+	}
+	return "fault(?)"
+}
+
+// CorrespondingGates returns the gates that correspond to the fault in the
+// sense of Section II: the host gate for an internal fault; for an external
+// fault, every gate with the fault on its inputs or outputs (the driver and
+// the affected sinks; for bridges, both nets' gates).
+func (f *Fault) CorrespondingGates() []*netlist.Gate {
+	var gates []*netlist.Gate
+	add := func(g *netlist.Gate) {
+		if g == nil {
+			return
+		}
+		for _, have := range gates {
+			if have == g {
+				return
+			}
+		}
+		gates = append(gates, g)
+	}
+	switch f.Model {
+	case CellAware:
+		add(f.Gate)
+	case Bridge:
+		for _, n := range []*netlist.Net{f.Net, f.Other} {
+			add(n.Driver)
+			for _, p := range n.Fanout {
+				add(p.Gate)
+			}
+		}
+	default: // StuckAt, Transition
+		add(f.Net.Driver)
+		if f.BranchGate != nil {
+			add(f.BranchGate)
+		} else {
+			for _, p := range f.Net.Fanout {
+				add(p.Gate)
+			}
+		}
+	}
+	return gates
+}
+
+// List is an ordered fault list with summary accessors.
+type List struct {
+	Faults []*Fault
+}
+
+// Add appends a fault, assigning its ID.
+func (l *List) Add(f *Fault) *Fault {
+	f.ID = len(l.Faults)
+	l.Faults = append(l.Faults, f)
+	return f
+}
+
+// Len returns the number of faults.
+func (l *List) Len() int { return len(l.Faults) }
+
+// Counts tallies faults by internal/external and by status.
+type Counts struct {
+	Total, Internal, External        int
+	Detected, Undetectable, Aborted  int
+	UndetectableInt, UndetectableExt int
+	ByModel                          map[Model]int
+	UndetectableByModel              map[Model]int
+}
+
+// Count computes summary statistics of the list.
+func (l *List) Count() Counts {
+	c := Counts{ByModel: make(map[Model]int), UndetectableByModel: make(map[Model]int)}
+	for _, f := range l.Faults {
+		c.Total++
+		if f.Internal {
+			c.Internal++
+		} else {
+			c.External++
+		}
+		c.ByModel[f.Model]++
+		switch f.Status {
+		case Detected:
+			c.Detected++
+		case Undetectable:
+			c.Undetectable++
+			c.UndetectableByModel[f.Model]++
+			if f.Internal {
+				c.UndetectableInt++
+			} else {
+				c.UndetectableExt++
+			}
+		case Aborted:
+			c.Aborted++
+		}
+	}
+	return c
+}
+
+// Undetected returns the faults not yet detected (candidates for ATPG).
+func (l *List) Undetected() []*Fault {
+	var out []*Fault
+	for _, f := range l.Faults {
+		if f.Status == Untried || f.Status == Aborted {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// UndetectableFaults returns the proven-undetectable faults (the set U).
+func (l *List) UndetectableFaults() []*Fault {
+	var out []*Fault
+	for _, f := range l.Faults {
+		if f.Status == Undetectable {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Coverage returns the paper's coverage metric Cov = 1 - U/F.
+func (l *List) Coverage() float64 {
+	if len(l.Faults) == 0 {
+		return 1
+	}
+	u := 0
+	for _, f := range l.Faults {
+		if f.Status == Undetectable {
+			u++
+		}
+	}
+	return 1 - float64(u)/float64(len(l.Faults))
+}

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/switchsim"
+)
+
+var lib = library.OSU018Like()
+
+// buildFan: stem a feeds an INV and a BUF; INV feeds a NAND with b.
+func buildFan(t *testing.T) (*netlist.Circuit, map[string]*netlist.Net) {
+	t.Helper()
+	c := netlist.New("fan", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	inv := c.AddGate("u_inv", lib.ByName("INVX1"), a)
+	buf := c.AddGate("u_buf", lib.ByName("BUFX2"), a)
+	nand := c.AddGate("u_nand", lib.ByName("NAND2X1"), inv, b)
+	c.MarkPO(nand)
+	c.MarkPO(buf)
+	return c, map[string]*netlist.Net{"a": a, "b": b, "inv": inv, "buf": buf, "nand": nand}
+}
+
+func TestCorrespondingGatesStem(t *testing.T) {
+	_, nets := buildFan(t)
+	// Stem fault on a: corresponds to both sinks (INV, BUF); a has no
+	// driver.
+	f := &Fault{Model: StuckAt, Net: nets["a"], Value: 0}
+	gs := f.CorrespondingGates()
+	if len(gs) != 2 {
+		t.Fatalf("stem fault corresponds to %d gates, want 2", len(gs))
+	}
+	// Fault on inv output: driver (INV) + sink (NAND).
+	f2 := &Fault{Model: StuckAt, Net: nets["inv"], Value: 1}
+	if got := len(f2.CorrespondingGates()); got != 2 {
+		t.Fatalf("internal net fault corresponds to %d gates, want 2", got)
+	}
+}
+
+func TestCorrespondingGatesBranch(t *testing.T) {
+	_, nets := buildFan(t)
+	invGate := nets["inv"].Driver
+	f := &Fault{Model: StuckAt, Net: nets["a"], Value: 0,
+		BranchGate: invGate, BranchPin: 0}
+	gs := f.CorrespondingGates()
+	// Branch fault: only the affected sink (a has no driver).
+	if len(gs) != 1 || gs[0] != invGate {
+		t.Fatalf("branch fault gates = %v", gs)
+	}
+}
+
+func TestCorrespondingGatesBridge(t *testing.T) {
+	_, nets := buildFan(t)
+	f := &Fault{Model: Bridge, Net: nets["inv"], Other: nets["buf"]}
+	gs := f.CorrespondingGates()
+	// inv: driver INV + sink NAND; buf: driver BUF (PO, no sinks) = 3.
+	if len(gs) != 3 {
+		t.Fatalf("bridge corresponds to %d gates, want 3", len(gs))
+	}
+}
+
+func TestCorrespondingGatesCellAware(t *testing.T) {
+	_, nets := buildFan(t)
+	g := nets["nand"].Driver
+	f := &Fault{Model: CellAware, Internal: true, Gate: g}
+	gs := f.CorrespondingGates()
+	if len(gs) != 1 || gs[0] != g {
+		t.Fatalf("cell-aware fault gates = %v", gs)
+	}
+}
+
+func TestTwoPattern(t *testing.T) {
+	_, nets := buildFan(t)
+	sa := &Fault{Model: StuckAt, Net: nets["a"]}
+	tr := &Fault{Model: Transition, Net: nets["a"]}
+	if sa.TwoPattern() {
+		t.Error("stuck-at is single-pattern")
+	}
+	if !tr.TwoPattern() {
+		t.Error("transition is two-pattern")
+	}
+	caStatic := &Fault{Model: CellAware, Behavior: &switchsim.Behavior{Inputs: 2, StaticMask: 1}}
+	caDyn := &Fault{Model: CellAware, Behavior: &switchsim.Behavior{Inputs: 2, PairMask: []uint64{1}}}
+	if caStatic.TwoPattern() {
+		t.Error("static cell-aware is single-pattern")
+	}
+	if !caDyn.TwoPattern() {
+		t.Error("dynamic-only cell-aware is two-pattern")
+	}
+}
+
+func TestListCountsAndCoverage(t *testing.T) {
+	_, nets := buildFan(t)
+	l := &List{}
+	f1 := l.Add(&Fault{Model: StuckAt, Net: nets["a"], Value: 0})
+	f2 := l.Add(&Fault{Model: StuckAt, Net: nets["a"], Value: 1})
+	f3 := l.Add(&Fault{Model: CellAware, Internal: true, Gate: nets["nand"].Driver})
+	f4 := l.Add(&Fault{Model: Bridge, Net: nets["inv"], Other: nets["buf"]})
+	if f1.ID != 0 || f4.ID != 3 {
+		t.Error("IDs not assigned sequentially")
+	}
+	f1.Status = Detected
+	f2.Status = Undetectable
+	f3.Status = Undetectable
+	f4.Status = Aborted
+
+	c := l.Count()
+	if c.Total != 4 || c.Internal != 1 || c.External != 3 {
+		t.Errorf("counts wrong: %+v", c)
+	}
+	if c.Detected != 1 || c.Undetectable != 2 || c.Aborted != 1 {
+		t.Errorf("status counts wrong: %+v", c)
+	}
+	if c.UndetectableInt != 1 || c.UndetectableExt != 1 {
+		t.Errorf("undetectable split wrong: %+v", c)
+	}
+	if got := l.Coverage(); got != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", got)
+	}
+	if got := len(l.UndetectableFaults()); got != 2 {
+		t.Errorf("undetectable list = %d", got)
+	}
+	if got := len(l.Undetected()); got != 1 {
+		t.Errorf("undetected = %d, want 1 (the aborted one)", got)
+	}
+}
+
+func TestEmptyListCoverage(t *testing.T) {
+	l := &List{}
+	if l.Coverage() != 1 {
+		t.Error("empty list coverage must be 1")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	_, nets := buildFan(t)
+	cases := []*Fault{
+		{Model: StuckAt, Net: nets["a"], Value: 0, Guideline: "DEN.01"},
+		{Model: Transition, Net: nets["a"], Value: 1, Guideline: "VIA.11"},
+		{Model: StuckAt, Net: nets["a"], Value: 1, BranchGate: nets["inv"].Driver, BranchPin: 0, Guideline: "VIA.12"},
+		{Model: Bridge, Net: nets["inv"], Other: nets["buf"], Guideline: "MET.13"},
+		{Model: CellAware, Internal: true, Gate: nets["nand"].Driver,
+			Defect: switchsim.Defect{Kind: switchsim.TransStuckOpen, T: 1}, Guideline: "VIA.04"},
+	}
+	for _, f := range cases {
+		s := f.String()
+		if !strings.Contains(s, f.Guideline) {
+			t.Errorf("%q missing guideline", s)
+		}
+		if !strings.Contains(s, f.Model.String()) {
+			t.Errorf("%q missing model name", s)
+		}
+	}
+	for m, want := range map[Model]string{StuckAt: "stuck-at", Transition: "transition",
+		Bridge: "bridge", CellAware: "cell-aware"} {
+		if m.String() != want {
+			t.Errorf("Model(%d) = %q", m, m.String())
+		}
+	}
+	for s, want := range map[Status]string{Untried: "untried", Detected: "detected",
+		Undetectable: "undetectable", Aborted: "aborted"} {
+		if s.String() != want {
+			t.Errorf("Status(%d) = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package faultsim is a 64-way parallel-pattern fault simulator for the
+// four fault models of the DFM fault universe (stuck-at, transition,
+// bridging, cell-aware). It simulates blocks of up to 64 tests at once and
+// supports fault dropping.
+package faultsim
+
+import (
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/logic"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/sim"
+)
+
+// Test is one test in the target test set T. Vec is the applied vector (one
+// bit per PI, indexed as Circuit.PIs). Init, when non-nil, is the
+// initialization vector of a two-pattern test; single-pattern tests leave
+// it nil. A two-pattern test counts as one test, as in the paper's column T.
+type Test struct {
+	Init []uint8
+	Vec  []uint8
+}
+
+// Engine simulates one circuit. It is not safe for concurrent use: the
+// scratch buffers for faulty-value propagation are reused across calls.
+type Engine struct {
+	c     *netlist.Circuit
+	sim   *sim.Simulator
+	order []*netlist.Gate
+
+	fvals []logic.Word
+	dirty []bool
+}
+
+// New builds an engine for the circuit.
+func New(c *netlist.Circuit) *Engine {
+	s := sim.New(c)
+	return &Engine{
+		c:     c,
+		sim:   s,
+		order: s.Order(),
+		fvals: make([]logic.Word, len(c.Nets)),
+		dirty: make([]bool, len(c.Nets)),
+	}
+}
+
+// Circuit returns the engine's circuit.
+func (e *Engine) Circuit() *netlist.Circuit { return e.c }
+
+// Block holds the good-circuit simulation of up to 64 tests.
+type Block struct {
+	N        int          // number of tests in the block
+	Valid    logic.Word   // bit p set for p < N
+	HasInit  logic.Word   // bit p set if test p is two-pattern
+	InitVals []logic.Word // good values per net, initialization phase
+	Vals     []logic.Word // good values per net, final phase
+}
+
+// SimBlock good-simulates up to 64 tests.
+func (e *Engine) SimBlock(tests []Test) *Block {
+	if len(tests) > 64 {
+		panic("faultsim: block larger than 64 tests")
+	}
+	b := &Block{N: len(tests)}
+	npi := len(e.c.PIs)
+	initW := make([]logic.Word, npi)
+	vecW := make([]logic.Word, npi)
+	for p, t := range tests {
+		b.Valid |= 1 << uint(p)
+		if len(t.Vec) != npi {
+			panic("faultsim: test vector length mismatch")
+		}
+		for i := 0; i < npi; i++ {
+			if t.Vec[i]&1 == 1 {
+				vecW[i] |= 1 << uint(p)
+			}
+		}
+		if t.Init != nil {
+			b.HasInit |= 1 << uint(p)
+			for i := 0; i < npi; i++ {
+				if t.Init[i]&1 == 1 {
+					initW[i] |= 1 << uint(p)
+				}
+			}
+		}
+	}
+	b.Vals = e.sim.Run(vecW)
+	b.InitVals = e.sim.Run(initW)
+	return b
+}
+
+// Detects returns the word of tests in the block that detect f.
+func (e *Engine) Detects(f *fault.Fault, b *Block) logic.Word {
+	fvals := e.fvals
+	copy(fvals, b.Vals)
+	dirty := e.dirty
+	for i := range dirty {
+		dirty[i] = false
+	}
+
+	// forced rewires gate-level evaluation for branch faults: when the
+	// faulty site is a branch, only that (gate, pin) sees the forced
+	// value; the stem keeps its good value.
+	var forcedGate *netlist.Gate
+	var forcedPin int
+	var forcedWord logic.Word
+	useForced := false
+
+	broadcast := func(v uint8) logic.Word {
+		if v&1 == 1 {
+			return logic.AllOnes
+		}
+		return 0
+	}
+	goodInitOf := func(n *netlist.Net, v uint8) logic.Word {
+		// Word of patterns where the init-phase good value of n equals v.
+		if v&1 == 1 {
+			return b.InitVals[n.ID]
+		}
+		return ^b.InitVals[n.ID]
+	}
+
+	switch f.Model {
+	case fault.StuckAt:
+		if f.BranchGate == nil {
+			fvals[f.Net.ID] = broadcast(f.Value)
+			dirty[f.Net.ID] = true
+		} else {
+			forcedGate, forcedPin = f.BranchGate, f.BranchPin
+			forcedWord = broadcast(f.Value)
+			useForced = true
+		}
+
+	case fault.Transition:
+		// Launch condition: the site held Value in the init phase and
+		// should move to ~Value; the slow site keeps Value.
+		cond := b.HasInit & goodInitOf(f.Net, f.Value)
+		if f.BranchGate == nil {
+			fvals[f.Net.ID] = (b.Vals[f.Net.ID] &^ cond) | (broadcast(f.Value) & cond)
+			if fvals[f.Net.ID] != b.Vals[f.Net.ID] {
+				dirty[f.Net.ID] = true
+			} else {
+				return 0
+			}
+		} else {
+			forcedGate, forcedPin = f.BranchGate, f.BranchPin
+			forcedWord = (b.Vals[f.Net.ID] &^ cond) | (broadcast(f.Value) & cond)
+			useForced = true
+		}
+
+	case fault.Bridge:
+		// Dominant model: the victim assumes the aggressor's good value.
+		if fvals[f.Net.ID] == b.Vals[f.Other.ID] {
+			return 0
+		}
+		fvals[f.Net.ID] = b.Vals[f.Other.ID]
+		dirty[f.Net.ID] = true
+
+	case fault.CellAware:
+		act := e.cellAwareActivation(f, b)
+		if act == 0 {
+			return 0
+		}
+		out := f.Gate.Out
+		fvals[out.ID] = b.Vals[out.ID] ^ act
+		dirty[out.ID] = true
+	}
+
+	// Forward propagation in topological order.
+	var buf [8]logic.Word
+	for _, g := range e.order {
+		anyDirty := false
+		for _, in := range g.Fanin {
+			if dirty[in.ID] {
+				anyDirty = true
+				break
+			}
+		}
+		if !anyDirty && !(useForced && g == forcedGate) {
+			continue
+		}
+		in := buf[:len(g.Fanin)]
+		for i, fn := range g.Fanin {
+			in[i] = fvals[fn.ID]
+		}
+		if useForced && g == forcedGate {
+			in[forcedPin] = forcedWord
+		}
+		nv := g.Type.TT.EvalWord(in)
+		if nv != fvals[g.Out.ID] {
+			fvals[g.Out.ID] = nv
+			dirty[g.Out.ID] = true
+		}
+	}
+
+	var det logic.Word
+	for _, po := range e.c.POs {
+		det |= fvals[po.ID] ^ b.Vals[po.ID]
+	}
+	// A stem stuck-at on a PO net is directly observable even without
+	// downstream gates; the XOR above already covers it because fvals of
+	// the PO was forced. Branch faults on PO nets are not observable at
+	// the stem.
+	return det & b.Valid
+}
+
+// cellAwareActivation computes the word of tests whose gate-input
+// assignments activate the cell-aware fault (output flip at the final
+// phase).
+func (e *Engine) cellAwareActivation(f *fault.Fault, b *Block) logic.Word {
+	g := f.Gate
+	beh := f.Behavior
+	asgFinal := sim.GateInputAssignments(g, b.Vals)
+	var act logic.Word
+	for p := 0; p < b.N; p++ {
+		if beh.StaticMask>>asgFinal[p]&1 == 1 {
+			act |= 1 << uint(p)
+		}
+	}
+	if len(beh.PairMask) > 0 && b.HasInit != 0 {
+		asgInit := sim.GateInputAssignments(g, b.InitVals)
+		for p := 0; p < b.N; p++ {
+			if b.HasInit>>uint(p)&1 == 0 || act>>uint(p)&1 == 1 {
+				continue
+			}
+			if beh.PairMask[asgInit[p]]>>asgFinal[p]&1 == 1 {
+				act |= 1 << uint(p)
+			}
+		}
+	}
+	return act
+}
+
+// RunAll fault-simulates the whole test sequence against every fault in l
+// that is not already Detected or Undetectable, marking newly detected
+// faults (fault dropping across blocks). It returns the number of faults
+// newly marked Detected.
+func (e *Engine) RunAll(l *fault.List, tests []Test) int {
+	newly := 0
+	for start := 0; start < len(tests); start += 64 {
+		end := start + 64
+		if end > len(tests) {
+			end = len(tests)
+		}
+		b := e.SimBlock(tests[start:end])
+		for _, f := range l.Faults {
+			if f.Status == fault.Detected || f.Status == fault.Undetectable {
+				continue
+			}
+			if e.Detects(f, b) != 0 {
+				f.Status = fault.Detected
+				newly++
+			}
+		}
+	}
+	return newly
+}
+
+// DetectedBy returns, for each test, how many currently-undetected faults
+// it is the first to detect, simulating in order with dropping. It is used
+// for reverse-order test-set compaction.
+func (e *Engine) DetectedBy(l *fault.List, tests []Test) []int {
+	per := make([]int, len(tests))
+	dropped := make(map[*fault.Fault]bool)
+	for start := 0; start < len(tests); start += 64 {
+		end := start + 64
+		if end > len(tests) {
+			end = len(tests)
+		}
+		b := e.SimBlock(tests[start:end])
+		for _, f := range l.Faults {
+			if f.Status == fault.Undetectable || dropped[f] {
+				continue
+			}
+			det := e.Detects(f, b)
+			if det == 0 {
+				continue
+			}
+			// Credit the first detecting test in the block.
+			for p := 0; p < b.N; p++ {
+				if det>>uint(p)&1 == 1 {
+					per[start+p]++
+					break
+				}
+			}
+			dropped[f] = true
+		}
+	}
+	return per
+}

@@ -1,0 +1,317 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/switchsim"
+)
+
+var lib = library.OSU018Like()
+
+// buildChain: y = INV(NAND2(a, b))  (i.e. y = a AND b)
+func buildChain(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("chain", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	n := c.AddGate("u_nand", lib.ByName("NAND2X1"), a, b)
+	y := c.AddGate("u_inv", lib.ByName("INVX1"), n)
+	c.MarkPO(y)
+	return c
+}
+
+func vec(bits ...uint8) []uint8 { return bits }
+
+func TestStuckAtStemDetection(t *testing.T) {
+	c := buildChain(t)
+	e := New(c)
+	a := c.NetByName("a")
+	// a stuck-at-0: detected only by patterns with a=1, b=1 (output flips).
+	f := &fault.Fault{Model: fault.StuckAt, Net: a, Value: 0}
+	tests := []Test{
+		{Vec: vec(0, 0)},
+		{Vec: vec(1, 0)},
+		{Vec: vec(0, 1)},
+		{Vec: vec(1, 1)},
+	}
+	b := e.SimBlock(tests)
+	det := e.Detects(f, b)
+	if det != 0b1000 {
+		t.Errorf("sa0@a detection word = %04b, want 1000", det)
+	}
+	// a stuck-at-1: detected by a=0, b=1.
+	f1 := &fault.Fault{Model: fault.StuckAt, Net: a, Value: 1}
+	if det := e.Detects(f1, b); det != 0b0100 {
+		t.Errorf("sa1@a detection word = %04b, want 0100", det)
+	}
+}
+
+func TestStuckAtOnPONet(t *testing.T) {
+	c := buildChain(t)
+	e := New(c)
+	y := c.NetByName("u_inv_o")
+	f := &fault.Fault{Model: fault.StuckAt, Net: y, Value: 0}
+	b := e.SimBlock([]Test{{Vec: vec(1, 1)}, {Vec: vec(0, 1)}})
+	det := e.Detects(f, b)
+	if det != 0b01 {
+		t.Errorf("sa0@PO detection = %02b, want 01", det)
+	}
+}
+
+// TestBranchVsStemStuckAt: a branch fault affects only one sink.
+func TestBranchVsStemStuckAt(t *testing.T) {
+	// y1 = INV(a), y2 = BUF(a): stem sa1 on a affects both; branch sa1 on
+	// the INV pin affects only y1.
+	c := netlist.New("fan", lib)
+	a := c.AddPI("a")
+	y1 := c.AddGate("u_inv", lib.ByName("INVX1"), a)
+	y2 := c.AddGate("u_buf", lib.ByName("BUFX2"), a)
+	c.MarkPO(y1)
+	c.MarkPO(y2)
+	e := New(c)
+	b := e.SimBlock([]Test{{Vec: vec(0)}})
+
+	stem := &fault.Fault{Model: fault.StuckAt, Net: a, Value: 1}
+	branch := &fault.Fault{Model: fault.StuckAt, Net: a, Value: 1,
+		BranchGate: y1.Driver, BranchPin: 0}
+
+	if det := e.Detects(stem, b); det != 1 {
+		t.Errorf("stem fault must be detected: %b", det)
+	}
+	if det := e.Detects(branch, b); det != 1 {
+		t.Errorf("branch fault must be detected through INV: %b", det)
+	}
+	// Check isolation: with a=0, forcing only the BUF pin to 1 changes y2
+	// but not y1. Build the equivalent branch fault on the BUF.
+	branchBuf := &fault.Fault{Model: fault.StuckAt, Net: a, Value: 1,
+		BranchGate: y2.Driver, BranchPin: 0}
+	if det := e.Detects(branchBuf, b); det != 1 {
+		t.Errorf("branch fault on BUF must be detected: %b", det)
+	}
+	// A pattern where the stem detects on both POs but a branch on one:
+	// we verify the propagation separation using a circuit where the
+	// non-faulty path masks. With y3 = NAND2(inv(a), buf(a)) the stem
+	// fault flips both inputs and the output may stay — covered by
+	// reconvergence tests in the ATPG package.
+}
+
+func TestTransitionFaultNeedsInit(t *testing.T) {
+	c := buildChain(t)
+	e := New(c)
+	a := c.NetByName("a")
+	// Slow-to-rise on a (stuck at 0 during launch).
+	f := &fault.Fault{Model: fault.Transition, Net: a, Value: 0}
+	// Single-pattern test cannot detect it.
+	b1 := e.SimBlock([]Test{{Vec: vec(1, 1)}})
+	if det := e.Detects(f, b1); det != 0 {
+		t.Errorf("transition fault detected without init: %b", det)
+	}
+	// Proper two-pattern test: a: 0 -> 1 with b=1.
+	b2 := e.SimBlock([]Test{{Init: vec(0, 1), Vec: vec(1, 1)}})
+	if det := e.Detects(f, b2); det != 1 {
+		t.Errorf("transition fault not detected by launch pair: %b", det)
+	}
+	// Initialization at the wrong value (a=1 in init) does not launch.
+	b3 := e.SimBlock([]Test{{Init: vec(1, 1), Vec: vec(1, 1)}})
+	if det := e.Detects(f, b3); det != 0 {
+		t.Errorf("transition fault detected without a launch transition: %b", det)
+	}
+}
+
+func TestBridgeDominantModel(t *testing.T) {
+	// Two independent paths: y1 = INV(a), y2 = INV(b).
+	c := netlist.New("br", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	y1 := c.AddGate("u1", lib.ByName("INVX1"), a)
+	y2 := c.AddGate("u2", lib.ByName("INVX1"), b)
+	c.MarkPO(y1)
+	c.MarkPO(y2)
+	e := New(c)
+	// Bridge: victim y1_src... bridge between nets a and b, a is victim.
+	f := &fault.Fault{Model: fault.Bridge, Net: a, Other: b}
+	blk := e.SimBlock([]Test{
+		{Vec: vec(0, 0)}, // equal values: no effect
+		{Vec: vec(0, 1)}, // a takes 1: y1 flips
+		{Vec: vec(1, 0)}, // a takes 0: y1 flips
+		{Vec: vec(1, 1)},
+	})
+	det := e.Detects(f, blk)
+	if det != 0b0110 {
+		t.Errorf("bridge detection = %04b, want 0110", det)
+	}
+}
+
+func TestCellAwareStaticDetection(t *testing.T) {
+	c := buildChain(t)
+	e := New(c)
+	nand := c.NetByName("u_nand_o").Driver
+	// Fabricate a behavior: output flips when inputs are A=1,B=0 (asg 01).
+	beh := &switchsim.Behavior{Inputs: 2, StaticMask: 1 << 0b01}
+	f := &fault.Fault{Model: fault.CellAware, Internal: true, Gate: nand, Behavior: beh}
+	b := e.SimBlock([]Test{
+		{Vec: vec(1, 0)}, // activates
+		{Vec: vec(0, 1)}, // no
+		{Vec: vec(1, 1)}, // no
+	})
+	det := e.Detects(f, b)
+	if det != 0b001 {
+		t.Errorf("cell-aware static detection = %03b, want 001", det)
+	}
+}
+
+func TestCellAwareDynamicDetection(t *testing.T) {
+	c := buildChain(t)
+	e := New(c)
+	nand := c.NetByName("u_nand_o").Driver
+	// Dynamic-only behavior: pair (asg 00 -> asg 11) flips the output.
+	pm := make([]uint64, 4)
+	pm[0b00] = 1 << 0b11
+	beh := &switchsim.Behavior{Inputs: 2, PairMask: pm}
+	f := &fault.Fault{Model: fault.CellAware, Internal: true, Gate: nand, Behavior: beh}
+
+	good := e.SimBlock([]Test{{Init: vec(0, 0), Vec: vec(1, 1)}})
+	if det := e.Detects(f, good); det != 1 {
+		t.Errorf("dynamic cell-aware pair not detected: %b", det)
+	}
+	wrongInit := e.SimBlock([]Test{{Init: vec(1, 0), Vec: vec(1, 1)}})
+	if det := e.Detects(f, wrongInit); det != 0 {
+		t.Errorf("dynamic cell-aware detected with wrong init: %b", det)
+	}
+	noInit := e.SimBlock([]Test{{Vec: vec(1, 1)}})
+	if det := e.Detects(f, noInit); det != 0 {
+		t.Errorf("dynamic cell-aware detected without init: %b", det)
+	}
+	if !f.TwoPattern() {
+		t.Error("dynamic-only cell-aware fault must report TwoPattern")
+	}
+}
+
+func TestRunAllDropsFaults(t *testing.T) {
+	c := buildChain(t)
+	e := New(c)
+	a := c.NetByName("a")
+	b := c.NetByName("b")
+	l := &fault.List{}
+	l.Add(&fault.Fault{Model: fault.StuckAt, Net: a, Value: 0})
+	l.Add(&fault.Fault{Model: fault.StuckAt, Net: a, Value: 1})
+	l.Add(&fault.Fault{Model: fault.StuckAt, Net: b, Value: 0})
+	undet := l.Add(&fault.Fault{Model: fault.StuckAt, Net: b, Value: 1})
+	tests := []Test{
+		{Vec: vec(1, 1)}, // detects both sa0
+	}
+	n := e.RunAll(l, tests)
+	if n != 2 {
+		t.Errorf("RunAll marked %d, want 2", n)
+	}
+	if undet.Status != fault.Untried {
+		t.Errorf("b/sa1 must remain untried, got %v", undet.Status)
+	}
+	// Second run with the detecting pattern for sa1 faults.
+	n = e.RunAll(l, []Test{{Vec: vec(0, 0)}, {Vec: vec(0, 1)}, {Vec: vec(1, 0)}})
+	if n != 2 {
+		t.Errorf("second RunAll marked %d, want 2", n)
+	}
+}
+
+// TestRandomStuckAtConsistency: for random small circuits and random
+// stuck-at faults, detection via the parallel engine must match brute-force
+// comparison of good and faulty single-pattern simulation.
+func TestRandomStuckAtConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cellNames := []string{"NAND2X1", "NOR2X1", "XOR2X1", "INVX1", "AND2X2", "AOI21X1"}
+	for trial := 0; trial < 30; trial++ {
+		c := netlist.New("rand", lib)
+		var nets []*netlist.Net
+		for i := 0; i < 4; i++ {
+			nets = append(nets, c.AddPI(string(rune('a'+i))))
+		}
+		for i := 0; i < 10; i++ {
+			cell := lib.ByName(cellNames[rng.Intn(len(cellNames))])
+			fanin := make([]*netlist.Net, cell.NumInputs())
+			for j := range fanin {
+				fanin[j] = nets[rng.Intn(len(nets))]
+			}
+			nets = append(nets, c.AddGate("", cell, fanin...))
+		}
+		c.MarkPO(nets[len(nets)-1])
+		c.MarkPO(nets[len(nets)-3])
+		e := New(c)
+
+		// Random fault site.
+		site := nets[rng.Intn(len(nets))]
+		f := &fault.Fault{Model: fault.StuckAt, Net: site, Value: uint8(rng.Intn(2))}
+
+		// All 16 input patterns in one block.
+		var tests []Test
+		for p := uint(0); p < 16; p++ {
+			tests = append(tests, Test{Vec: vec(uint8(p&1), uint8(p>>1&1), uint8(p>>2&1), uint8(p>>3&1))})
+		}
+		blk := e.SimBlock(tests)
+		got := e.Detects(f, blk)
+
+		// Brute force: resimulate a faulted clone per pattern.
+		for p := 0; p < 16; p++ {
+			want := bruteStuckAt(c, f, tests[p].Vec)
+			if (got>>uint(p)&1 == 1) != want {
+				t.Fatalf("trial %d pattern %d: engine=%v brute=%v (fault %v)",
+					trial, p, got>>uint(p)&1, want, f)
+			}
+		}
+	}
+}
+
+// bruteStuckAt simulates the faulty circuit gate-by-gate with the stem
+// forced and compares POs.
+func bruteStuckAt(c *netlist.Circuit, f *fault.Fault, pi []uint8) bool {
+	good := make(map[*netlist.Net]uint8)
+	faulty := make(map[*netlist.Net]uint8)
+	for i, n := range c.PIs {
+		good[n] = pi[i]
+		faulty[n] = pi[i]
+		if n == f.Net {
+			faulty[n] = f.Value
+		}
+	}
+	for _, g := range c.Levelize() {
+		var ga, fa uint
+		for i, in := range g.Fanin {
+			ga |= uint(good[in]) << uint(i)
+			fa |= uint(faulty[in]) << uint(i)
+		}
+		good[g.Out] = g.Type.Eval(ga)
+		fv := g.Type.Eval(fa)
+		if g.Out == f.Net {
+			fv = f.Value
+		}
+		faulty[g.Out] = fv
+	}
+	for _, po := range c.POs {
+		if good[po] != faulty[po] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDetectedByCreditsFirstDetection(t *testing.T) {
+	c := buildChain(t)
+	e := New(c)
+	a := c.NetByName("a")
+	l := &fault.List{}
+	l.Add(&fault.Fault{Model: fault.StuckAt, Net: a, Value: 0})
+	l.Add(&fault.Fault{Model: fault.StuckAt, Net: a, Value: 1})
+	tests := []Test{
+		{Vec: vec(1, 1)}, // detects sa0
+		{Vec: vec(1, 1)}, // duplicate: no credit
+		{Vec: vec(0, 1)}, // detects sa1
+	}
+	per := e.DetectedBy(l, tests)
+	if per[0] != 1 || per[1] != 0 || per[2] != 1 {
+		t.Errorf("per-test credit = %v, want [1 0 1]", per)
+	}
+}

@@ -1,0 +1,197 @@
+// Package flow wires the complete per-circuit pipeline of the paper: the
+// netlist is placed and routed into a fixed floorplan, the DFM guideline
+// checker translates violations into the fault universe F, ATPG generates
+// the test set T and proves the set U undetectable, and the clustering
+// analysis computes S_max / G_max. The resulting Design carries everything
+// the resynthesis procedure and the table generators need.
+package flow
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/atpg"
+	"dfmresyn/internal/cluster"
+	"dfmresyn/internal/dfm"
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/place"
+	"dfmresyn/internal/power"
+	"dfmresyn/internal/route"
+	"dfmresyn/internal/sta"
+	"dfmresyn/internal/synth"
+)
+
+// CoreUtilization is the floorplan utilization used for every original
+// design, as in the paper's experimental setup.
+const CoreUtilization = 0.70
+
+// Env is the shared per-run context: library, its DFM profile, the
+// technology mapper, and analysis configuration.
+type Env struct {
+	Lib    *library.Library
+	Prof   *dfm.LibraryProfile
+	Mapper *synth.Mapper
+	ATPG   atpg.Config
+	Seed   int64
+}
+
+// NewEnv builds the default environment over the OSU-like library.
+func NewEnv() *Env {
+	lib := library.OSU018Like()
+	return &Env{
+		Lib:    lib,
+		Prof:   dfm.ProfileLibrary(lib),
+		Mapper: synth.NewMapper(lib),
+		ATPG:   atpg.DefaultConfig(),
+		Seed:   1,
+	}
+}
+
+// Design is a fully analyzed placed-and-routed circuit.
+type Design struct {
+	Env      *Env
+	C        *netlist.Circuit
+	Die      geom.Rect
+	P        *place.Placement
+	Lay      *route.Layout
+	Faults   *fault.List
+	DFMRep   *dfm.Report
+	Result   atpg.Result
+	Clusters *cluster.Result
+	Timing   sta.Report
+	Power    power.Report
+}
+
+// Analyze runs the full pipeline on a netlist. A zero die means "size a
+// fresh floorplan at 70% utilization"; otherwise the circuit is placed into
+// the given (original) die and an error reports an area violation.
+func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
+	d, err := e.PhysicalOnly(c, die)
+	if err != nil {
+		return nil, err
+	}
+	d.Faults, d.DFMRep = dfm.BuildFaults(c, d.Lay, e.Prof)
+	d.Result = atpg.Run(c, d.Faults, e.ATPG)
+	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
+	return d, nil
+}
+
+// AnalyzeIncremental is Analyze with ECO-style placement: gates shared with
+// the previous design keep their locations; only new gates are placed. This
+// is how the resynthesis procedure re-runs PDesign() so that the unchanged
+// portion of the layout — and its timing — stays put.
+func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, error) {
+	p, err := place.PlaceIncremental(c, prev.P, e.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	lay := route.Route(p)
+	d := &Design{Env: e, C: c, Die: p.Die, P: p, Lay: lay}
+	d.Timing = sta.Analyze(c, sta.LoadFromLayout(lay))
+	d.Power = power.Estimate(c, sta.LoadFromLayout(lay), 4, e.Seed)
+	d.Faults, d.DFMRep = dfm.BuildFaults(c, lay, e.Prof)
+	d.Result = atpg.Run(c, d.Faults, e.ATPG)
+	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
+	return d, nil
+}
+
+// PhysicalOnly performs placement, routing, timing and power analysis
+// without fault analysis (used for constraint checks during backtracking).
+func (e *Env) PhysicalOnly(c *netlist.Circuit, die geom.Rect) (*Design, error) {
+	var p *place.Placement
+	var err error
+	if die.Area() == 0 {
+		p, err = place.Place(c, CoreUtilization, e.Seed)
+	} else {
+		p, err = place.PlaceInDie(c, die, e.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	lay := route.Route(p)
+	d := &Design{Env: e, C: c, Die: p.Die, P: p, Lay: lay}
+	d.Timing = sta.Analyze(c, sta.LoadFromLayout(lay))
+	d.Power = power.Estimate(c, sta.LoadFromLayout(lay), 4, e.Seed)
+	return d, nil
+}
+
+// InternalFaultList builds the internal-only fault list of a netlist (no
+// layout needed: internal faults do not depend on placement and routing).
+func (e *Env) InternalFaultList(c *netlist.Circuit) *fault.List {
+	l := &fault.List{}
+	for _, g := range c.Gates {
+		for i := range e.Prof.PerCell[g.Type.Index] {
+			cd := &e.Prof.PerCell[g.Type.Index][i]
+			l.Add(&fault.Fault{
+				Model:     fault.CellAware,
+				Internal:  true,
+				Gate:      g,
+				Defect:    cd.Defect,
+				Behavior:  cd.Behavior,
+				Guideline: cd.Guideline,
+			})
+		}
+	}
+	return l
+}
+
+// UndetectableInternal counts the proven-undetectable internal faults of a
+// netlist — the pre-physical-design screen the paper uses to decide whether
+// PDesign() is worth calling.
+func (e *Env) UndetectableInternal(c *netlist.Circuit) int {
+	l := e.InternalFaultList(c)
+	atpg.Run(c, l, e.ATPG)
+	return l.Count().Undetectable
+}
+
+// Metrics are the per-design numbers reported in Tables I and II.
+type Metrics struct {
+	// Table I columns.
+	FIn, FEx, UIn, UEx, GU, Gmax int
+	// Shared / Table II columns.
+	F, U, T      int
+	Cov          float64
+	Smax         int
+	PctSmaxU     float64 // %Smax_U  (Table I: share of U inside S_max)
+	PctSmaxAll   float64 // %Smax_all (Table II: share of F inside S_max)
+	SmaxI        int
+	PctSmaxI     float64
+	Delay, Power float64
+	Area         float64
+}
+
+// Metrics extracts the table numbers from an analyzed design.
+func (d *Design) Metrics() Metrics {
+	m := Metrics{}
+	counts := d.Faults.Count()
+	m.F = counts.Total
+	m.U = counts.Undetectable
+	m.FIn = counts.Internal
+	m.FEx = counts.External
+	m.UIn = counts.UndetectableInt
+	m.UEx = counts.UndetectableExt
+	m.T = len(d.Result.Tests)
+	m.Cov = d.Faults.Coverage()
+	if d.Clusters != nil {
+		smax := d.Clusters.Smax()
+		m.Smax = len(smax)
+		m.SmaxI = cluster.InternalCount(smax)
+		m.GU = len(d.Clusters.GU)
+		m.Gmax = len(d.Clusters.Gmax())
+		if m.U > 0 {
+			m.PctSmaxU = 100 * float64(m.Smax) / float64(m.U)
+		}
+		if m.F > 0 {
+			m.PctSmaxAll = 100 * float64(m.Smax) / float64(m.F)
+		}
+		if m.Smax > 0 {
+			m.PctSmaxI = 100 * float64(m.SmaxI) / float64(m.Smax)
+		}
+	}
+	m.Delay = d.Timing.CriticalDelay
+	m.Power = d.Power.Total
+	m.Area = d.C.Stats().Area
+	return m
+}

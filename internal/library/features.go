@@ -1,0 +1,129 @@
+package library
+
+import "hash/fnv"
+
+// synthesizeFeatures builds the deterministic layout feature template of a
+// cell from its transistor netlist. The template stands in for the real
+// polygon-level cell layout the paper's flow analyzes with a commercial
+// sign-off tool: each transistor contributes diffusion contacts, a gate-poly
+// stripe and a poly contact; each routed internal node contributes a metal1
+// stub (with an adjacent-node bridge partner when one exists); the output
+// pin contributes a via stack. Geometric attributes are drawn from a small
+// deterministic distribution seeded by the cell name, so every instance of
+// a cell type has exactly the same internal features — and therefore the
+// same internal DFM faults — matching the paper's observation that "every
+// time a gate is used in the circuit, it introduces the same internal
+// faults".
+func synthesizeFeatures(c *Cell) []Feature {
+	rng := newCellRNG(c.Name)
+	var feats []Feature
+
+	// Geometric attribute tiers, nm. The first tier of each list is
+	// marginal with respect to at least one DFM guideline.
+	encl := []int{12, 18, 24, 30}
+	widths := []int{200, 230, 270, 320}
+	spaces := []int{230, 260, 300, 360}
+	lengths := []int{400, 700, 1100, 1600}
+
+	pick := func(tiers []int) int { return tiers[rng.intn(len(tiers))] }
+
+	for ti := range c.Transistors {
+		t := &c.Transistors[ti]
+		// Diffusion contacts at both channel terminals. Terminals on
+		// supply rails have generous geometry (shared strapped
+		// contacts); internal terminals are tighter and more often
+		// marginal.
+		for _, term := range []int{t.A, t.B} {
+			f := Feature{
+				Kind:       FeatDiffContact,
+				Transistor: ti,
+				Node:       term,
+				Node2:      -1,
+				Width:      pick(widths),
+				Space:      pick(spaces),
+				Enclosure:  pick(encl),
+				Redundant:  rng.intn(3) != 0,
+			}
+			if term == VDD || term == GND {
+				f.Enclosure = encl[len(encl)-1]
+				f.Redundant = true
+			}
+			feats = append(feats, f)
+		}
+		// The gate poly stripe.
+		feats = append(feats, Feature{
+			Kind:       FeatGatePoly,
+			Transistor: ti,
+			Node:       -1,
+			Node2:      -1,
+			Width:      pick(widths[:2]),
+			Space:      pick(spaces),
+			Length:     pick(lengths),
+		})
+		// Poly contact for the gate connection.
+		feats = append(feats, Feature{
+			Kind:       FeatPolyContact,
+			Transistor: ti,
+			Node:       -1,
+			Node2:      -1,
+			Enclosure:  pick(encl),
+			Space:      pick(spaces),
+			Redundant:  rng.intn(4) != 0,
+		})
+	}
+
+	// Metal1 stubs wiring each non-supply node. Adjacent internal nodes
+	// (consecutive indices) run alongside each other in the template and
+	// are potential bridge partners.
+	for n := Out; n < c.NumNodes; n++ {
+		n2 := -1
+		if n+1 < c.NumNodes {
+			n2 = n + 1
+		}
+		feats = append(feats, Feature{
+			Kind:   FeatMetal1Stub,
+			Node:   n,
+			Node2:  n2,
+			Width:  pick(widths),
+			Space:  pick(spaces),
+			Length: pick(lengths),
+		})
+	}
+
+	// Output pin via stack.
+	feats = append(feats, Feature{
+		Kind:      FeatPinVia,
+		Node:      Out,
+		Node2:     -1,
+		Enclosure: pick(encl),
+		Space:     pick(spaces),
+		Redundant: rng.intn(2) == 0,
+	})
+	// Normalize: features that do not reference a transistor use -1.
+	for i := range feats {
+		if feats[i].Kind == FeatMetal1Stub || feats[i].Kind == FeatPinVia {
+			feats[i].Transistor = -1
+		}
+	}
+	return feats
+}
+
+// cellRNG is a tiny deterministic generator (splitmix64) seeded from the
+// cell name, so feature templates are stable across runs and platforms.
+type cellRNG struct{ state uint64 }
+
+func newCellRNG(name string) *cellRNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return &cellRNG{state: h.Sum64() | 1}
+}
+
+func (r *cellRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *cellRNG) intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,505 @@
+// Package library defines the standard-cell library used by dfmresyn: a
+// synthetic 21-cell library modeled after the OSU 0.18um library the paper
+// uses. Each cell carries its logic function, a transistor-level netlist
+// (used by the switch-level simulator to translate cell-internal DFM defects
+// into cell-aware faults), a layout feature template (used by the DFM
+// guideline checker), and electrical parameters (used by STA and power
+// estimation).
+package library
+
+import (
+	"fmt"
+	"sort"
+
+	"dfmresyn/internal/logic"
+)
+
+// Reserved node indices in every cell's transistor netlist.
+const (
+	VDD = 0 // power rail
+	GND = 1 // ground rail
+	Out = 2 // cell output node
+)
+
+// Signal identifies what drives a transistor gate terminal: either a cell
+// input pin (Input >= 0) or an internal node (Input == -1, Node set).
+type Signal struct {
+	Input int
+	Node  int
+}
+
+// In returns a Signal for input pin i.
+func In(i int) Signal { return Signal{Input: i} }
+
+// AtNode returns a Signal for internal node n.
+func AtNode(n int) Signal { return Signal{Input: -1, Node: n} }
+
+// Transistor is one device in a cell's switch-level netlist. A and B are the
+// channel terminals (node indices). NMOS conducts when the gate is 1, PMOS
+// when the gate is 0.
+type Transistor struct {
+	PMOS bool
+	Gate Signal
+	A, B int
+}
+
+// FeatureKind classifies a layout feature in a cell's layout template. The
+// DFM guideline checker matches guidelines against features by kind.
+type FeatureKind uint8
+
+// Layout feature kinds present in cell templates.
+const (
+	FeatDiffContact FeatureKind = iota // diffusion contact on a transistor terminal
+	FeatPolyContact                    // contact from poly gate to metal1
+	FeatGatePoly                       // the poly gate stripe itself
+	FeatMetal1Stub                     // metal1 internal wiring on a node
+	FeatPinVia                         // via/contact stack at a cell pin
+)
+
+// String returns a short name for the feature kind.
+func (k FeatureKind) String() string {
+	switch k {
+	case FeatDiffContact:
+		return "diff-contact"
+	case FeatPolyContact:
+		return "poly-contact"
+	case FeatGatePoly:
+		return "gate-poly"
+	case FeatMetal1Stub:
+		return "metal1-stub"
+	case FeatPinVia:
+		return "pin-via"
+	}
+	return fmt.Sprintf("feature(%d)", uint8(k))
+}
+
+// Feature is one layout feature inside a cell. Geometric attributes are in
+// nanometers. Transistor / Node / Node2 tie the feature to the switch-level
+// netlist so a guideline violation on the feature can be translated into a
+// transistor-level defect:
+//
+//   - FeatDiffContact, FeatPolyContact, FeatGatePoly reference Transistor;
+//   - FeatMetal1Stub references Node (the wired node) and, when another
+//     node runs alongside, Node2 (the bridge partner);
+//   - FeatPinVia references Node.
+type Feature struct {
+	Kind       FeatureKind
+	Transistor int // index into Cell.Transistors, or -1
+	Node       int // node index, or -1
+	Node2      int // adjacent node for potential bridges, or -1
+	Width      int // nm
+	Space      int // nm, spacing to nearest neighbour feature
+	Enclosure  int // nm, surrounding-layer enclosure
+	Length     int // nm, run length (stubs, poly)
+	Redundant  bool
+}
+
+// Cell is one standard cell.
+type Cell struct {
+	Name   string
+	Inputs []string
+	TT     logic.TT
+
+	Transistors []Transistor
+	NumNodes    int // total nodes including VDD, GND, Out
+	Features    []Feature
+
+	// Electrical/physical parameters (arbitrary consistent units:
+	// area um^2, caps fF, delays ps, resistance ps/fF, power nW).
+	Area      float64
+	InputCap  []float64
+	Intrinsic float64 // intrinsic pin-to-output delay
+	DriveRes  float64 // added delay per fF of output load
+	Leakage   float64
+
+	// Index is the position of the cell in its Library and is assigned by
+	// New; it is the stable identifier used across the code base.
+	Index int
+}
+
+// NumInputs returns the number of input pins.
+func (c *Cell) NumInputs() int { return len(c.Inputs) }
+
+// Eval evaluates the cell's logic function on a full input assignment.
+func (c *Cell) Eval(assignment uint) uint8 { return c.TT.Eval(assignment) }
+
+// Library is an ordered collection of cells.
+type Library struct {
+	Cells  []*Cell
+	byName map[string]*Cell
+}
+
+// New builds a library from the given cells, assigning indices.
+func New(cells []*Cell) *Library {
+	lib := &Library{Cells: cells, byName: make(map[string]*Cell, len(cells))}
+	for i, c := range cells {
+		c.Index = i
+		if _, dup := lib.byName[c.Name]; dup {
+			panic("library: duplicate cell name " + c.Name)
+		}
+		lib.byName[c.Name] = c
+	}
+	return lib
+}
+
+// ByName returns the cell with the given name, or nil.
+func (l *Library) ByName(name string) *Cell { return l.byName[name] }
+
+// Len returns the number of cells.
+func (l *Library) Len() int { return len(l.Cells) }
+
+// SortedBy returns the library's cells ordered by the given score,
+// descending (ties broken by name for determinism). The resynthesis
+// procedure uses this with the per-cell internal fault count, so that
+// cell_0 is the cell with the most internal faults.
+func (l *Library) SortedBy(score func(*Cell) float64) []*Cell {
+	out := make([]*Cell, len(l.Cells))
+	copy(out, l.Cells)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(out[i]), score(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// cellBuilder accumulates a cell definition.
+type cellBuilder struct {
+	c *Cell
+}
+
+func newCell(name string, inputs []string, eval func(uint) uint8, area, inCap, intrinsic, driveRes, leakage float64) *cellBuilder {
+	caps := make([]float64, len(inputs))
+	for i := range caps {
+		caps[i] = inCap
+	}
+	return &cellBuilder{c: &Cell{
+		Name:      name,
+		Inputs:    inputs,
+		TT:        logic.NewTT(len(inputs), eval),
+		NumNodes:  3, // VDD, GND, Out
+		Area:      area,
+		InputCap:  caps,
+		Intrinsic: intrinsic,
+		DriveRes:  driveRes,
+		Leakage:   leakage,
+	}}
+}
+
+func (b *cellBuilder) node() int {
+	n := b.c.NumNodes
+	b.c.NumNodes++
+	return n
+}
+
+func (b *cellBuilder) nmos(gate Signal, a, bn int) {
+	b.c.Transistors = append(b.c.Transistors, Transistor{PMOS: false, Gate: gate, A: a, B: bn})
+}
+
+func (b *cellBuilder) pmos(gate Signal, a, bn int) {
+	b.c.Transistors = append(b.c.Transistors, Transistor{PMOS: true, Gate: gate, A: a, B: bn})
+}
+
+// inv adds a CMOS inverter from signal s to a fresh node, returning the node.
+func (b *cellBuilder) inv(s Signal) int {
+	n := b.node()
+	b.nmos(s, n, GND)
+	b.pmos(s, n, VDD)
+	return n
+}
+
+// invTo adds a CMOS inverter from signal s driving node out.
+func (b *cellBuilder) invTo(s Signal, out int) {
+	b.nmos(s, out, GND)
+	b.pmos(s, out, VDD)
+}
+
+// tgate adds a transmission gate between nodes a and bn, conducting when the
+// control signal ctl is 1 (NMOS gate ctl, PMOS gate ctlBar).
+func (b *cellBuilder) tgate(ctl, ctlBar Signal, a, bn int) {
+	b.nmos(ctl, a, bn)
+	b.pmos(ctlBar, a, bn)
+}
+
+func (b *cellBuilder) build() *Cell {
+	b.c.Features = synthesizeFeatures(b.c)
+	return b.c
+}
+
+// nandN builds an n-input NAND: series NMOS stack, parallel PMOS.
+func nandN(name string, n int, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	b := newCell(name, names, func(a uint) uint8 {
+		if a == 1<<uint(n)-1 {
+			return 0
+		}
+		return 1
+	}, area, inCap, intrinsic, driveRes, leakage)
+	prev := Out
+	for i := 0; i < n; i++ {
+		next := GND
+		if i < n-1 {
+			next = b.node()
+		}
+		b.nmos(In(i), prev, next)
+		b.pmos(In(i), Out, VDD)
+		prev = next
+	}
+	return b.build()
+}
+
+// norN builds an n-input NOR: parallel NMOS, series PMOS stack.
+func norN(name string, n int, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	b := newCell(name, names, func(a uint) uint8 {
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}, area, inCap, intrinsic, driveRes, leakage)
+	prev := VDD
+	for i := 0; i < n; i++ {
+		next := Out
+		if i < n-1 {
+			next = b.node()
+		}
+		b.pmos(In(i), prev, next)
+		b.nmos(In(i), Out, GND)
+		prev = next
+	}
+	return b.build()
+}
+
+func invCell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A"}, func(a uint) uint8 { return uint8(^a & 1) },
+		area, inCap, intrinsic, driveRes, leakage)
+	b.invTo(In(0), Out)
+	return b.build()
+}
+
+func bufCell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A"}, func(a uint) uint8 { return uint8(a & 1) },
+		area, inCap, intrinsic, driveRes, leakage)
+	mid := b.inv(In(0))
+	b.invTo(AtNode(mid), Out)
+	return b.build()
+}
+
+func and2Cell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A", "B"}, func(a uint) uint8 {
+		if a == 3 {
+			return 1
+		}
+		return 0
+	}, area, inCap, intrinsic, driveRes, leakage)
+	// NAND2 stage into internal node, then inverter to Out.
+	m := b.node()
+	n1 := b.node()
+	b.nmos(In(0), m, n1)
+	b.nmos(In(1), n1, GND)
+	b.pmos(In(0), m, VDD)
+	b.pmos(In(1), m, VDD)
+	b.invTo(AtNode(m), Out)
+	return b.build()
+}
+
+func or2Cell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A", "B"}, func(a uint) uint8 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}, area, inCap, intrinsic, driveRes, leakage)
+	m := b.node()
+	p1 := b.node()
+	b.pmos(In(0), VDD, p1)
+	b.pmos(In(1), p1, m)
+	b.nmos(In(0), m, GND)
+	b.nmos(In(1), m, GND)
+	b.invTo(AtNode(m), Out)
+	return b.build()
+}
+
+// xorLike builds XOR2 (odd=true) or XNOR2 using input inverters plus a
+// complex CMOS stage.
+func xorLike(name string, xnor bool, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A", "B"}, func(a uint) uint8 {
+		v := uint8((a ^ a>>1) & 1)
+		if xnor {
+			v ^= 1
+		}
+		return v
+	}, area, inCap, intrinsic, driveRes, leakage)
+	an := b.inv(In(0))
+	bn := b.inv(In(1))
+	// For XOR: pull Out low when A==B: (A.B) + (AN.BN).
+	// For XNOR: pull Out low when A!=B: (A.BN) + (AN.B).
+	type sig struct{ x, y Signal }
+	var branches [2]sig
+	if xnor {
+		branches = [2]sig{{In(0), AtNode(bn)}, {AtNode(an), In(1)}}
+	} else {
+		branches = [2]sig{{In(0), In(1)}, {AtNode(an), AtNode(bn)}}
+	}
+	for _, br := range branches {
+		n := b.node()
+		b.nmos(br.x, Out, n)
+		b.nmos(br.y, n, GND)
+	}
+	// PUN: dual network — series of two parallel pairs.
+	p := b.node()
+	b.pmos(branches[0].x, VDD, p)
+	b.pmos(branches[1].x, VDD, p)
+	b.pmos(branches[0].y, p, Out)
+	b.pmos(branches[1].y, p, Out)
+	return b.build()
+}
+
+// aoi21 builds Y = NOT(A*B + C).
+func aoi21Cell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A", "B", "C"}, func(a uint) uint8 {
+		ab := a&1 == 1 && a>>1&1 == 1
+		c := a>>2&1 == 1
+		if ab || c {
+			return 0
+		}
+		return 1
+	}, area, inCap, intrinsic, driveRes, leakage)
+	n1 := b.node()
+	b.nmos(In(0), Out, n1)
+	b.nmos(In(1), n1, GND)
+	b.nmos(In(2), Out, GND)
+	p1 := b.node()
+	b.pmos(In(0), VDD, p1)
+	b.pmos(In(1), VDD, p1)
+	b.pmos(In(2), p1, Out)
+	return b.build()
+}
+
+// aoi22 builds Y = NOT(A*B + C*D).
+func aoi22Cell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A", "B", "C", "D"}, func(a uint) uint8 {
+		ab := a&1 == 1 && a>>1&1 == 1
+		cd := a>>2&1 == 1 && a>>3&1 == 1
+		if ab || cd {
+			return 0
+		}
+		return 1
+	}, area, inCap, intrinsic, driveRes, leakage)
+	n1 := b.node()
+	b.nmos(In(0), Out, n1)
+	b.nmos(In(1), n1, GND)
+	n2 := b.node()
+	b.nmos(In(2), Out, n2)
+	b.nmos(In(3), n2, GND)
+	p1 := b.node()
+	b.pmos(In(0), VDD, p1)
+	b.pmos(In(1), VDD, p1)
+	b.pmos(In(2), p1, Out)
+	b.pmos(In(3), p1, Out)
+	return b.build()
+}
+
+// oai21 builds Y = NOT((A+B) * C).
+func oai21Cell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A", "B", "C"}, func(a uint) uint8 {
+		ab := a&1 == 1 || a>>1&1 == 1
+		c := a>>2&1 == 1
+		if ab && c {
+			return 0
+		}
+		return 1
+	}, area, inCap, intrinsic, driveRes, leakage)
+	n1 := b.node()
+	b.nmos(In(0), Out, n1)
+	b.nmos(In(1), Out, n1)
+	b.nmos(In(2), n1, GND)
+	p1 := b.node()
+	b.pmos(In(0), VDD, p1)
+	b.pmos(In(1), p1, Out)
+	b.pmos(In(2), VDD, Out)
+	return b.build()
+}
+
+// oai22 builds Y = NOT((A+B) * (C+D)).
+func oai22Cell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A", "B", "C", "D"}, func(a uint) uint8 {
+		ab := a&1 == 1 || a>>1&1 == 1
+		cd := a>>2&1 == 1 || a>>3&1 == 1
+		if ab && cd {
+			return 0
+		}
+		return 1
+	}, area, inCap, intrinsic, driveRes, leakage)
+	n1 := b.node()
+	b.nmos(In(0), Out, n1)
+	b.nmos(In(1), Out, n1)
+	b.nmos(In(2), n1, GND)
+	b.nmos(In(3), n1, GND)
+	p1 := b.node()
+	b.pmos(In(0), VDD, p1)
+	b.pmos(In(1), p1, Out)
+	p2 := b.node()
+	b.pmos(In(2), VDD, p2)
+	b.pmos(In(3), p2, Out)
+	return b.build()
+}
+
+// mux2 builds Y = S ? B : A using transmission gates with input and select
+// inverters (12 transistors), the structure of the OSU MUX2X1.
+func mux2Cell(name string, area, inCap, intrinsic, driveRes, leakage float64) *Cell {
+	b := newCell(name, []string{"A", "B", "S"}, func(a uint) uint8 {
+		if a>>2&1 == 1 {
+			return uint8(a >> 1 & 1)
+		}
+		return uint8(a & 1)
+	}, area, inCap, intrinsic, driveRes, leakage)
+	ia := b.inv(In(0))
+	ib := b.inv(In(1))
+	sb := b.inv(In(2))
+	m := b.node()
+	// Pass inverted A when S=0, inverted B when S=1; final inverter restores.
+	b.tgate(AtNode(sb), In(2), ia, m) // conducts when S=0
+	b.tgate(In(2), AtNode(sb), ib, m) // conducts when S=1
+	b.invTo(AtNode(m), Out)
+	return b.build()
+}
+
+// OSU018Like builds the 21-cell library. Electrical numbers follow the
+// relative ordering of the OSU 0.18um library: bigger drives have lower
+// drive resistance and higher input capacitance; complex cells have larger
+// intrinsic delay and leakage.
+func OSU018Like() *Library {
+	cells := []*Cell{
+		invCell("INVX1", 1.0, 1.0, 20, 8.0, 1.0),
+		invCell("INVX2", 1.5, 2.0, 20, 4.0, 2.0),
+		invCell("INVX4", 2.5, 4.0, 21, 2.0, 4.0),
+		invCell("INVX8", 4.5, 8.0, 22, 1.0, 8.0),
+		bufCell("BUFX2", 2.5, 1.2, 45, 4.0, 2.5),
+		bufCell("BUFX4", 4.0, 1.4, 48, 2.0, 4.5),
+		nandN("NAND2X1", 2, 2.0, 1.2, 28, 7.0, 1.8),
+		nandN("NAND3X1", 3, 3.0, 1.3, 36, 7.5, 2.6),
+		nandN("NAND4X1", 4, 4.0, 1.4, 46, 8.0, 3.4),
+		norN("NOR2X1", 2, 2.0, 1.2, 32, 8.5, 1.8),
+		norN("NOR3X1", 3, 3.0, 1.3, 44, 9.5, 2.6),
+		norN("NOR4X1", 4, 4.0, 1.4, 58, 10.5, 3.4),
+		and2Cell("AND2X2", 3.0, 1.1, 52, 4.0, 2.8),
+		or2Cell("OR2X2", 3.0, 1.1, 55, 4.0, 2.8),
+		xorLike("XOR2X1", false, 4.5, 1.8, 64, 8.0, 4.2),
+		xorLike("XNOR2X1", true, 4.5, 1.8, 64, 8.0, 4.2),
+		aoi21Cell("AOI21X1", 3.0, 1.3, 40, 8.5, 2.4),
+		aoi22Cell("AOI22X1", 4.0, 1.4, 48, 9.0, 3.2),
+		oai21Cell("OAI21X1", 3.0, 1.3, 42, 8.5, 2.4),
+		oai22Cell("OAI22X1", 4.0, 1.4, 50, 9.0, 3.2),
+		mux2Cell("MUX2X1", 5.0, 1.6, 58, 7.0, 4.6),
+	}
+	return New(cells)
+}

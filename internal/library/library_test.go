@@ -1,0 +1,264 @@
+package library
+
+import (
+	"testing"
+
+	"dfmresyn/internal/logic"
+)
+
+func TestOSU018LikeShape(t *testing.T) {
+	lib := OSU018Like()
+	if lib.Len() != 21 {
+		t.Fatalf("library has %d cells, want 21 (as in the OSU 0.18um library)", lib.Len())
+	}
+	seen := map[string]bool{}
+	for i, c := range lib.Cells {
+		if c.Index != i {
+			t.Errorf("%s: index %d, want %d", c.Name, c.Index, i)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate cell name %s", c.Name)
+		}
+		seen[c.Name] = true
+		if lib.ByName(c.Name) != c {
+			t.Errorf("ByName(%s) lookup failed", c.Name)
+		}
+		if len(c.InputCap) != c.NumInputs() {
+			t.Errorf("%s: %d input caps for %d inputs", c.Name, len(c.InputCap), c.NumInputs())
+		}
+		if c.Area <= 0 || c.Intrinsic <= 0 || c.DriveRes <= 0 || c.Leakage <= 0 {
+			t.Errorf("%s: non-positive electrical parameter", c.Name)
+		}
+		if len(c.Features) == 0 {
+			t.Errorf("%s: no layout features", c.Name)
+		}
+	}
+	if lib.ByName("NOSUCH") != nil {
+		t.Error("ByName of missing cell must be nil")
+	}
+}
+
+// expected logic functions, keyed by name, as evaluation closures.
+var wantFuncs = map[string]func(a uint) uint8{
+	"INVX1":   func(a uint) uint8 { return uint8(^a & 1) },
+	"INVX2":   func(a uint) uint8 { return uint8(^a & 1) },
+	"INVX4":   func(a uint) uint8 { return uint8(^a & 1) },
+	"INVX8":   func(a uint) uint8 { return uint8(^a & 1) },
+	"BUFX2":   func(a uint) uint8 { return uint8(a & 1) },
+	"BUFX4":   func(a uint) uint8 { return uint8(a & 1) },
+	"NAND2X1": func(a uint) uint8 { return boolBit(a != 3) },
+	"NAND3X1": func(a uint) uint8 { return boolBit(a != 7) },
+	"NAND4X1": func(a uint) uint8 { return boolBit(a != 15) },
+	"NOR2X1":  func(a uint) uint8 { return boolBit(a == 0) },
+	"NOR3X1":  func(a uint) uint8 { return boolBit(a == 0) },
+	"NOR4X1":  func(a uint) uint8 { return boolBit(a == 0) },
+	"AND2X2":  func(a uint) uint8 { return boolBit(a == 3) },
+	"OR2X2":   func(a uint) uint8 { return boolBit(a != 0) },
+	"XOR2X1":  func(a uint) uint8 { return uint8((a ^ a>>1) & 1) },
+	"XNOR2X1": func(a uint) uint8 { return uint8(^(a ^ a>>1) & 1) },
+	"AOI21X1": func(a uint) uint8 { return boolBit(!(a&3 == 3 || a>>2&1 == 1)) },
+	"AOI22X1": func(a uint) uint8 { return boolBit(!(a&3 == 3 || a>>2&3 == 3)) },
+	"OAI21X1": func(a uint) uint8 { return boolBit(!(a&3 != 0 && a>>2&1 == 1)) },
+	"OAI22X1": func(a uint) uint8 { return boolBit(!(a&3 != 0 && a>>2&3 != 0)) },
+	"MUX2X1": func(a uint) uint8 {
+		if a>>2&1 == 1 {
+			return uint8(a >> 1 & 1)
+		}
+		return uint8(a & 1)
+	},
+}
+
+func boolBit(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestCellTruthTables(t *testing.T) {
+	lib := OSU018Like()
+	for _, c := range lib.Cells {
+		want, ok := wantFuncs[c.Name]
+		if !ok {
+			t.Errorf("no expected function for %s", c.Name)
+			continue
+		}
+		for a := uint(0); a < 1<<uint(c.NumInputs()); a++ {
+			if got := c.Eval(a); got != want(a) {
+				t.Errorf("%s(%0*b) = %d, want %d", c.Name, c.NumInputs(), a, got, want(a))
+			}
+		}
+	}
+}
+
+func TestCellTTDependsOnAllInputs(t *testing.T) {
+	lib := OSU018Like()
+	for _, c := range lib.Cells {
+		for i := 0; i < c.NumInputs(); i++ {
+			if !c.TT.DependsOn(i) {
+				t.Errorf("%s: output does not depend on input %d", c.Name, i)
+			}
+		}
+	}
+}
+
+func TestTransistorNetlistsWellFormed(t *testing.T) {
+	lib := OSU018Like()
+	for _, c := range lib.Cells {
+		if len(c.Transistors) == 0 {
+			t.Errorf("%s: no transistors", c.Name)
+			continue
+		}
+		outDriven := false
+		for ti, tr := range c.Transistors {
+			if tr.A < 0 || tr.A >= c.NumNodes || tr.B < 0 || tr.B >= c.NumNodes {
+				t.Errorf("%s T%d: channel terminal out of range", c.Name, ti)
+			}
+			if tr.A == tr.B {
+				t.Errorf("%s T%d: degenerate channel", c.Name, ti)
+			}
+			if tr.Gate.Input >= c.NumInputs() {
+				t.Errorf("%s T%d: gate input %d out of range", c.Name, ti, tr.Gate.Input)
+			}
+			if tr.Gate.Input < 0 && (tr.Gate.Node < 0 || tr.Gate.Node >= c.NumNodes) {
+				t.Errorf("%s T%d: gate node %d out of range", c.Name, ti, tr.Gate.Node)
+			}
+			if tr.A == Out || tr.B == Out {
+				outDriven = true
+			}
+		}
+		if !outDriven {
+			t.Errorf("%s: nothing connected to the output node", c.Name)
+		}
+	}
+}
+
+// TestCMOSComplementarity checks a structural invariant of every cell's
+// device counts: equal numbers of NMOS and PMOS transistors (all cells here
+// are fully complementary static CMOS or transmission-gate structures).
+func TestCMOSComplementarity(t *testing.T) {
+	lib := OSU018Like()
+	for _, c := range lib.Cells {
+		var n, p int
+		for _, tr := range c.Transistors {
+			if tr.PMOS {
+				p++
+			} else {
+				n++
+			}
+		}
+		if n != p {
+			t.Errorf("%s: %d NMOS vs %d PMOS", c.Name, n, p)
+		}
+	}
+}
+
+func TestTransistorCountsGrowWithComplexity(t *testing.T) {
+	lib := OSU018Like()
+	count := func(name string) int { return len(lib.ByName(name).Transistors) }
+	if count("INVX1") != 2 {
+		t.Errorf("INVX1 transistors = %d, want 2", count("INVX1"))
+	}
+	if count("NAND2X1") != 4 {
+		t.Errorf("NAND2X1 transistors = %d, want 4", count("NAND2X1"))
+	}
+	if count("BUFX2") != 4 {
+		t.Errorf("BUFX2 transistors = %d, want 4", count("BUFX2"))
+	}
+	if count("XOR2X1") <= count("NAND2X1") {
+		t.Error("XOR2X1 must be more complex than NAND2X1")
+	}
+	if count("MUX2X1") != 12 {
+		t.Errorf("MUX2X1 transistors = %d, want 12", count("MUX2X1"))
+	}
+	if count("AOI22X1") != 8 || count("OAI22X1") != 8 {
+		t.Error("AOI22/OAI22 must have 8 transistors")
+	}
+}
+
+func TestFeatureTemplatesDeterministic(t *testing.T) {
+	a := OSU018Like()
+	b := OSU018Like()
+	for i := range a.Cells {
+		fa, fb := a.Cells[i].Features, b.Cells[i].Features
+		if len(fa) != len(fb) {
+			t.Fatalf("%s: feature count differs between builds", a.Cells[i].Name)
+		}
+		for j := range fa {
+			if fa[j] != fb[j] {
+				t.Errorf("%s feature %d differs between builds: %+v vs %+v",
+					a.Cells[i].Name, j, fa[j], fb[j])
+			}
+		}
+	}
+}
+
+func TestFeatureReferencesValid(t *testing.T) {
+	lib := OSU018Like()
+	for _, c := range lib.Cells {
+		for fi, f := range c.Features {
+			switch f.Kind {
+			case FeatDiffContact, FeatPolyContact, FeatGatePoly:
+				if f.Transistor < 0 || f.Transistor >= len(c.Transistors) {
+					t.Errorf("%s feature %d (%v): bad transistor ref %d", c.Name, fi, f.Kind, f.Transistor)
+				}
+			case FeatMetal1Stub, FeatPinVia:
+				if f.Node < Out || f.Node >= c.NumNodes {
+					t.Errorf("%s feature %d (%v): bad node ref %d", c.Name, fi, f.Kind, f.Node)
+				}
+				if f.Transistor != -1 {
+					t.Errorf("%s feature %d (%v): unexpected transistor ref", c.Name, fi, f.Kind)
+				}
+			}
+			if f.Node2 != -1 && (f.Node2 < Out || f.Node2 >= c.NumNodes) {
+				t.Errorf("%s feature %d: bad node2 ref %d", c.Name, fi, f.Node2)
+			}
+		}
+	}
+}
+
+func TestSortedBy(t *testing.T) {
+	lib := OSU018Like()
+	byArea := lib.SortedBy(func(c *Cell) float64 { return c.Area })
+	for i := 1; i < len(byArea); i++ {
+		if byArea[i-1].Area < byArea[i].Area {
+			t.Fatalf("SortedBy not descending at %d: %s(%v) before %s(%v)",
+				i, byArea[i-1].Name, byArea[i-1].Area, byArea[i].Name, byArea[i].Area)
+		}
+	}
+	// Ties must break by name, ascending.
+	same := lib.SortedBy(func(*Cell) float64 { return 1 })
+	for i := 1; i < len(same); i++ {
+		if same[i-1].Name >= same[i].Name {
+			t.Fatalf("tie-break not by name at %d: %s before %s", i, same[i-1].Name, same[i].Name)
+		}
+	}
+	// SortedBy must not mutate the library order.
+	for i, c := range lib.Cells {
+		if c.Index != i {
+			t.Fatal("SortedBy mutated library order")
+		}
+	}
+}
+
+func TestSignalHelpers(t *testing.T) {
+	s := In(2)
+	if s.Input != 2 {
+		t.Errorf("In(2) = %+v", s)
+	}
+	n := AtNode(5)
+	if n.Input != -1 || n.Node != 5 {
+		t.Errorf("AtNode(5) = %+v", n)
+	}
+}
+
+func TestEvalAgainstTT(t *testing.T) {
+	lib := OSU018Like()
+	for _, c := range lib.Cells {
+		n := c.NumInputs()
+		got := logic.NewTT(n, c.Eval)
+		if got.Bits != c.TT.Bits {
+			t.Errorf("%s: Eval disagrees with TT", c.Name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dfmresyn/internal/library"
+)
+
+// The text netlist format is line-oriented:
+//
+//	# comment
+//	circuit <name>
+//	input <net> [<net> ...]
+//	gate <instance> <celltype> <out-net> [<in-net> ...]
+//	output <net> [<net> ...]
+//
+// Nets are referenced by name; gate output nets are declared by the gate
+// line itself. The format round-trips everything the Circuit type holds.
+
+// Write serializes the circuit.
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	if len(c.PIs) > 0 {
+		fmt.Fprint(bw, "input")
+		for _, pi := range c.PIs {
+			fmt.Fprintf(bw, " %s", pi.Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, g := range c.Levelize() {
+		fmt.Fprintf(bw, "gate %s %s %s", g.Name, g.Type.Name, g.Out.Name)
+		for _, in := range g.Fanin {
+			fmt.Fprintf(bw, " %s", in.Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	if len(c.POs) > 0 {
+		fmt.Fprint(bw, "output")
+		for _, po := range c.POs {
+			fmt.Fprintf(bw, " %s", po.Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a circuit in the text format over the given library.
+func Read(r io.Reader, lib *library.Library) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var c *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: line %d: circuit needs a name", lineNo)
+			}
+			c = New(fields[1], lib)
+		case "input":
+			if c == nil {
+				return nil, fmt.Errorf("netlist: line %d: input before circuit", lineNo)
+			}
+			for _, name := range fields[1:] {
+				c.AddPI(name)
+			}
+		case "gate":
+			if c == nil {
+				return nil, fmt.Errorf("netlist: line %d: gate before circuit", lineNo)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("netlist: line %d: gate needs instance, cell and output", lineNo)
+			}
+			inst, cellName, outName := fields[1], fields[2], fields[3]
+			cell := lib.ByName(cellName)
+			if cell == nil {
+				return nil, fmt.Errorf("netlist: line %d: unknown cell %q", lineNo, cellName)
+			}
+			ins := fields[4:]
+			if len(ins) != cell.NumInputs() {
+				return nil, fmt.Errorf("netlist: line %d: %s expects %d inputs, got %d",
+					lineNo, cellName, cell.NumInputs(), len(ins))
+			}
+			fanin := make([]*Net, len(ins))
+			for i, name := range ins {
+				n := c.NetByName(name)
+				if n == nil {
+					return nil, fmt.Errorf("netlist: line %d: undeclared net %q (gates must appear in topological order)", lineNo, name)
+				}
+				fanin[i] = n
+			}
+			out := c.addGateNamedNet(inst, cell, outName, fanin)
+			_ = out
+		case "output":
+			if c == nil {
+				return nil, fmt.Errorf("netlist: line %d: output before circuit", lineNo)
+			}
+			for _, name := range fields[1:] {
+				n := c.NetByName(name)
+				if n == nil {
+					return nil, fmt.Errorf("netlist: line %d: undeclared output net %q", lineNo, name)
+				}
+				c.MarkPO(n)
+			}
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("netlist: no circuit declaration found")
+	}
+	if err := c.Check(); err != nil {
+		return nil, fmt.Errorf("netlist: parsed circuit inconsistent: %w", err)
+	}
+	return c, nil
+}
+
+// addGateNamedNet is AddGate with an explicit output net name (used by the
+// parser so net names round-trip).
+func (c *Circuit) addGateNamedNet(name string, cell *library.Cell, outName string, fanin []*Net) *Net {
+	g := &Gate{ID: len(c.Gates), Name: name, Type: cell, Fanin: fanin}
+	out := c.newNet(outName)
+	out.Driver = g
+	g.Out = out
+	c.Gates = append(c.Gates, g)
+	for i, in := range fanin {
+		in.Fanout = append(in.Fanout, Pin{Gate: g, Pin: i})
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c, _ := buildSmall(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, lib)
+	if err != nil {
+		t.Fatalf("Read: %v\n%s", err, buf.String())
+	}
+	if got.Name != c.Name {
+		t.Errorf("name %q, want %q", got.Name, c.Name)
+	}
+	if len(got.Gates) != len(c.Gates) || len(got.PIs) != len(c.PIs) || len(got.POs) != len(c.POs) {
+		t.Fatalf("shape differs: %d/%d gates, %d/%d PIs, %d/%d POs",
+			len(got.Gates), len(c.Gates), len(got.PIs), len(c.PIs), len(got.POs), len(c.POs))
+	}
+	// Same gate names and types (order may be topological).
+	want := map[string]string{}
+	for _, g := range c.Gates {
+		want[g.Name] = g.Type.Name
+	}
+	for _, g := range got.Gates {
+		if want[g.Name] != g.Type.Name {
+			t.Errorf("gate %s type %s, want %s", g.Name, g.Type.Name, want[g.Name])
+		}
+	}
+	// PO names preserved in order.
+	for i := range c.POs {
+		if got.POs[i].Name != c.POs[i].Name {
+			t.Errorf("PO %d = %q, want %q", i, got.POs[i].Name, c.POs[i].Name)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no circuit":        "input a\n",
+		"unknown cell":      "circuit x\ninput a\ngate g1 BOGUS y a\n",
+		"bad arity":         "circuit x\ninput a\ngate g1 NAND2X1 y a\n",
+		"undeclared fanin":  "circuit x\ninput a\ngate g1 INVX1 y zz\n",
+		"undeclared output": "circuit x\ninput a\noutput zz\n",
+		"bad directive":     "circuit x\nfrobnicate\n",
+		"empty":             "",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text), lib); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestReadCommentsAndBlankLines(t *testing.T) {
+	text := `# a comment
+circuit demo
+
+input a b
+# gates
+gate g1 NAND2X1 n1 a b
+gate g2 INVX1 n2 n1
+output n2
+`
+	c, err := Read(strings.NewReader(text), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 || len(c.POs) != 1 {
+		t.Errorf("parsed shape wrong: %d gates %d POs", len(c.Gates), len(c.POs))
+	}
+	if c.NetByName("n1") == nil || c.NetByName("n1").Driver.Type.Name != "NAND2X1" {
+		t.Error("gate net naming broken")
+	}
+}

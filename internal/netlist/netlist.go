@@ -1,0 +1,512 @@
+// Package netlist provides the gate-level circuit representation used
+// throughout dfmresyn: a flattened, combinational network of standard-cell
+// instances. Sequential designs are handled through the full-scan
+// abstraction — scan flops are cut into pseudo primary inputs and outputs —
+// which is also how the paper's commercial ATPG sees the logic.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"dfmresyn/internal/library"
+)
+
+// Pin identifies one fanout connection: input pin Pin of gate Gate.
+type Pin struct {
+	Gate *Gate
+	Pin  int
+}
+
+// Net is a signal in the circuit. A net is driven either by a gate (Driver
+// != nil) or is a primary input.
+type Net struct {
+	ID     int
+	Name   string
+	Driver *Gate
+	Fanout []Pin
+	IsPI   bool
+	IsPO   bool
+}
+
+// Gate is one standard-cell instance.
+type Gate struct {
+	ID    int
+	Name  string
+	Type  *library.Cell
+	Fanin []*Net
+	Out   *Net
+}
+
+// Circuit is a flattened combinational network.
+type Circuit struct {
+	Name  string
+	Lib   *library.Library
+	Gates []*Gate
+	Nets  []*Net
+	PIs   []*Net
+	POs   []*Net
+
+	netByName map[string]*Net
+}
+
+// New creates an empty circuit over the given library.
+func New(name string, lib *library.Library) *Circuit {
+	return &Circuit{Name: name, Lib: lib, netByName: make(map[string]*Net)}
+}
+
+// NetByName returns the net with the given name, or nil.
+func (c *Circuit) NetByName(name string) *Net { return c.netByName[name] }
+
+// AddPI creates a primary-input net.
+func (c *Circuit) AddPI(name string) *Net {
+	n := c.newNet(name)
+	n.IsPI = true
+	c.PIs = append(c.PIs, n)
+	return n
+}
+
+// MarkPO marks an existing net as a primary output.
+func (c *Circuit) MarkPO(n *Net) {
+	if n.IsPO {
+		return
+	}
+	n.IsPO = true
+	c.POs = append(c.POs, n)
+}
+
+func (c *Circuit) newNet(name string) *Net {
+	if name == "" {
+		name = fmt.Sprintf("n%d", len(c.Nets))
+	}
+	if _, dup := c.netByName[name]; dup {
+		panic("netlist: duplicate net name " + name)
+	}
+	n := &Net{ID: len(c.Nets), Name: name}
+	c.Nets = append(c.Nets, n)
+	c.netByName[name] = n
+	return n
+}
+
+// AddGate instantiates a cell driving a fresh net and returns the output
+// net. The gate and net share the given name (empty means auto-named).
+func (c *Circuit) AddGate(name string, cell *library.Cell, fanin ...*Net) *Net {
+	if cell == nil {
+		panic("netlist: nil cell")
+	}
+	if len(fanin) != cell.NumInputs() {
+		panic(fmt.Sprintf("netlist: %s expects %d inputs, got %d", cell.Name, cell.NumInputs(), len(fanin)))
+	}
+	if name == "" {
+		name = fmt.Sprintf("g%d", len(c.Gates))
+	}
+	g := &Gate{ID: len(c.Gates), Name: name, Type: cell, Fanin: fanin}
+	out := c.newNet(name + "_o")
+	out.Driver = g
+	g.Out = out
+	c.Gates = append(c.Gates, g)
+	for i, in := range fanin {
+		in.Fanout = append(in.Fanout, Pin{Gate: g, Pin: i})
+	}
+	return out
+}
+
+// Levelize returns the gates in topological order (fanin before fanout).
+// It panics if the circuit has a combinational cycle.
+func (c *Circuit) Levelize() []*Gate {
+	order := make([]*Gate, 0, len(c.Gates))
+	state := make([]uint8, len(c.Gates)) // 0 unvisited, 1 on stack, 2 done
+	var visit func(g *Gate)
+	visit = func(g *Gate) {
+		switch state[g.ID] {
+		case 1:
+			panic("netlist: combinational cycle through gate " + g.Name)
+		case 2:
+			return
+		}
+		state[g.ID] = 1
+		for _, in := range g.Fanin {
+			if in.Driver != nil {
+				visit(in.Driver)
+			}
+		}
+		state[g.ID] = 2
+		order = append(order, g)
+	}
+	for _, g := range c.Gates {
+		visit(g)
+	}
+	return order
+}
+
+// Levels returns the logic level of each net: PIs are level 0, a gate
+// output is 1 + max level of its fanins.
+func (c *Circuit) Levels() []int {
+	lv := make([]int, len(c.Nets))
+	for _, g := range c.Levelize() {
+		max := 0
+		for _, in := range g.Fanin {
+			if lv[in.ID] > max {
+				max = lv[in.ID]
+			}
+		}
+		lv[g.Out.ID] = max + 1
+	}
+	return lv
+}
+
+// Check validates structural consistency: every net has a driver or is a
+// PI, fanout back-references are correct, IDs are dense, the network is
+// acyclic, and every gate's fanin count matches its cell.
+func (c *Circuit) Check() error {
+	for i, n := range c.Nets {
+		if n.ID != i {
+			return fmt.Errorf("net %q: ID %d at position %d", n.Name, n.ID, i)
+		}
+		if n.Driver == nil && !n.IsPI {
+			return fmt.Errorf("net %q: no driver and not a PI", n.Name)
+		}
+		if n.Driver != nil && n.IsPI {
+			return fmt.Errorf("net %q: driven PI", n.Name)
+		}
+		for _, p := range n.Fanout {
+			if p.Pin < 0 || p.Pin >= len(p.Gate.Fanin) || p.Gate.Fanin[p.Pin] != n {
+				return fmt.Errorf("net %q: stale fanout reference to gate %q pin %d", n.Name, p.Gate.Name, p.Pin)
+			}
+		}
+	}
+	for i, g := range c.Gates {
+		if g.ID != i {
+			return fmt.Errorf("gate %q: ID %d at position %d", g.Name, g.ID, i)
+		}
+		if len(g.Fanin) != g.Type.NumInputs() {
+			return fmt.Errorf("gate %q: %d fanins for cell %s", g.Name, len(g.Fanin), g.Type.Name)
+		}
+		if g.Out == nil || g.Out.Driver != g {
+			return fmt.Errorf("gate %q: broken output link", g.Name)
+		}
+		for pin, in := range g.Fanin {
+			found := false
+			for _, p := range in.Fanout {
+				if p.Gate == g && p.Pin == pin {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("gate %q pin %d: missing fanout back-reference on net %q", g.Name, pin, in.Name)
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if !po.IsPO {
+			return fmt.Errorf("net %q in PO list but not marked", po.Name)
+		}
+	}
+	// Levelize panics on cycles; convert to error.
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		c.Levelize()
+		return nil
+	}()
+	return err
+}
+
+// Stats summarizes a circuit.
+type Stats struct {
+	Gates   int
+	Nets    int
+	PIs     int
+	POs     int
+	Area    float64
+	PerCell map[string]int
+}
+
+// Stats computes summary statistics.
+func (c *Circuit) Stats() Stats {
+	s := Stats{Gates: len(c.Gates), Nets: len(c.Nets), PIs: len(c.PIs), POs: len(c.POs),
+		PerCell: make(map[string]int)}
+	for _, g := range c.Gates {
+		s.Area += g.Type.Area
+		s.PerCell[g.Type.Name]++
+	}
+	return s
+}
+
+// Adjacent reports whether two gates are structurally adjacent in the sense
+// of the paper's Section II: one is directly driven by the other.
+func Adjacent(a, b *Gate) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	for _, p := range a.Out.Fanout {
+		if p.Gate == b {
+			return true
+		}
+	}
+	for _, p := range b.Out.Fanout {
+		if p.Gate == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Region describes a subcircuit C_sub cut out of a circuit: the gate set,
+// its boundary input nets (nets feeding region gates but driven outside the
+// region or primary inputs) and boundary output nets (region-driven nets
+// that are POs or feed gates outside the region).
+type Region struct {
+	Gates   []*Gate
+	Inputs  []*Net
+	Outputs []*Net
+	inSet   map[*Gate]bool
+}
+
+// Contains reports whether g belongs to the region.
+func (r *Region) Contains(g *Gate) bool { return r.inSet[g] }
+
+// ExtractRegion computes the boundary of the given gate set. The result's
+// Inputs and Outputs are ordered by net ID for determinism.
+func ExtractRegion(gates []*Gate) *Region {
+	r := &Region{inSet: make(map[*Gate]bool, len(gates))}
+	for _, g := range gates {
+		if !r.inSet[g] {
+			r.inSet[g] = true
+			r.Gates = append(r.Gates, g)
+		}
+	}
+	sort.Slice(r.Gates, func(i, j int) bool { return r.Gates[i].ID < r.Gates[j].ID })
+
+	inSeen := map[*Net]bool{}
+	outSeen := map[*Net]bool{}
+	for _, g := range r.Gates {
+		for _, in := range g.Fanin {
+			external := in.IsPI || (in.Driver != nil && !r.inSet[in.Driver])
+			if external && !inSeen[in] {
+				inSeen[in] = true
+				r.Inputs = append(r.Inputs, in)
+			}
+		}
+		out := g.Out
+		if outSeen[out] {
+			continue
+		}
+		if out.IsPO {
+			outSeen[out] = true
+			r.Outputs = append(r.Outputs, out)
+			continue
+		}
+		for _, p := range out.Fanout {
+			if !r.inSet[p.Gate] {
+				outSeen[out] = true
+				r.Outputs = append(r.Outputs, out)
+				break
+			}
+		}
+	}
+	sort.Slice(r.Inputs, func(i, j int) bool { return r.Inputs[i].ID < r.Inputs[j].ID })
+	sort.Slice(r.Outputs, func(i, j int) bool { return r.Outputs[i].ID < r.Outputs[j].ID })
+	return r
+}
+
+// ConvexClosure returns the gate set augmented with every gate lying on a
+// path from a set member back into the set (gates that are both reachable
+// from some member's output and reach some member's input). The result is a
+// convex region: no path leaves it and re-enters, which RebuildReplacing
+// requires.
+func ConvexClosure(c *Circuit, gates []*Gate) []*Gate {
+	inSet := make(map[*Gate]bool, len(gates))
+	for _, g := range gates {
+		inSet[g] = true
+	}
+	// Descendants of members' outputs.
+	desc := make([]bool, len(c.Gates))
+	order := c.Levelize()
+	for _, g := range order {
+		if inSet[g] {
+			desc[g.ID] = true
+			continue
+		}
+		for _, in := range g.Fanin {
+			if in.Driver != nil && desc[in.Driver.ID] {
+				desc[g.ID] = true
+				break
+			}
+		}
+	}
+	// Ancestors of members' inputs (reverse topological order).
+	anc := make([]bool, len(c.Gates))
+	for i := len(order) - 1; i >= 0; i-- {
+		g := order[i]
+		if inSet[g] {
+			anc[g.ID] = true
+			continue
+		}
+		for _, p := range g.Out.Fanout {
+			if anc[p.Gate.ID] {
+				anc[g.ID] = true
+				break
+			}
+		}
+	}
+	out := make([]*Gate, 0, len(gates))
+	out = append(out, gates...)
+	for _, g := range c.Gates {
+		if !inSet[g] && desc[g.ID] && anc[g.ID] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the circuit (gates, nets, markings). Gate and net names
+// and order are preserved.
+func (c *Circuit) Clone() *Circuit {
+	out := New(c.Name, c.Lib)
+	netMap := make(map[*Net]*Net, len(c.Nets))
+	// Create all nets first (preserving names and IDs by creation order).
+	for _, n := range c.Nets {
+		nn := out.newNet(n.Name)
+		nn.IsPI = n.IsPI
+		nn.IsPO = n.IsPO
+		netMap[n] = nn
+		if n.IsPI {
+			out.PIs = append(out.PIs, nn)
+		}
+	}
+	for _, g := range c.Gates {
+		fanin := make([]*Net, len(g.Fanin))
+		for i, in := range g.Fanin {
+			fanin[i] = netMap[in]
+		}
+		ng := &Gate{ID: len(out.Gates), Name: g.Name, Type: g.Type, Fanin: fanin}
+		no := netMap[g.Out]
+		no.Driver = ng
+		ng.Out = no
+		out.Gates = append(out.Gates, ng)
+		for i, in := range fanin {
+			in.Fanout = append(in.Fanout, Pin{Gate: ng, Pin: i})
+		}
+	}
+	for _, po := range c.POs {
+		out.POs = append(out.POs, netMap[po])
+	}
+	return out
+}
+
+// RebuildReplacing constructs a new circuit in which the gates of region r
+// are replaced by new logic produced by build. All gates outside the region
+// (C_dont) are copied unchanged. build receives the new circuit plus the
+// mapped boundary input nets, and must return one driven net per region
+// output, in region-output order. Region outputs that were POs stay POs.
+//
+// The caller is responsible for the new logic being functionally equivalent
+// on the boundary (the resynthesis procedure guarantees this by mapping the
+// extracted region's own logic).
+func (c *Circuit) RebuildReplacing(r *Region, build func(nc *Circuit, inputs []*Net) []*Net) (*Circuit, error) {
+	out := New(c.Name, c.Lib)
+	netMap := make(map[*Net]*Net, len(c.Nets))
+
+	// PIs always exist in the new circuit.
+	for _, pi := range c.PIs {
+		netMap[pi] = out.AddPI(pi.Name)
+	}
+
+	// Copy C_dont gates in topological order so fanins exist; region
+	// boundary outputs are created by the build callback first.
+	order := c.Levelize()
+
+	// Map region boundary inputs: they are PIs or driven by C_dont gates;
+	// we need them mapped before calling build, so process C_dont gates
+	// up to the point all boundary inputs exist. Simplest correct
+	// approach: process in topological order, and invoke build lazily
+	// when all region inputs are available and any consumer needs a
+	// region output. We instead do two passes: first copy all C_dont
+	// gates that do not (transitively) depend on region outputs, then
+	// build the region, then copy the rest.
+	regionOutSet := make(map[*Net]bool, len(r.Outputs))
+	for _, o := range r.Outputs {
+		regionOutSet[o] = true
+	}
+	dependsOnRegion := make(map[*Gate]bool, len(c.Gates))
+	for _, g := range order {
+		if r.Contains(g) {
+			continue
+		}
+		dep := false
+		for _, in := range g.Fanin {
+			if regionOutSet[in] || (in.Driver != nil && dependsOnRegion[in.Driver]) {
+				dep = true
+				break
+			}
+		}
+		dependsOnRegion[g] = dep
+	}
+
+	copyGate := func(g *Gate) error {
+		fanin := make([]*Net, len(g.Fanin))
+		for i, in := range g.Fanin {
+			m, ok := netMap[in]
+			if !ok {
+				return fmt.Errorf("netlist: rebuild ordering bug at gate %q input %q", g.Name, in.Name)
+			}
+			fanin[i] = m
+		}
+		netMap[g.Out] = out.AddGate(g.Name, g.Type, fanin...)
+		return nil
+	}
+
+	for _, g := range order {
+		if r.Contains(g) || dependsOnRegion[g] {
+			continue
+		}
+		if err := copyGate(g); err != nil {
+			return nil, err
+		}
+	}
+
+	// Build the replacement logic.
+	ins := make([]*Net, len(r.Inputs))
+	for i, in := range r.Inputs {
+		m, ok := netMap[in]
+		if !ok {
+			return nil, fmt.Errorf("netlist: region input %q not available before rebuild", in.Name)
+		}
+		ins[i] = m
+	}
+	newOuts := build(out, ins)
+	if len(newOuts) != len(r.Outputs) {
+		return nil, fmt.Errorf("netlist: rebuild returned %d outputs for %d region outputs", len(newOuts), len(r.Outputs))
+	}
+	for i, o := range r.Outputs {
+		if newOuts[i] == nil {
+			return nil, fmt.Errorf("netlist: rebuild returned nil for region output %q", o.Name)
+		}
+		netMap[o] = newOuts[i]
+	}
+
+	// Copy the remaining C_dont gates.
+	for _, g := range order {
+		if r.Contains(g) || !dependsOnRegion[g] {
+			continue
+		}
+		if err := copyGate(g); err != nil {
+			return nil, err
+		}
+	}
+
+	// Restore PO markings in original order.
+	for _, po := range c.POs {
+		m, ok := netMap[po]
+		if !ok {
+			return nil, fmt.Errorf("netlist: PO %q lost in rebuild", po.Name)
+		}
+		out.MarkPO(m)
+	}
+	return out, nil
+}

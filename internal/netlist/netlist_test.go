@@ -1,0 +1,300 @@
+package netlist
+
+import (
+	"testing"
+
+	"dfmresyn/internal/library"
+)
+
+var lib = library.OSU018Like()
+
+// buildSmall constructs:  y = NAND2(AND2(a,b), XOR2(b,c)), z = INV(y-src)
+func buildSmall(t *testing.T) (*Circuit, map[string]*Net) {
+	t.Helper()
+	c := New("small", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	ci := c.AddPI("c")
+	and := c.AddGate("u_and", lib.ByName("AND2X2"), a, b)
+	xor := c.AddGate("u_xor", lib.ByName("XOR2X1"), b, ci)
+	y := c.AddGate("u_nand", lib.ByName("NAND2X1"), and, xor)
+	z := c.AddGate("u_inv", lib.ByName("INVX1"), y)
+	c.MarkPO(y)
+	c.MarkPO(z)
+	if err := c.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return c, map[string]*Net{"a": a, "b": b, "c": ci, "and": and, "xor": xor, "y": y, "z": z}
+}
+
+func TestBuildAndCheck(t *testing.T) {
+	c, nets := buildSmall(t)
+	if len(c.Gates) != 4 || len(c.PIs) != 3 || len(c.POs) != 2 {
+		t.Fatalf("unexpected shape: %d gates %d PIs %d POs", len(c.Gates), len(c.PIs), len(c.POs))
+	}
+	if nets["y"].Driver == nil || nets["y"].Driver.Type.Name != "NAND2X1" {
+		t.Error("y driver wrong")
+	}
+	if got := c.NetByName("a"); got != nets["a"] {
+		t.Error("NetByName lookup failed")
+	}
+	if c.NetByName("nope") != nil {
+		t.Error("NetByName of missing net must be nil")
+	}
+}
+
+func TestLevelizeTopological(t *testing.T) {
+	c, _ := buildSmall(t)
+	order := c.Levelize()
+	pos := make(map[*Gate]int, len(order))
+	for i, g := range order {
+		pos[g] = i
+	}
+	if len(order) != len(c.Gates) {
+		t.Fatalf("levelize returned %d of %d gates", len(order), len(c.Gates))
+	}
+	for _, g := range c.Gates {
+		for _, in := range g.Fanin {
+			if in.Driver != nil && pos[in.Driver] >= pos[g] {
+				t.Errorf("gate %s before its fanin driver %s", g.Name, in.Driver.Name)
+			}
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c, nets := buildSmall(t)
+	lv := c.Levels()
+	if lv[nets["a"].ID] != 0 || lv[nets["b"].ID] != 0 {
+		t.Error("PI levels must be 0")
+	}
+	if lv[nets["and"].ID] != 1 || lv[nets["xor"].ID] != 1 {
+		t.Error("first-stage gates must be level 1")
+	}
+	if lv[nets["y"].ID] != 2 {
+		t.Errorf("y level = %d, want 2", lv[nets["y"].ID])
+	}
+	if lv[nets["z"].ID] != 3 {
+		t.Errorf("z level = %d, want 3", lv[nets["z"].ID])
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := buildSmall(t)
+	s := c.Stats()
+	if s.Gates != 4 || s.PIs != 3 || s.POs != 2 {
+		t.Errorf("stats shape wrong: %+v", s)
+	}
+	wantArea := lib.ByName("AND2X2").Area + lib.ByName("XOR2X1").Area +
+		lib.ByName("NAND2X1").Area + lib.ByName("INVX1").Area
+	if s.Area != wantArea {
+		t.Errorf("area = %v, want %v", s.Area, wantArea)
+	}
+	if s.PerCell["NAND2X1"] != 1 {
+		t.Errorf("per-cell counts wrong: %v", s.PerCell)
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	c, nets := buildSmall(t)
+	_ = c
+	and := nets["and"].Driver
+	xor := nets["xor"].Driver
+	nand := nets["y"].Driver
+	inv := nets["z"].Driver
+	if !Adjacent(and, nand) || !Adjacent(nand, and) {
+		t.Error("and-nand must be adjacent (direct drive)")
+	}
+	if !Adjacent(nand, inv) {
+		t.Error("nand-inv must be adjacent")
+	}
+	if Adjacent(and, xor) {
+		t.Error("and-xor share a fanin but are not adjacent (Fig. 1 (a))")
+	}
+	if Adjacent(and, inv) {
+		t.Error("and-inv are two hops apart, not adjacent")
+	}
+	if Adjacent(nil, and) || Adjacent(and, nil) {
+		t.Error("nil gates are never adjacent")
+	}
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	c, nets := buildSmall(t)
+	// Break a fanout back-reference.
+	g := nets["y"].Driver
+	saved := g.Fanin[0]
+	g.Fanin[0] = nets["c"]
+	if err := c.Check(); err == nil {
+		t.Error("Check must catch stale fanin substitution")
+	}
+	g.Fanin[0] = saved
+	if err := c.Check(); err != nil {
+		t.Fatalf("restore failed: %v", err)
+	}
+}
+
+func TestExtractRegionBoundary(t *testing.T) {
+	c, nets := buildSmall(t)
+	_ = c
+	// Region = {and, nand}: inputs {a, b, xor}, outputs {y}.
+	r := ExtractRegion([]*Gate{nets["and"].Driver, nets["y"].Driver})
+	if len(r.Gates) != 2 {
+		t.Fatalf("region gates = %d", len(r.Gates))
+	}
+	wantIn := map[string]bool{"a": true, "b": true, "u_xor_o": true}
+	if len(r.Inputs) != len(wantIn) {
+		t.Fatalf("region inputs: got %d, want %d", len(r.Inputs), len(wantIn))
+	}
+	for _, in := range r.Inputs {
+		if !wantIn[in.Name] {
+			t.Errorf("unexpected region input %q", in.Name)
+		}
+	}
+	if len(r.Outputs) != 1 || r.Outputs[0] != nets["y"] {
+		t.Fatalf("region outputs wrong: %v", r.Outputs)
+	}
+	if !r.Contains(nets["and"].Driver) || r.Contains(nets["xor"].Driver) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestExtractRegionDeduplicatesGates(t *testing.T) {
+	_, nets := buildSmall(t)
+	g := nets["and"].Driver
+	r := ExtractRegion([]*Gate{g, g, g})
+	if len(r.Gates) != 1 {
+		t.Errorf("duplicated input gates must collapse: %d", len(r.Gates))
+	}
+}
+
+func TestClonePreservesStructure(t *testing.T) {
+	c, _ := buildSmall(t)
+	cl := c.Clone()
+	if err := cl.Check(); err != nil {
+		t.Fatalf("clone Check: %v", err)
+	}
+	if len(cl.Gates) != len(c.Gates) || len(cl.Nets) != len(c.Nets) ||
+		len(cl.PIs) != len(c.PIs) || len(cl.POs) != len(c.POs) {
+		t.Fatal("clone shape differs")
+	}
+	for i, g := range c.Gates {
+		cg := cl.Gates[i]
+		if cg.Name != g.Name || cg.Type != g.Type {
+			t.Errorf("gate %d differs: %s/%s vs %s/%s", i, cg.Name, cg.Type.Name, g.Name, g.Type.Name)
+		}
+		if cg == g {
+			t.Error("clone shares gate pointers")
+		}
+	}
+	// Mutating the clone must not affect the original.
+	cl.MarkPO(cl.Gates[0].Out)
+	if c.Gates[0].Out.IsPO && c.Gates[0].Name == "u_and" {
+		t.Error("clone mutation leaked to original")
+	}
+}
+
+func TestRebuildReplacingIdentity(t *testing.T) {
+	c, nets := buildSmall(t)
+	r := ExtractRegion([]*Gate{nets["and"].Driver})
+	// Replace the AND2 with NAND2 + INV (same function, different cells).
+	nc, err := c.RebuildReplacing(r, func(nc *Circuit, ins []*Net) []*Net {
+		// ins are {a, b} in net-ID order.
+		nand := nc.AddGate("r_nand", lib.ByName("NAND2X1"), ins[0], ins[1])
+		inv := nc.AddGate("r_inv", lib.ByName("INVX1"), nand)
+		return []*Net{inv}
+	})
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if err := nc.Check(); err != nil {
+		t.Fatalf("rebuilt circuit Check: %v", err)
+	}
+	if len(nc.Gates) != len(c.Gates)+1 {
+		t.Errorf("rebuilt gates = %d, want %d", len(nc.Gates), len(c.Gates)+1)
+	}
+	if len(nc.POs) != 2 {
+		t.Errorf("rebuilt POs = %d, want 2", len(nc.POs))
+	}
+	st := nc.Stats()
+	if st.PerCell["AND2X2"] != 0 {
+		t.Error("AND2X2 should be gone")
+	}
+	if st.PerCell["NAND2X1"] != 2 {
+		t.Errorf("expected 2 NAND2X1, got %d", st.PerCell["NAND2X1"])
+	}
+}
+
+func TestRebuildReplacingOutputPO(t *testing.T) {
+	c, nets := buildSmall(t)
+	// Region containing the PO-driving NAND gate.
+	r := ExtractRegion([]*Gate{nets["y"].Driver})
+	nc, err := c.RebuildReplacing(r, func(nc *Circuit, ins []*Net) []*Net {
+		// Same function with the same cell, new instance.
+		return []*Net{nc.AddGate("r_nand2", lib.ByName("NAND2X1"), ins[0], ins[1])}
+	})
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if err := nc.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(nc.POs) != 2 {
+		t.Fatalf("POs = %d, want 2", len(nc.POs))
+	}
+	// The replaced net must be a PO and must feed the INV.
+	rep := nc.NetByName("r_nand2_o")
+	if rep == nil || !rep.IsPO {
+		t.Fatal("replacement output must be a PO")
+	}
+	if len(rep.Fanout) != 1 || rep.Fanout[0].Gate.Type.Name != "INVX1" {
+		t.Error("replacement output must feed the INV")
+	}
+}
+
+func TestRebuildReplacingOutputCountMismatch(t *testing.T) {
+	c, nets := buildSmall(t)
+	r := ExtractRegion([]*Gate{nets["and"].Driver})
+	_, err := c.RebuildReplacing(r, func(nc *Circuit, ins []*Net) []*Net {
+		return nil
+	})
+	if err == nil {
+		t.Error("rebuild must reject wrong output count")
+	}
+}
+
+func TestAddGatePanicsOnBadArity(t *testing.T) {
+	c := New("t", lib)
+	a := c.AddPI("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("AddGate must panic on wrong fanin count")
+		}
+	}()
+	c.AddGate("bad", lib.ByName("NAND2X1"), a)
+}
+
+func TestLevelizePanicsOnCycle(t *testing.T) {
+	c := New("cyc", lib)
+	a := c.AddPI("a")
+	g1 := c.AddGate("g1", lib.ByName("NAND2X1"), a, a)
+	g2 := c.AddGate("g2", lib.ByName("NAND2X1"), g1, a)
+	// Manually create a cycle: rewire g1's fanin 1 to g2's output.
+	g1g := g1.Driver
+	old := g1g.Fanin[1]
+	// Remove stale fanout entry.
+	for i, p := range old.Fanout {
+		if p.Gate == g1g && p.Pin == 1 {
+			old.Fanout = append(old.Fanout[:i], old.Fanout[i+1:]...)
+			break
+		}
+	}
+	g1g.Fanin[1] = g2
+	g2.Fanout = append(g2.Fanout, Pin{Gate: g1g, Pin: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Levelize must panic on a cycle")
+		}
+	}()
+	c.Levelize()
+}

@@ -1,0 +1,221 @@
+// Package place implements row-based standard-cell placement inside a fixed
+// floorplan: a serpentine initial placement in topological order followed by
+// greedy pairwise-swap refinement of half-perimeter wirelength. The die is
+// sized for a target core utilization (the paper uses 70%) and — crucially
+// for the resynthesis procedure — a resynthesized netlist can be re-placed
+// into the *original* die, failing if it no longer fits, which enforces the
+// paper's fixed-die-area constraint.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/netlist"
+)
+
+// Placement is the result of placing a circuit.
+type Placement struct {
+	C    *netlist.Circuit
+	Die  geom.Rect
+	Rows int
+	Loc  []geom.Pt // per gate ID: cell origin (row-left corner)
+	W    []int     // per gate ID: width in grid units
+
+	PIPad []geom.Pt // per PI index: pad location on the left edge
+	POPad []geom.Pt // per PO index: pad location on the right edge
+}
+
+// CellWidth returns the grid width of a gate (ceil of cell area).
+func CellWidth(g *netlist.Gate) int {
+	w := int(math.Ceil(g.Type.Area))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DieFor computes a near-square fixed die for the circuit at the given core
+// utilization.
+func DieFor(c *netlist.Circuit, util float64) geom.Rect {
+	total := 0
+	for _, g := range c.Gates {
+		total += CellWidth(g)
+	}
+	if total == 0 {
+		total = 1
+	}
+	area := float64(total) / util
+	rows := int(math.Ceil(math.Sqrt(area)))
+	width := int(math.Ceil(area / float64(rows)))
+	// The die must accommodate the widest cell in a row.
+	maxW := 1
+	for _, g := range c.Gates {
+		if w := CellWidth(g); w > maxW {
+			maxW = w
+		}
+	}
+	if width < maxW {
+		width = maxW
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return geom.Rect{X0: 0, Y0: 0, X1: width, Y1: rows}
+}
+
+// Place places the circuit into a fresh die sized at the given utilization.
+func Place(c *netlist.Circuit, util float64, seed int64) (*Placement, error) {
+	return PlaceInDie(c, DieFor(c, util), seed)
+}
+
+// PlaceInDie places the circuit into an existing die. It returns an error
+// when the cells do not fit, which the resynthesis procedure treats as an
+// area-constraint violation.
+func PlaceInDie(c *netlist.Circuit, die geom.Rect, seed int64) (*Placement, error) {
+	p := &Placement{
+		C:   c,
+		Die: die,
+		Loc: make([]geom.Pt, len(c.Gates)),
+		W:   make([]int, len(c.Gates)),
+	}
+	p.Rows = die.H()
+	for _, g := range c.Gates {
+		p.W[g.ID] = CellWidth(g)
+	}
+
+	// Serpentine fill in topological order (keeps connected cells close).
+	order := c.Levelize()
+	row, x := 0, 0
+	dir := 1
+	for _, g := range order {
+		w := p.W[g.ID]
+		if w > die.W() {
+			return nil, fmt.Errorf("place: cell %s wider than die", g.Name)
+		}
+		fits := func() bool {
+			if dir > 0 {
+				return x+w <= die.W()
+			}
+			return x-w >= 0
+		}
+		if !fits() {
+			row++
+			if row >= p.Rows {
+				return nil, fmt.Errorf("place: circuit does not fit in %dx%d die (area constraint violated)", die.W(), die.H())
+			}
+			dir = -dir
+			if dir > 0 {
+				x = 0
+			} else {
+				x = die.W()
+			}
+		}
+		if dir > 0 {
+			p.Loc[g.ID] = geom.Pt{X: die.X0 + x, Y: die.Y0 + row}
+			x += w
+		} else {
+			x -= w
+			p.Loc[g.ID] = geom.Pt{X: die.X0 + x, Y: die.Y0 + row}
+		}
+	}
+
+	p.placePads()
+	p.refine(seed)
+	return p, nil
+}
+
+// placePads distributes PI pads along the left edge and PO pads along the
+// right edge.
+func (p *Placement) placePads() {
+	c := p.C
+	p.PIPad = make([]geom.Pt, len(c.PIs))
+	for i := range c.PIs {
+		y := p.Die.Y0
+		if len(c.PIs) > 1 {
+			y += i * (p.Die.H() - 1) / (len(c.PIs) - 1)
+		}
+		p.PIPad[i] = geom.Pt{X: p.Die.X0, Y: y}
+	}
+	p.POPad = make([]geom.Pt, len(c.POs))
+	for i := range c.POs {
+		y := p.Die.Y0
+		if len(c.POs) > 1 {
+			y += i * (p.Die.H() - 1) / (len(c.POs) - 1)
+		}
+		p.POPad[i] = geom.Pt{X: p.Die.X1 - 1, Y: y}
+	}
+}
+
+// NetTerminals returns the terminal points of a net: the driver cell or PI
+// pad, every sink cell, and the PO pad when the net is a primary output.
+func (p *Placement) NetTerminals(n *netlist.Net) []geom.Pt {
+	var pts []geom.Pt
+	if n.Driver != nil {
+		pts = append(pts, p.Loc[n.Driver.ID])
+	} else {
+		for i, pi := range p.C.PIs {
+			if pi == n {
+				pts = append(pts, p.PIPad[i])
+				break
+			}
+		}
+	}
+	for _, pin := range n.Fanout {
+		pts = append(pts, p.Loc[pin.Gate.ID])
+	}
+	if n.IsPO {
+		for i, po := range p.C.POs {
+			if po == n {
+				pts = append(pts, p.POPad[i])
+				break
+			}
+		}
+	}
+	return pts
+}
+
+// WireLength returns the total HPWL over all nets.
+func (p *Placement) WireLength() int {
+	total := 0
+	for _, n := range p.C.Nets {
+		total += geom.HPWL(p.NetTerminals(n))
+	}
+	return total
+}
+
+// refine runs greedy pairwise location swaps between same-width gates,
+// accepting only HPWL improvements. Deterministic under the seed.
+func (p *Placement) refine(seed int64) {
+	c := p.C
+	if len(c.Gates) < 2 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Incremental cost: HPWL of the nets touching a gate.
+	gateCost := func(g *netlist.Gate) int {
+		cost := geom.HPWL(p.NetTerminals(g.Out))
+		for _, in := range g.Fanin {
+			cost += geom.HPWL(p.NetTerminals(in))
+		}
+		return cost
+	}
+
+	moves := 12 * len(c.Gates)
+	for m := 0; m < moves; m++ {
+		a := c.Gates[rng.Intn(len(c.Gates))]
+		b := c.Gates[rng.Intn(len(c.Gates))]
+		if a == b || p.W[a.ID] != p.W[b.ID] {
+			continue
+		}
+		before := gateCost(a) + gateCost(b)
+		p.Loc[a.ID], p.Loc[b.ID] = p.Loc[b.ID], p.Loc[a.ID]
+		after := gateCost(a) + gateCost(b)
+		if after >= before {
+			p.Loc[a.ID], p.Loc[b.ID] = p.Loc[b.ID], p.Loc[a.ID]
+		}
+	}
+}

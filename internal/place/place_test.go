@@ -1,0 +1,179 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+var lib = library.OSU018Like()
+
+func randomCircuit(t *testing.T, seed int64, gates int) *netlist.Circuit {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"NAND2X1", "NOR2X1", "INVX1", "AND2X2", "XOR2X1", "AOI22X1"}
+	c := netlist.New("r", lib)
+	var nets []*netlist.Net
+	for i := 0; i < 8; i++ {
+		nets = append(nets, c.AddPI(string(rune('a'+i))))
+	}
+	for i := 0; i < gates; i++ {
+		cell := lib.ByName(names[rng.Intn(len(names))])
+		fanin := make([]*netlist.Net, cell.NumInputs())
+		for j := range fanin {
+			fanin[j] = nets[rng.Intn(len(nets))]
+		}
+		nets = append(nets, c.AddGate("", cell, fanin...))
+	}
+	for i := 0; i < 4; i++ {
+		c.MarkPO(nets[len(nets)-1-i])
+	}
+	return c
+}
+
+func TestPlaceLegality(t *testing.T) {
+	c := randomCircuit(t, 1, 120)
+	p, err := Place(c, 0.70, 1)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	// Every cell inside the die.
+	for _, g := range c.Gates {
+		loc := p.Loc[g.ID]
+		if loc.X < p.Die.X0 || loc.X+p.W[g.ID] > p.Die.X1 || loc.Y < p.Die.Y0 || loc.Y >= p.Die.Y1 {
+			t.Errorf("gate %s at %v width %d escapes die %+v", g.Name, loc, p.W[g.ID], p.Die)
+		}
+	}
+	// No overlaps within a row.
+	type span struct{ x0, x1 int }
+	rows := map[int][]span{}
+	for _, g := range c.Gates {
+		loc := p.Loc[g.ID]
+		rows[loc.Y] = append(rows[loc.Y], span{loc.X, loc.X + p.W[g.ID]})
+	}
+	for y, spans := range rows {
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.x0 < b.x1 && b.x0 < a.x1 {
+					t.Fatalf("overlap in row %d: [%d,%d) vs [%d,%d)", y, a.x0, a.x1, b.x0, b.x1)
+				}
+			}
+		}
+	}
+}
+
+func TestDieUtilization(t *testing.T) {
+	c := randomCircuit(t, 2, 200)
+	die := DieFor(c, 0.70)
+	total := 0
+	for _, g := range c.Gates {
+		total += CellWidth(g)
+	}
+	util := float64(total) / float64(die.Area())
+	if util > 0.75 || util < 0.5 {
+		t.Errorf("utilization %.2f out of expected band around 0.70", util)
+	}
+}
+
+func TestPlaceInDieTooSmallFails(t *testing.T) {
+	c := randomCircuit(t, 3, 100)
+	_, err := PlaceInDie(c, geom.Rect{X0: 0, Y0: 0, X1: 8, Y1: 8}, 1)
+	if err == nil {
+		t.Fatal("placement into a too-small die must fail (area constraint)")
+	}
+}
+
+func TestRefineImprovesOrKeepsWirelength(t *testing.T) {
+	c := randomCircuit(t, 4, 150)
+	die := DieFor(c, 0.70)
+	// Placement without refinement: rebuild manually by calling
+	// PlaceInDie on a circuit then comparing against a no-refine
+	// baseline computed from the serpentine order. Instead, compare two
+	// seeds — both must produce legal placements and refinement must not
+	// make HPWL pathological (sanity band).
+	p1, err := PlaceInDie(c, die, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlaceInDie(c, die, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := p1.WireLength(), p2.WireLength()
+	if w1 <= 0 || w2 <= 0 {
+		t.Fatal("wirelength must be positive")
+	}
+	ratio := float64(w1) / float64(w2)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("seeds give wildly different wirelength: %d vs %d", w1, w2)
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	c := randomCircuit(t, 5, 80)
+	p1, _ := Place(c, 0.70, 7)
+	p2, _ := Place(c, 0.70, 7)
+	for i := range p1.Loc {
+		if p1.Loc[i] != p2.Loc[i] {
+			t.Fatalf("placement differs at gate %d for identical seeds", i)
+		}
+	}
+}
+
+func TestNetTerminals(t *testing.T) {
+	c := netlist.New("t", lib)
+	a := c.AddPI("a")
+	y := c.AddGate("u1", lib.ByName("INVX1"), a)
+	z := c.AddGate("u2", lib.ByName("INVX1"), y)
+	c.MarkPO(z)
+	p, err := Place(c, 0.70, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PI net: pad + one sink.
+	at := p.NetTerminals(a)
+	if len(at) != 2 {
+		t.Errorf("PI net terminals = %d, want 2", len(at))
+	}
+	if at[0] != p.PIPad[0] {
+		t.Errorf("first terminal must be the PI pad")
+	}
+	// Internal net: driver + sink.
+	yt := p.NetTerminals(y)
+	if len(yt) != 2 {
+		t.Errorf("internal net terminals = %d, want 2", len(yt))
+	}
+	// PO net: driver + pad.
+	zt := p.NetTerminals(z)
+	if len(zt) != 2 {
+		t.Errorf("PO net terminals = %d, want 2", len(zt))
+	}
+	if zt[len(zt)-1] != p.POPad[0] {
+		t.Error("last PO-net terminal must be the PO pad")
+	}
+}
+
+func TestPadsOnDieEdges(t *testing.T) {
+	c := randomCircuit(t, 6, 60)
+	p, err := Place(c, 0.70, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pad := range p.PIPad {
+		if pad.X != p.Die.X0 {
+			t.Errorf("PI pad %d not on left edge: %v", i, pad)
+		}
+		if pad.Y < p.Die.Y0 || pad.Y >= p.Die.Y1 {
+			t.Errorf("PI pad %d outside die: %v", i, pad)
+		}
+	}
+	for i, pad := range p.POPad {
+		if pad.X != p.Die.X1-1 {
+			t.Errorf("PO pad %d not on right edge: %v", i, pad)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package power estimates design power: dynamic switching power from
+// simulated signal activities times capacitive load, plus per-cell leakage.
+package power
+
+import (
+	"math/rand"
+
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/sim"
+	"dfmresyn/internal/sta"
+)
+
+// SwitchEnergyScale converts activity x capacitance into the report's power
+// unit (arbitrary but consistent across designs, which is all the paper's
+// relative Power column needs).
+const SwitchEnergyScale = 1.0
+
+// Report is the result of power estimation.
+type Report struct {
+	Dynamic  float64
+	Leakage  float64
+	Total    float64
+	Activity []float64 // per net ID: toggle probability per cycle
+}
+
+// Estimate computes activities by random simulation (blocks of 64 random
+// patterns, seeded deterministically) and returns the power report.
+func Estimate(c *netlist.Circuit, load sta.LoadModel, blocks int, seed int64) Report {
+	if blocks <= 0 {
+		blocks = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := sim.New(c)
+	ones := make([]int, len(c.Nets))
+	total := 0
+	for b := 0; b < blocks; b++ {
+		words := sim.RandomWords(rng, len(c.PIs))
+		vals := s.Run(words)
+		for i, w := range vals {
+			ones[i] += popcount(w)
+		}
+		total += 64
+	}
+
+	r := Report{Activity: make([]float64, len(c.Nets))}
+	for i := range c.Nets {
+		p := float64(ones[i]) / float64(total)
+		// Toggle probability for a temporally-independent signal.
+		r.Activity[i] = 2 * p * (1 - p)
+	}
+	for _, n := range c.Nets {
+		r.Dynamic += r.Activity[n.ID] * load(n) * SwitchEnergyScale
+	}
+	for _, g := range c.Gates {
+		r.Leakage += g.Type.Leakage
+	}
+	r.Total = r.Dynamic + r.Leakage
+	return r
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package power
+
+import (
+	"testing"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/sta"
+)
+
+var lib = library.OSU018Like()
+
+func inverterChain(n int) *netlist.Circuit {
+	c := netlist.New("chain", lib)
+	cur := c.AddPI("a")
+	for i := 0; i < n; i++ {
+		cur = c.AddGate("", lib.ByName("INVX1"), cur)
+	}
+	c.MarkPO(cur)
+	return c
+}
+
+func TestPowerScalesWithSize(t *testing.T) {
+	small := Estimate(inverterChain(5), sta.LoadFromFanout(), 4, 1)
+	big := Estimate(inverterChain(20), sta.LoadFromFanout(), 4, 1)
+	if small.Total <= 0 {
+		t.Fatal("power must be positive")
+	}
+	if big.Total <= small.Total {
+		t.Error("bigger circuit must burn more power")
+	}
+	if big.Leakage <= small.Leakage {
+		t.Error("leakage must scale with cell count")
+	}
+}
+
+func TestInverterActivityPropagates(t *testing.T) {
+	c := inverterChain(3)
+	r := Estimate(c, sta.LoadFromFanout(), 8, 1)
+	// An inverter fed by a random input has activity near 0.5 (2*p*(1-p)
+	// with p around 0.5).
+	for _, n := range c.Nets {
+		a := r.Activity[n.ID]
+		if a < 0.40 || a > 0.55 {
+			t.Errorf("net %s activity = %.3f, want about 0.5", n.Name, a)
+		}
+	}
+}
+
+func TestConstantNetHasNoActivity(t *testing.T) {
+	// k = NAND(a, ~a) is constant 1: zero switching power contribution.
+	c := netlist.New("const", lib)
+	a := c.AddPI("a")
+	an := c.AddGate("u_inv", lib.ByName("INVX1"), a)
+	k := c.AddGate("u_k", lib.ByName("NAND2X1"), a, an)
+	c.MarkPO(k)
+	r := Estimate(c, sta.LoadFromFanout(), 8, 1)
+	if r.Activity[k.ID] != 0 {
+		t.Errorf("constant net activity = %v, want 0", r.Activity[k.ID])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c := inverterChain(10)
+	r1 := Estimate(c, sta.LoadFromFanout(), 4, 7)
+	r2 := Estimate(c, sta.LoadFromFanout(), 4, 7)
+	if r1.Total != r2.Total || r1.Dynamic != r2.Dynamic {
+		t.Error("power estimation not deterministic under fixed seed")
+	}
+}
+
+func TestLeakageMatchesCells(t *testing.T) {
+	c := inverterChain(4)
+	r := Estimate(c, sta.LoadFromFanout(), 2, 1)
+	want := 4 * lib.ByName("INVX1").Leakage
+	if r.Leakage != want {
+		t.Errorf("leakage = %v, want %v", r.Leakage, want)
+	}
+}

@@ -1,0 +1,107 @@
+// Package report formats the paper's tables (Table I, Table II) and the
+// Fig. 2 iteration trace from analyzed designs, for the command-line tools
+// and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/resyn"
+)
+
+// TableIHeader returns the header of Table I (clustered undetectable
+// faults).
+func TableIHeader() string {
+	return fmt.Sprintf("%-12s %8s %8s %7s %7s %6s %6s %7s %9s",
+		"Circuit", "F_In", "F_Ex", "U_In", "U_Ex", "G_U", "Gmax", "Smax", "%Smax_U")
+}
+
+// TableIRow formats one Table I row.
+func TableIRow(name string, m flow.Metrics) string {
+	return fmt.Sprintf("%-12s %8d %8d %7d %7d %6d %6d %7d %8.2f%%",
+		name, m.FIn, m.FEx, m.UIn, m.UEx, m.GU, m.Gmax, m.Smax, m.PctSmaxU)
+}
+
+// TableIIHeader returns the header of Table II (experimental results).
+func TableIIHeader() string {
+	return fmt.Sprintf("%-12s %-5s %8s %6s %8s %5s %6s %10s %7s %9s %8s %8s %6s",
+		"Circuit", "MaxInc", "F", "U", "Cov", "T", "Smax", "%Smax_all", "Smax_I", "%Smax_I", "Delay", "Power", "Rtime")
+}
+
+// TableIIOrigRow formats the "orig" row for a circuit.
+func TableIIOrigRow(name string, m flow.Metrics) string {
+	return fmt.Sprintf("%-12s %-5s %8d %6d %7.2f%% %5d %6d %9.2f%% %7d %8.2f%% %7s %8s %6d",
+		name, "orig", m.F, m.U, 100*m.Cov, m.T, m.Smax, m.PctSmaxAll, m.SmaxI, m.PctSmaxI, "100%", "100%", 1)
+}
+
+// TableIIResynRow formats the resynthesized row: delay/power relative to
+// the original, Rtime relative to one synthesis+PD+ATPG pass.
+func TableIIResynRow(r *resyn.Result, rtime float64) string {
+	mo := r.Orig.Metrics()
+	mf := r.Final.Metrics()
+	q := r.BestQ
+	inc := "none"
+	if q >= 0 {
+		inc = fmt.Sprintf("%d%%", q)
+	}
+	return fmt.Sprintf("%-12s %-5s %8d %6d %7.2f%% %5d %6d %9.2f%% %7d %8.2f%% %7.2f%% %7.2f%% %6.2f",
+		"", inc, mf.F, mf.U, 100*mf.Cov, mf.T, mf.Smax, mf.PctSmaxAll, mf.SmaxI, mf.PctSmaxI,
+		100*mf.Delay/mo.Delay, 100*mf.Power/mo.Power, rtime)
+}
+
+// Fig2Trace renders the per-iteration cluster evolution (the series behind
+// Fig. 2): for each accepted iteration, the phase, the excluded cell, and
+// the resulting U and S_max.
+func Fig2Trace(r *resyn.Result) string {
+	var b strings.Builder
+	mo := r.Orig.Metrics()
+	fmt.Fprintf(&b, "iter  0: q=- phase=- excl=%-9s U=%-6d Smax=%-6d (original)\n", "-", mo.U, mo.Smax)
+	for i, tr := range r.Trace {
+		via := ""
+		if tr.ViaBack {
+			via = " (via backtracking)"
+		}
+		fmt.Fprintf(&b, "iter %2d: q=%d phase=%d excl=%-9s U=%-6d Smax=%-6d%s\n",
+			i+1, tr.Q, tr.Phase, tr.Excluded, tr.U, tr.Smax, via)
+	}
+	return b.String()
+}
+
+// Averages accumulates Table II columns across circuits, mirroring the
+// paper's "average" row.
+type Averages struct {
+	n                                  int
+	f, u, cov, t, smax, pctAll, smaxI  float64
+	pctI, delayRel, powerRel, rtimeRel float64
+}
+
+// Add accumulates one circuit's orig/final pair.
+func (a *Averages) Add(r *resyn.Result, rtime float64) {
+	mo := r.Orig.Metrics()
+	mf := r.Final.Metrics()
+	a.n++
+	a.f += float64(mf.F)
+	a.u += float64(mf.U)
+	a.cov += mf.Cov
+	a.t += float64(mf.T)
+	a.smax += float64(mf.Smax)
+	a.pctAll += mf.PctSmaxAll
+	a.smaxI += float64(mf.SmaxI)
+	a.pctI += mf.PctSmaxI
+	a.delayRel += mf.Delay / mo.Delay
+	a.powerRel += mf.Power / mo.Power
+	a.rtimeRel += rtime
+}
+
+// Row renders the average row.
+func (a *Averages) Row() string {
+	if a.n == 0 {
+		return "average      (no circuits)"
+	}
+	n := float64(a.n)
+	return fmt.Sprintf("%-12s %-5s %8.1f %6.1f %7.2f%% %5.1f %6.1f %9.2f%% %7.1f %8.2f%% %7.2f%% %7.2f%% %6.2f",
+		"average", "resyn", a.f/n, a.u/n, 100*a.cov/n, a.t/n, a.smax/n, a.pctAll/n, a.smaxI/n, a.pctI/n,
+		100*a.delayRel/n, 100*a.powerRel/n, a.rtimeRel/n)
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/resyn"
+)
+
+func smallResult(t *testing.T) (*resyn.Result, flow.Metrics) {
+	t.Helper()
+	env := flow.NewEnv()
+	env.ATPG.RandomBlocks = 3
+	env.ATPG.BacktrackLimit = 1000
+	c := bench.MustBuild("sparc_spu", env.Lib)
+	orig, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := resyn.RunFrom(env, orig, resyn.Options{MaxQ: 1, MaxItersPhase: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, orig.Metrics()
+}
+
+func TestTableIFormat(t *testing.T) {
+	_, m := smallResult(t)
+	header := TableIHeader()
+	row := TableIRow("sparc_spu", m)
+	for _, col := range []string{"F_In", "F_Ex", "U_In", "Smax", "%Smax_U"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header missing %q", col)
+		}
+	}
+	if !strings.Contains(row, "sparc_spu") {
+		t.Error("row missing circuit name")
+	}
+	if len(strings.Fields(row)) != 9 {
+		t.Errorf("row has %d fields, want 9: %q", len(strings.Fields(row)), row)
+	}
+}
+
+func TestTableIIFormat(t *testing.T) {
+	r, m := smallResult(t)
+	orig := TableIIOrigRow("sparc_spu", m)
+	resynRow := TableIIResynRow(r, 12.3)
+	if !strings.Contains(orig, "orig") || !strings.Contains(orig, "100%") {
+		t.Errorf("orig row malformed: %q", orig)
+	}
+	if !strings.Contains(resynRow, "%") {
+		t.Errorf("resyn row missing relative percentages: %q", resynRow)
+	}
+	if !strings.Contains(TableIIHeader(), "MaxInc") {
+		t.Error("header missing MaxInc")
+	}
+}
+
+func TestFig2Trace(t *testing.T) {
+	r, _ := smallResult(t)
+	tr := Fig2Trace(r)
+	if !strings.Contains(tr, "original") {
+		t.Errorf("trace missing original row: %q", tr)
+	}
+	lines := strings.Count(tr, "\n")
+	if lines != len(r.Trace)+1 {
+		t.Errorf("trace has %d lines, want %d", lines, len(r.Trace)+1)
+	}
+}
+
+func TestAverages(t *testing.T) {
+	r, _ := smallResult(t)
+	var a Averages
+	if !strings.Contains(a.Row(), "no circuits") {
+		t.Error("empty averages must say so")
+	}
+	a.Add(r, 10)
+	a.Add(r, 20)
+	row := a.Row()
+	if !strings.Contains(row, "average") {
+		t.Errorf("averages row malformed: %q", row)
+	}
+	if !strings.Contains(row, "15.00") {
+		t.Errorf("averaged rtime missing (want 15.00): %q", row)
+	}
+}

@@ -1,0 +1,537 @@
+// Package resyn implements the paper's contribution: the iterative
+// two-phase logic-resynthesis procedure (Section III) that eliminates large
+// clusters of undetectable DFM faults while maintaining the design
+// constraints of critical-path delay, power consumption and die area.
+//
+// Phase one repeatedly targets the current largest cluster S_max,
+// resynthesizing the subcircuit C_sub of its corresponding gates G_max with
+// library cells excluded in decreasing order of their internal-fault
+// counts, until the share of F inside S_max reaches p1 (1% by default).
+// Phase two targets the subcircuit of all gates with undetectable faults,
+// reducing the total number of undetectable faults while keeping S_max
+// bounded by p2. A backtracking procedure (Section III-C) freezes gates in
+// sqrt(n)-sized groups to satisfy the design constraints. The driver sweeps
+// the allowed delay/power increase q from 0 to 5 percent, each run applied
+// on top of the previous solution.
+package resyn
+
+import (
+	"fmt"
+	"math"
+
+	"dfmresyn/internal/equiv"
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/synth"
+)
+
+// Options tunes the procedure; zero values select the paper's settings.
+type Options struct {
+	// P1 is the phase-one termination target for |S_max|/|F| (default
+	// 0.01, the paper's 1%).
+	P1 float64
+	// MaxQ is the largest acceptable percentage increase in delay and
+	// power (default 5).
+	MaxQ int
+	// MaxItersPhase caps iterations per phase per q (default 40).
+	MaxItersPhase int
+	// RisingUStop ends a phase's cell scan after this many consecutive
+	// analyzed candidates with increasing U (default 2), the paper's
+	// gross-trend early termination.
+	RisingUStop int
+	// Mode selects the technology-mapping cost function.
+	Mode synth.Mode
+
+	// --- Ablation knobs (defaults reproduce the paper). ---
+
+	// BacktrackGroup sets the backtracking group size: 0 selects the
+	// paper's sqrt(n); a positive value fixes the group size (1 =
+	// one-gate-at-a-time); -1 freezes all of G_i at once.
+	BacktrackGroup int
+	// CellOrder selects the exclusion order of library cells.
+	CellOrder CellOrder
+	// SkipPhase1 disables phase one (cluster-targeted resynthesis),
+	// leaving only the whole-circuit phase two.
+	SkipPhase1 bool
+	// NoEarlyStop disables the rising-U early phase termination.
+	NoEarlyStop bool
+	// NoVerify disables the per-candidate functional equivalence check
+	// (random/exhaustive simulation against the current circuit).
+	NoVerify bool
+}
+
+// CellOrder selects how cells are ranked for exclusion.
+type CellOrder int
+
+// Cell exclusion orders: by internal-fault count (the paper), by area, or
+// by name (a deliberately uninformed baseline).
+const (
+	OrderInternalFaults CellOrder = iota
+	OrderArea
+	OrderName
+)
+
+func (o Options) withDefaults() Options {
+	if o.P1 == 0 {
+		o.P1 = 0.01
+	}
+	if o.MaxQ == 0 {
+		o.MaxQ = 5
+	}
+	if o.MaxItersPhase == 0 {
+		o.MaxItersPhase = 40
+	}
+	if o.RisingUStop == 0 {
+		o.RisingUStop = 2
+	}
+	return o
+}
+
+// IterationRecord traces one accepted or attempted resynthesis iteration
+// (the series behind Fig. 2).
+type IterationRecord struct {
+	Q        int
+	Phase    int
+	Iter     int
+	Excluded string // cell whose exclusion produced the attempt
+	Accepted bool
+	ViaBack  bool // accepted through the backtracking procedure
+	U        int
+	Smax     int
+	F        int
+}
+
+// Result is the outcome of the full q-sweep.
+type Result struct {
+	Orig  *flow.Design
+	Final *flow.Design
+	// BestQ is the largest q at which an improvement was accepted —
+	// the paper's "Max Inc" column.
+	BestQ int
+	Trace []IterationRecord
+	// SynthCalls / PDCalls count Synthesize() and PDesign() invocations.
+	SynthCalls int
+	PDCalls    int
+	// EquivFailures counts candidates rejected by the equivalence safety
+	// check; it must stay zero (a nonzero value indicates a mapper bug).
+	EquivFailures int
+}
+
+// state carries the procedure's working data.
+type state struct {
+	env *flow.Env
+	opt Options
+
+	orig *flow.Design // constraints reference
+	cur  *flow.Design
+
+	q       int
+	gen     int // rebuild-generation counter for unique gate prefixes
+	res     *Result
+	ordered []*library.Cell // by internal fault count, descending
+
+	// curUIntNet caches UndetectableInternal(cur.C); refreshed on commit.
+	curUIntNet int
+	uintValid  bool
+	// committedAtQ / constraintBlocked drive the q sweep: raising q only
+	// helps when some accepted candidate was blocked by constraints.
+	committedAtQ      bool
+	constraintBlocked bool
+}
+
+// curUInt returns the cached undetectable-internal count of the current
+// netlist.
+func (s *state) curUInt() int {
+	if !s.uintValid {
+		s.curUIntNet = s.env.UndetectableInternal(s.cur.C)
+		s.uintValid = true
+	}
+	return s.curUIntNet
+}
+
+// Run applies the full procedure to circuit c: original flow, then the
+// incremental q sweep.
+func Run(env *flow.Env, c *netlist.Circuit, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	orig, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		return nil, fmt.Errorf("resyn: original flow failed: %w", err)
+	}
+	return RunFrom(env, orig, opt)
+}
+
+// RunFrom applies the q sweep starting from an already-analyzed original
+// design.
+func RunFrom(env *flow.Env, orig *flow.Design, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	s := &state{
+		env:  env,
+		opt:  opt,
+		orig: orig,
+		cur:  orig,
+		res:  &Result{Orig: orig, BestQ: -1},
+	}
+	switch opt.CellOrder {
+	case OrderArea:
+		s.ordered = env.Lib.SortedBy(func(cell *library.Cell) float64 { return cell.Area })
+	case OrderName:
+		s.ordered = env.Lib.SortedBy(func(*library.Cell) float64 { return 0 }) // name tie-break
+	default:
+		s.ordered = env.Lib.SortedBy(func(cell *library.Cell) float64 {
+			return float64(env.Prof.InternalFaultCount(cell))
+		})
+	}
+	for q := 0; q <= opt.MaxQ; q++ {
+		s.q = q
+		s.committedAtQ = false
+		s.constraintBlocked = false
+		s.runPhases()
+		// Raising q only relaxes the delay/power constraints; when the
+		// last pass neither improved nor hit a constraint wall, higher
+		// q cannot change any outcome.
+		if !s.committedAtQ && !s.constraintBlocked {
+			break
+		}
+	}
+	s.res.Final = s.cur
+	return s.res, nil
+}
+
+// constraintsOK checks delay/power against the original with slack q%, as
+// well as the fixed die (checked implicitly by Analyze via PlaceInDie).
+func (s *state) constraintsOK(d *flow.Design) bool {
+	slack := 1 + float64(s.q)/100
+	if d.Timing.CriticalDelay > s.orig.Timing.CriticalDelay*slack {
+		return false
+	}
+	if d.Power.Total > s.orig.Power.Total*slack {
+		return false
+	}
+	return true
+}
+
+// smaxFrac returns |S_max| / |F| of a design.
+func smaxFrac(d *flow.Design) float64 {
+	f := d.Faults.Len()
+	if f == 0 {
+		return 0
+	}
+	return float64(len(d.Clusters.Smax())) / float64(f)
+}
+
+// undetectable returns the total and internal undetectable counts.
+func undetectable(d *flow.Design) (total, internal int) {
+	c := d.Faults.Count()
+	return c.Undetectable, c.UndetectableInt
+}
+
+// runPhases executes phase one and phase two at the current q.
+func (s *state) runPhases() {
+	// ---- Phase one: break up the largest clusters.
+	for iter := 0; !s.opt.SkipPhase1 && iter < s.opt.MaxItersPhase; iter++ {
+		if smaxFrac(s.cur) <= s.opt.P1 {
+			break
+		}
+		gmax := s.cur.Clusters.Gmax()
+		if len(gmax) == 0 {
+			break
+		}
+		improved := s.tryCells(gmax, 1, iter, 0)
+		if !improved {
+			break
+		}
+	}
+
+	// ---- Phase two: reduce U everywhere, bounding S_max by p2.
+	p2 := math.Max(s.opt.P1, smaxFrac(s.cur))
+	for iter := 0; iter < s.opt.MaxItersPhase; iter++ {
+		gu := s.cur.Clusters.GU
+		if len(gu) == 0 {
+			break
+		}
+		improved := s.tryCells(gu, 2, iter, p2)
+		if !improved {
+			break
+		}
+	}
+}
+
+// hostsOfUndetectableInternal returns the set of gates containing
+// undetectable internal faults in the current design.
+func (s *state) hostsOfUndetectableInternal() map[*netlist.Gate]bool {
+	hosts := map[*netlist.Gate]bool{}
+	for _, f := range s.cur.Faults.Faults {
+		if f.Internal && f.Status == fault.Undetectable {
+			hosts[f.Gate] = true
+		}
+	}
+	return hosts
+}
+
+// tryCells is one iteration of a phase over subcircuit gates: it considers
+// the library cells in decreasing internal-fault order and commits the
+// first acceptable resynthesized design. Returns whether an improvement was
+// committed.
+func (s *state) tryCells(subGates []*netlist.Gate, phase, iter int, p2 float64) bool {
+	// The subcircuit must be convex for the rebuild; gates on paths that
+	// leave and re-enter it are pulled in (and stay frozen unless they
+	// host undetectable internal faults themselves).
+	region := netlist.ExtractRegion(netlist.ConvexClosure(s.cur.C, subGates))
+	hosts := s.hostsOfUndetectableInternal()
+
+	// G_zero: subcircuit gates with no undetectable internal faults.
+	gzero := func(g *netlist.Gate) bool { return !hosts[g] }
+
+	// Cell types present in C_sub with undetectable internal faults.
+	typesWithU := map[*library.Cell]bool{}
+	anyUnfrozen := false
+	for _, g := range region.Gates {
+		if hosts[g] {
+			typesWithU[g.Type] = true
+			anyUnfrozen = true
+		}
+	}
+	if !anyUnfrozen {
+		return false
+	}
+
+	curU, _ := undetectable(s.cur)
+	curUIntNet := s.curUInt()
+	curSmax := len(s.cur.Clusters.Smax())
+
+	rising := 0
+	lastU := curU
+	for i, cell := range s.ordered {
+		// Eligibility (1) and (2): the cell is used in C_sub and at
+		// least one instance of it there has undetectable internal
+		// faults.
+		if !typesWithU[cell] {
+			continue
+		}
+		allowed := allowedSet(s.ordered[i+1:])
+
+		// Area-oriented mapping first; if that satisfies the acceptance
+		// criteria but breaks timing/power, retry with delay-oriented
+		// mapping before resorting to the backtracking procedure — the
+		// commercial Synthesize() of the paper is constraint-driven and
+		// performs this trade-off internally.
+		modes := []synth.Mode{s.opt.Mode}
+		if s.opt.Mode == synth.Area {
+			modes = append(modes, synth.Delay)
+		}
+		violated := false
+		anyAnalyzed := false
+		var lastAnalyzed *flow.Design
+		for _, mode := range modes {
+			newD, status := s.attempt(region, allowed, gzero, mode, curUIntNet)
+			if status != attemptOK {
+				continue
+			}
+			anyAnalyzed = true
+			lastAnalyzed = newD
+			accepted := s.accepts(newD, phase, p2, curU, curSmax)
+			consOK := s.constraintsOK(newD)
+			if accepted && consOK {
+				s.commit(newD, phase, iter, cell.Name, false)
+				return true
+			}
+			if accepted && !consOK {
+				violated = true
+				s.constraintBlocked = true
+			}
+		}
+		if violated {
+			// Acceptance criteria met but constraints broken in every
+			// mode: invoke the backtracking procedure.
+			if d, ok := s.backtrack(region, gzero, i, phase, p2, curU, curSmax, curUIntNet); ok {
+				s.commit(d, phase, iter, cell.Name, true)
+				return true
+			}
+			return false // phase terminates
+		}
+		if anyAnalyzed {
+			// Not accepted: track the gross U trend for early
+			// termination.
+			u, _ := undetectable(lastAnalyzed)
+			if u > lastU {
+				rising++
+				if !s.opt.NoEarlyStop && rising >= s.opt.RisingUStop {
+					return false
+				}
+			} else {
+				rising = 0
+			}
+			lastU = u
+		}
+	}
+	return false
+}
+
+// attemptStatus reports why an attempt stopped short of full analysis.
+type attemptStatus int
+
+const (
+	attemptOK attemptStatus = iota
+	attemptSynthFailed
+	attemptNoUIntGain
+	attemptAreaViolation
+)
+
+// attempt synthesizes the region with the allowed cells, screens on
+// undetectable internal faults, and analyzes the result in the original
+// die.
+func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool,
+	frozen func(*netlist.Gate) bool, mode synth.Mode, curUIntNet int) (*flow.Design, attemptStatus) {
+
+	s.gen++
+	prefix := fmt.Sprintf("r%d_", s.gen)
+	rs, err := synth.SynthesizeRegion(s.cur.C, region, s.env.Mapper, allowed, mode, frozen, prefix)
+	if err != nil {
+		return nil, attemptSynthFailed
+	}
+	newC, err := rs.Rebuild(s.cur.C)
+	if err != nil {
+		return nil, attemptSynthFailed
+	}
+	s.res.SynthCalls++
+
+	// Safety net: the resynthesized circuit must implement the same
+	// function (exhaustive for small PI counts, sampled otherwise).
+	if !s.opt.NoVerify {
+		eq, err := equiv.Check(s.cur.C, newC, 8, s.env.Seed)
+		if err != nil || !eq.Equivalent {
+			s.res.EquivFailures++
+			return nil, attemptSynthFailed
+		}
+	}
+
+	// PDesign() only when undetectable internal faults decrease.
+	if s.env.UndetectableInternal(newC) >= curUIntNet {
+		return nil, attemptNoUIntGain
+	}
+	newD, err := s.env.AnalyzeIncremental(newC, s.cur)
+	s.res.PDCalls++
+	if err != nil {
+		s.constraintBlocked = true
+		return nil, attemptAreaViolation
+	}
+	return newD, attemptOK
+}
+
+// accepts applies the phase acceptance criteria of Section III-B.
+func (s *state) accepts(d *flow.Design, phase int, p2 float64, curU, curSmax int) bool {
+	u, _ := undetectable(d)
+	smax := len(d.Clusters.Smax())
+	if phase == 1 {
+		return smax < curSmax && u <= curU
+	}
+	return u < curU && smaxFrac(d) <= p2
+}
+
+// commit installs an accepted design and records the trace entry.
+func (s *state) commit(d *flow.Design, phase, iter int, cellName string, viaBack bool) {
+	s.cur = d
+	s.uintValid = false
+	s.committedAtQ = true
+	u, _ := undetectable(d)
+	s.res.Trace = append(s.res.Trace, IterationRecord{
+		Q:        s.q,
+		Phase:    phase,
+		Iter:     iter,
+		Excluded: cellName,
+		Accepted: true,
+		ViaBack:  viaBack,
+		U:        u,
+		Smax:     len(d.Clusters.Smax()),
+		F:        d.Faults.Len(),
+	})
+	if s.q > s.res.BestQ {
+		s.res.BestQ = s.q
+	}
+}
+
+// backtrack implements Section III-C: gates of the excluded cell types are
+// frozen in groups of sqrt(n) until the constraints hold; if the
+// constraints hold but acceptance fails, the last group is unfrozen one
+// gate at a time.
+func (s *state) backtrack(region *netlist.Region, gzero func(*netlist.Gate) bool,
+	cellIdx, phase int, p2 float64, curU, curSmax, curUIntNet int) (*flow.Design, bool) {
+
+	excluded := map[*library.Cell]bool{}
+	for _, c := range s.ordered[:cellIdx+1] {
+		excluded[c] = true
+	}
+	allowed := allowedSet(s.ordered[cellIdx+1:])
+
+	// G_i: replaceable gates of the excluded types, in gate-ID order.
+	var gi []*netlist.Gate
+	for _, g := range region.Gates {
+		if excluded[g.Type] && !gzero(g) {
+			gi = append(gi, g)
+		}
+	}
+	n := len(gi)
+	if n == 0 {
+		return nil, false
+	}
+	step := int(math.Ceil(math.Sqrt(float64(n))))
+	switch {
+	case s.opt.BacktrackGroup > 0:
+		step = s.opt.BacktrackGroup
+	case s.opt.BacktrackGroup < 0:
+		step = n
+	}
+
+	try := func(backCount int) (*flow.Design, bool, bool) {
+		back := map[*netlist.Gate]bool{}
+		for _, g := range gi[:backCount] {
+			back[g] = true
+		}
+		frozen := func(g *netlist.Gate) bool { return gzero(g) || back[g] }
+		d, status := s.attempt(region, allowed, frozen, s.opt.Mode, curUIntNet)
+		if status != attemptOK {
+			return nil, false, false
+		}
+		return d, s.constraintsOK(d), s.accepts(d, phase, p2, curU, curSmax)
+	}
+
+	for k := step; k <= n; k += step {
+		if k > n {
+			k = n
+		}
+		d, consOK, accOK := try(k)
+		if d == nil {
+			continue
+		}
+		if consOK && accOK {
+			return d, true
+		}
+		if consOK && !accOK {
+			// Unfreeze the last group one gate at a time.
+			lo := k - step
+			if lo < 0 {
+				lo = 0
+			}
+			for j := k - 1; j > lo; j-- {
+				d2, c2, a2 := try(j)
+				if d2 != nil && c2 && a2 {
+					return d2, true
+				}
+			}
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// allowedSet builds the allowed-cell predicate from a slice.
+func allowedSet(cells []*library.Cell) func(*library.Cell) bool {
+	set := make(map[*library.Cell]bool, len(cells))
+	for _, c := range cells {
+		set[c] = true
+	}
+	return func(c *library.Cell) bool { return set[c] }
+}

@@ -1,0 +1,211 @@
+package resyn
+
+import (
+	"testing"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/logic"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/sim"
+)
+
+func testEnv() *flow.Env {
+	e := flow.NewEnv()
+	e.ATPG.RandomBlocks = 4
+	e.ATPG.BacktrackLimit = 2000
+	return e
+}
+
+// runOn runs the procedure on one benchmark circuit with reduced effort.
+func runOn(t *testing.T, name string, opt Options) *Result {
+	t.Helper()
+	env := testEnv()
+	c := bench.MustBuild(name, env.Lib)
+	r, err := Run(env, c, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return r
+}
+
+func TestReducesUndetectableFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis run is slow")
+	}
+	r := runOn(t, "sparc_ifu", Options{MaxQ: 2, MaxItersPhase: 10})
+	uo := r.Orig.Faults.Count().Undetectable
+	uf := r.Final.Faults.Count().Undetectable
+	if uf >= uo {
+		t.Fatalf("U did not decrease: %d -> %d", uo, uf)
+	}
+	// The headline claim: a large reduction (paper: ~10x).
+	if float64(uf) > 0.5*float64(uo) {
+		t.Errorf("U reduction too weak: %d -> %d", uo, uf)
+	}
+	// Coverage improves.
+	if r.Final.Faults.Coverage() <= r.Orig.Faults.Coverage() {
+		t.Error("coverage did not improve")
+	}
+}
+
+func TestMaintainsConstraints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis run is slow")
+	}
+	opt := Options{MaxQ: 3, MaxItersPhase: 10}
+	r := runOn(t, "systemcaes", opt)
+	if len(r.Trace) == 0 {
+		t.Skip("no accepted iterations on this configuration")
+	}
+	slack := 1 + float64(opt.MaxQ)/100
+	if r.Final.Timing.CriticalDelay > r.Orig.Timing.CriticalDelay*slack+1e-9 {
+		t.Errorf("delay constraint violated: %.1f vs %.1f (q=%d)",
+			r.Final.Timing.CriticalDelay, r.Orig.Timing.CriticalDelay, opt.MaxQ)
+	}
+	if r.Final.Power.Total > r.Orig.Power.Total*slack+1e-9 {
+		t.Errorf("power constraint violated: %.1f vs %.1f",
+			r.Final.Power.Total, r.Orig.Power.Total)
+	}
+	// Same die (floorplan preserved).
+	if r.Final.Die != r.Orig.Die {
+		t.Errorf("die changed: %+v vs %+v", r.Final.Die, r.Orig.Die)
+	}
+}
+
+// TestFunctionPreserved: the resynthesized circuit must be functionally
+// identical to the original on random patterns (PO-for-PO).
+func TestFunctionPreserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis run is slow")
+	}
+	r := runOn(t, "sparc_tlu", Options{MaxQ: 2, MaxItersPhase: 8})
+	c1, c2 := r.Orig.C, r.Final.C
+	if len(c1.PIs) != len(c2.PIs) || len(c1.POs) != len(c2.POs) {
+		t.Fatal("interface changed")
+	}
+	s1, s2 := sim.New(c1), sim.New(c2)
+	for block := 0; block < 8; block++ {
+		words := make([]logic.Word, len(c1.PIs))
+		rngFill(words, int64(block))
+		v1 := s1.Run(words)
+		v2 := s2.Run(words)
+		for i := range c1.POs {
+			if v1[c1.POs[i].ID] != v2[c2.POs[i].ID] {
+				t.Fatalf("PO %d differs after resynthesis", i)
+			}
+		}
+	}
+}
+
+func rngFill(w []logic.Word, seed int64) {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := range w {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		w[i] = x
+	}
+}
+
+// TestMonotoneU: along the accepted trace, U never increases (the paper's
+// monotonicity requirement).
+func TestMonotoneU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis run is slow")
+	}
+	r := runOn(t, "wb_conmax", Options{MaxQ: 2, MaxItersPhase: 8})
+	prev := r.Orig.Faults.Count().Undetectable
+	for i, tr := range r.Trace {
+		if tr.U > prev {
+			t.Errorf("trace %d: U rose from %d to %d", i, prev, tr.U)
+		}
+		prev = tr.U
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.P1 != 0.01 || o.MaxQ != 5 || o.MaxItersPhase != 40 || o.RisingUStop != 2 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{P1: 0.05, MaxQ: 3}.withDefaults()
+	if o2.P1 != 0.05 || o2.MaxQ != 3 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestCellOrdering(t *testing.T) {
+	env := testEnv()
+	ordered := env.Lib.SortedBy(func(c *library.Cell) float64 {
+		return float64(env.Prof.InternalFaultCount(c))
+	})
+	for i := 1; i < len(ordered); i++ {
+		a := env.Prof.InternalFaultCount(ordered[i-1])
+		b := env.Prof.InternalFaultCount(ordered[i])
+		if a < b {
+			t.Fatalf("cell order not descending at %d: %s(%d) before %s(%d)",
+				i, ordered[i-1].Name, a, ordered[i].Name, b)
+		}
+	}
+}
+
+// TestConvexClosureInvariant: the closure of a random gate subset must be
+// convex (no external gate both depends on and feeds the set).
+func TestConvexClosureInvariant(t *testing.T) {
+	env := testEnv()
+	c := bench.MustBuild("sparc_ifu", env.Lib)
+	subset := c.Gates[10:40]
+	closed := netlist.ConvexClosure(c, subset)
+	inSet := map[*netlist.Gate]bool{}
+	for _, g := range closed {
+		inSet[g] = true
+	}
+	// Recompute desc/anc for the closed set and verify no external gate
+	// is on a set-to-set path.
+	order := c.Levelize()
+	desc := map[*netlist.Gate]bool{}
+	for _, g := range order {
+		if inSet[g] {
+			desc[g] = true
+			continue
+		}
+		for _, in := range g.Fanin {
+			if in.Driver != nil && desc[in.Driver] {
+				desc[g] = true
+			}
+		}
+	}
+	anc := map[*netlist.Gate]bool{}
+	for i := len(order) - 1; i >= 0; i-- {
+		g := order[i]
+		if inSet[g] {
+			anc[g] = true
+			continue
+		}
+		for _, p := range g.Out.Fanout {
+			if anc[p.Gate] {
+				anc[g] = true
+			}
+		}
+	}
+	for _, g := range c.Gates {
+		if !inSet[g] && desc[g] && anc[g] {
+			t.Fatalf("closure not convex: %s is on a set-to-set path", g.Name)
+		}
+	}
+}
+
+// TestNoEquivalenceFailures: the mapper must never produce a candidate that
+// fails the equivalence safety net.
+func TestNoEquivalenceFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis run is slow")
+	}
+	r := runOn(t, "sparc_ffu", Options{MaxQ: 2, MaxItersPhase: 6})
+	if r.EquivFailures != 0 {
+		t.Fatalf("%d candidates failed equivalence — mapper bug", r.EquivFailures)
+	}
+}

@@ -1,0 +1,112 @@
+// Package scan models the full-scan infrastructure the paper's flow assumes:
+// every benchmark block is the combinational core of a scan design, with
+// pseudo primary inputs and outputs standing in for scan-flop outputs and
+// inputs. This package makes the scan structure explicit — it stitches the
+// pseudo PI/PO positions into a placement-aware scan chain and converts
+// test counts into tester cycles, which is the unit behind the paper's
+// "unacceptable tester time" argument against adding patterns instead of
+// resynthesizing.
+package scan
+
+import (
+	"sort"
+
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/place"
+)
+
+// Chain is an ordered scan chain over the design's state elements.
+type Chain struct {
+	// Elements are the scan flops in shift order; each corresponds to a
+	// pseudo PI (its Q output feeding the core) and, when Capture >= 0,
+	// the pseudo PO it captures.
+	Elements []Element
+	// WireLength is the total Manhattan length of the stitch route.
+	WireLength int
+}
+
+// Element is one scan flop.
+type Element struct {
+	PI      *netlist.Net // pseudo primary input (flop output)
+	Capture int          // index into Circuit.POs captured by this flop, or -1
+	At      geom.Pt      // placed location (the pad of the pseudo PI)
+}
+
+// Length returns the number of scan elements.
+func (ch *Chain) Length() int { return len(ch.Elements) }
+
+// Build stitches a placement-aware chain: all pseudo PIs, ordered by a
+// nearest-neighbour walk from the bottom-left corner (the standard stitch
+// heuristic), pairing each flop with a pseudo PO by position where one
+// exists.
+func Build(p *place.Placement) *Chain {
+	c := p.C
+	ch := &Chain{}
+	for i, pi := range c.PIs {
+		cap := -1
+		if i < len(c.POs) {
+			cap = i
+		}
+		ch.Elements = append(ch.Elements, Element{PI: pi, Capture: cap, At: p.PIPad[i]})
+	}
+	if len(ch.Elements) == 0 {
+		return ch
+	}
+	// Nearest-neighbour ordering from the bottom-left.
+	sort.SliceStable(ch.Elements, func(i, j int) bool {
+		a, b := ch.Elements[i].At, ch.Elements[j].At
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	ordered := []Element{ch.Elements[0]}
+	rest := append([]Element{}, ch.Elements[1:]...)
+	for len(rest) > 0 {
+		last := ordered[len(ordered)-1].At
+		best, bestD := 0, int(^uint(0)>>1)
+		for i, e := range rest {
+			if d := last.Manhattan(e.At); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		ch.WireLength += bestD
+		ordered = append(ordered, rest[best])
+		rest = append(rest[:best], rest[best+1:]...)
+	}
+	ch.Elements = ordered
+	return ch
+}
+
+// TesterTime models scan test application cost in tester cycles.
+type TesterTime struct {
+	Tests       int
+	ChainLength int
+	// Cycles = Tests*(ChainLength+1) + ChainLength: each test shifts in
+	// through the chain (ChainLength cycles) plus one capture cycle,
+	// with a final unload overlapping the next load except for the last
+	// test.
+	Cycles int
+}
+
+// Time computes tester cycles for a test count over the chain.
+func (ch *Chain) Time(tests int) TesterTime {
+	n := ch.Length()
+	return TesterTime{
+		Tests:       tests,
+		ChainLength: n,
+		Cycles:      tests*(n+1) + n,
+	}
+}
+
+// Relative returns the tester-time ratio of two test counts on the same
+// chain (the paper's argument compares test-set growth directly in time).
+func (ch *Chain) Relative(testsA, testsB int) float64 {
+	ta := ch.Time(testsA).Cycles
+	tb := ch.Time(testsB).Cycles
+	if tb == 0 {
+		return 0
+	}
+	return float64(ta) / float64(tb)
+}

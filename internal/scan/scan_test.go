@@ -1,0 +1,78 @@
+package scan
+
+import (
+	"testing"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/place"
+)
+
+var lib = library.OSU018Like()
+
+func chainFor(t *testing.T, name string) (*Chain, *place.Placement) {
+	t.Helper()
+	c := bench.MustBuild(name, lib)
+	p, err := place.Place(c, 0.70, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(p), p
+}
+
+func TestChainCoversAllPseudoPIs(t *testing.T) {
+	ch, p := chainFor(t, "sparc_tlu")
+	if ch.Length() != len(p.C.PIs) {
+		t.Fatalf("chain has %d elements, want %d", ch.Length(), len(p.C.PIs))
+	}
+	seen := map[string]bool{}
+	for _, e := range ch.Elements {
+		if seen[e.PI.Name] {
+			t.Fatalf("pseudo PI %s stitched twice", e.PI.Name)
+		}
+		seen[e.PI.Name] = true
+	}
+}
+
+func TestNearestNeighbourBeatsRandomOrder(t *testing.T) {
+	ch, p := chainFor(t, "sparc_ifu")
+	// Wirelength of the PI-index order (a naive stitch).
+	naive := 0
+	for i := 1; i < len(p.C.PIs); i++ {
+		naive += p.PIPad[i-1].Manhattan(p.PIPad[i])
+	}
+	if ch.WireLength > naive {
+		t.Errorf("nearest-neighbour stitch (%d) worse than naive order (%d)",
+			ch.WireLength, naive)
+	}
+}
+
+func TestTesterTimeModel(t *testing.T) {
+	ch, _ := chainFor(t, "sparc_tlu")
+	n := ch.Length()
+	tt := ch.Time(100)
+	if tt.Cycles != 100*(n+1)+n {
+		t.Errorf("cycles = %d, want %d", tt.Cycles, 100*(n+1)+n)
+	}
+	if tt.ChainLength != n || tt.Tests != 100 {
+		t.Errorf("model fields wrong: %+v", tt)
+	}
+	// More tests, more cycles; ratio roughly linear.
+	r := ch.Relative(200, 100)
+	if r < 1.9 || r > 2.1 {
+		t.Errorf("200/100 tests must be about 2x cycles, got %v", r)
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	// A circuit with no PIs cannot exist in our flow, but the chain must
+	// not panic on a degenerate placement.
+	ch := &Chain{}
+	if ch.Length() != 0 {
+		t.Error("empty chain length")
+	}
+	tt := ch.Time(10)
+	if tt.Cycles != 10 {
+		t.Errorf("empty-chain cycles = %d, want 10 (capture only)", tt.Cycles)
+	}
+}

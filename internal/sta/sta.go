@@ -1,0 +1,93 @@
+// Package sta implements static timing analysis over the placed-and-routed
+// design: topological arrival-time propagation with a linear cell delay
+// model (intrinsic delay plus drive resistance times capacitive load) and
+// wire load taken from routed wirelength.
+package sta
+
+import (
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/route"
+)
+
+// WireCapPerUnit is the capacitance (fF) per routed grid unit of wire.
+const WireCapPerUnit = 0.35
+
+// ViaCap is the capacitance (fF) added per via on a net.
+const ViaCap = 0.12
+
+// PinCap models the load of a primary-output pad.
+const PinCap = 2.0
+
+// LoadModel returns the capacitive load of each net.
+type LoadModel func(n *netlist.Net) float64
+
+// LoadFromLayout builds a load model using routed wirelength and vias.
+func LoadFromLayout(lay *route.Layout) LoadModel {
+	return func(n *netlist.Net) float64 {
+		load := pinLoad(n)
+		r := &lay.Routes[n.ID]
+		load += float64(r.Length()) * WireCapPerUnit
+		load += float64(len(r.Vias)) * ViaCap
+		return load
+	}
+}
+
+// LoadFromFanout builds a pre-layout load model from pin caps only.
+func LoadFromFanout() LoadModel {
+	return pinLoad
+}
+
+func pinLoad(n *netlist.Net) float64 {
+	load := 0.0
+	for _, p := range n.Fanout {
+		load += p.Gate.Type.InputCap[p.Pin]
+	}
+	if n.IsPO {
+		load += PinCap
+	}
+	return load
+}
+
+// Report is the result of timing analysis.
+type Report struct {
+	CriticalDelay float64
+	Arrival       []float64 // per net ID
+	// CritPath lists the gates on the critical path, PI side first.
+	CritPath []*netlist.Gate
+}
+
+// Analyze runs topological arrival propagation and extracts the critical
+// path.
+func Analyze(c *netlist.Circuit, load LoadModel) Report {
+	r := Report{Arrival: make([]float64, len(c.Nets))}
+	worstIn := make([]*netlist.Net, len(c.Nets))
+	for _, g := range c.Levelize() {
+		at := 0.0
+		var worst *netlist.Net
+		for _, in := range g.Fanin {
+			if a := r.Arrival[in.ID]; a >= at {
+				at = a
+				worst = in
+			}
+		}
+		if worst == nil && len(g.Fanin) > 0 {
+			worst = g.Fanin[0]
+		}
+		delay := g.Type.Intrinsic + g.Type.DriveRes*load(g.Out)
+		r.Arrival[g.Out.ID] = at + delay
+		worstIn[g.Out.ID] = worst
+	}
+
+	var critPO *netlist.Net
+	for _, po := range c.POs {
+		if r.Arrival[po.ID] >= r.CriticalDelay {
+			r.CriticalDelay = r.Arrival[po.ID]
+			critPO = po
+		}
+	}
+	// Trace the critical path back to a PI.
+	for n := critPO; n != nil && n.Driver != nil; n = worstIn[n.ID] {
+		r.CritPath = append([]*netlist.Gate{n.Driver}, r.CritPath...)
+	}
+	return r
+}

@@ -1,0 +1,126 @@
+package sta
+
+import (
+	"testing"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/place"
+	"dfmresyn/internal/route"
+)
+
+var lib = library.OSU018Like()
+
+// chain builds a linear chain of n inverters.
+func chain(t *testing.T, n int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("chain", lib)
+	cur := c.AddPI("a")
+	for i := 0; i < n; i++ {
+		cur = c.AddGate("", lib.ByName("INVX1"), cur)
+	}
+	c.MarkPO(cur)
+	return c
+}
+
+func TestChainDelayAdds(t *testing.T) {
+	c3 := chain(t, 3)
+	c6 := chain(t, 6)
+	r3 := Analyze(c3, LoadFromFanout())
+	r6 := Analyze(c6, LoadFromFanout())
+	if r3.CriticalDelay <= 0 {
+		t.Fatal("delay must be positive")
+	}
+	if r6.CriticalDelay <= r3.CriticalDelay {
+		t.Error("longer chain must be slower")
+	}
+	// Delay of 6-chain should be about double the 3-chain.
+	ratio := r6.CriticalDelay / r3.CriticalDelay
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("6/3 chain delay ratio = %.2f, want about 2", ratio)
+	}
+}
+
+func TestCriticalPathExtraction(t *testing.T) {
+	c := chain(t, 4)
+	r := Analyze(c, LoadFromFanout())
+	if len(r.CritPath) != 4 {
+		t.Fatalf("critical path has %d gates, want 4", len(r.CritPath))
+	}
+	// Path must be in PI-to-PO order.
+	for i := 1; i < len(r.CritPath); i++ {
+		if r.CritPath[i].Fanin[0] != r.CritPath[i-1].Out {
+			t.Fatalf("critical path not connected at position %d", i)
+		}
+	}
+}
+
+func TestCriticalPathPicksSlowerBranch(t *testing.T) {
+	// Two paths to a NAND: direct (fast) and through 3 inverters (slow).
+	c := netlist.New("branch", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	slow := b
+	for i := 0; i < 3; i++ {
+		slow = c.AddGate("", lib.ByName("INVX1"), slow)
+	}
+	y := c.AddGate("u_y", lib.ByName("NAND2X1"), a, slow)
+	c.MarkPO(y)
+	r := Analyze(c, LoadFromFanout())
+	if len(r.CritPath) != 4 {
+		t.Fatalf("critical path gates = %d, want 4 (3 INV + NAND)", len(r.CritPath))
+	}
+	if r.CritPath[len(r.CritPath)-1].Name != "u_y" {
+		t.Error("critical path must end at the NAND")
+	}
+}
+
+func TestBiggerDriveIsFaster(t *testing.T) {
+	// INVX8 driving a heavy load beats INVX1 driving the same load.
+	mk := func(drv string) float64 {
+		c := netlist.New("d", lib)
+		a := c.AddPI("a")
+		y := c.AddGate("u_d", lib.ByName(drv), a)
+		// Fan out to 6 NAND4 pins for load.
+		for i := 0; i < 6; i++ {
+			s := c.AddGate("", lib.ByName("NAND4X1"), y, y, y, y)
+			c.MarkPO(s)
+		}
+		return Analyze(c, LoadFromFanout()).CriticalDelay
+	}
+	if mk("INVX8") >= mk("INVX1") {
+		t.Error("INVX8 must be faster than INVX1 under heavy load")
+	}
+}
+
+func TestLoadFromLayoutAddsWireDelay(t *testing.T) {
+	c := chain(t, 10)
+	p, err := place.Place(c, 0.70, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := route.Route(p)
+	pre := Analyze(c, LoadFromFanout()).CriticalDelay
+	post := Analyze(c, LoadFromLayout(lay)).CriticalDelay
+	if post <= pre {
+		t.Errorf("post-layout delay %v must exceed pre-layout %v", post, pre)
+	}
+}
+
+func TestPOLoadCounted(t *testing.T) {
+	// A PO net must be slower than the same net without PO marking.
+	build := func(markPO bool) float64 {
+		c := netlist.New("po", lib)
+		a := c.AddPI("a")
+		y := c.AddGate("u", lib.ByName("INVX1"), a)
+		z := c.AddGate("u2", lib.ByName("INVX1"), y)
+		c.MarkPO(z)
+		if markPO {
+			c.MarkPO(y)
+		}
+		return Analyze(c, LoadFromFanout()).CriticalDelay
+	}
+	if build(true) <= build(false) {
+		t.Error("PO pin load must increase delay")
+	}
+}

@@ -1,0 +1,385 @@
+// Package switchsim is a switch-level simulator for standard cells. It
+// evaluates a cell's transistor netlist — optionally with an injected
+// manufacturing defect — and derives the cell-aware (UDFM) behavior of each
+// defect: the set of input assignments (and assignment pairs, for
+// charge-retention defects such as transistor stuck-opens) under which the
+// defective cell's output differs from the good output.
+//
+// This replaces the switch-level translation step of Kim et al. / Sinha et
+// al. that the paper's flow performs with commercial tooling.
+package switchsim
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/library"
+)
+
+// Val is a ternary node value.
+type Val uint8
+
+// Ternary node values.
+const (
+	VX Val = iota // unknown / intermediate
+	V0
+	V1
+)
+
+// String returns "0", "1" or "X".
+func (v Val) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	}
+	return "X"
+}
+
+// DefectKind classifies an injected cell-internal defect.
+type DefectKind uint8
+
+// The defect kinds the DFM translation produces.
+const (
+	// TransStuckOpen: the transistor never conducts (broken source/drain
+	// contact, broken poly, open via on the gate net). Detection is
+	// typically sequence-dependent (charge retention).
+	TransStuckOpen DefectKind = iota
+	// TransStuckOn: the transistor always conducts (gate-oxide short,
+	// bridged gate). May cause drive fights, resolved 0-dominant.
+	TransStuckOn
+	// NodeBridge: two cell-internal nodes are hard-shorted (metal1
+	// spacing marginality).
+	NodeBridge
+	// TermBreak: one channel terminal of a transistor is disconnected
+	// from its node (broken diffusion contact). Equivalent to a
+	// stuck-open for the affected path.
+	TermBreak
+	// OutputOpen: the cell output pin is disconnected from the output
+	// node (open pin via). The external net floats and retains its
+	// previous value: a purely dynamic defect.
+	OutputOpen
+)
+
+// String names the defect kind.
+func (k DefectKind) String() string {
+	switch k {
+	case TransStuckOpen:
+		return "trans-stuck-open"
+	case TransStuckOn:
+		return "trans-stuck-on"
+	case NodeBridge:
+		return "node-bridge"
+	case TermBreak:
+		return "term-break"
+	case OutputOpen:
+		return "output-open"
+	}
+	return fmt.Sprintf("defect(%d)", uint8(k))
+}
+
+// Defect is one injected cell-internal defect.
+type Defect struct {
+	Kind  DefectKind
+	T     int // transistor index (TransStuckOpen, TransStuckOn, TermBreak)
+	Term  int // 0 = terminal A, 1 = terminal B (TermBreak)
+	NodeA int // bridge partners (NodeBridge)
+	NodeB int
+}
+
+// String renders the defect compactly.
+func (d Defect) String() string {
+	switch d.Kind {
+	case NodeBridge:
+		return fmt.Sprintf("%s(n%d,n%d)", d.Kind, d.NodeA, d.NodeB)
+	case OutputOpen:
+		return d.Kind.String()
+	case TermBreak:
+		return fmt.Sprintf("%s(T%d.%d)", d.Kind, d.T, d.Term)
+	default:
+		return fmt.Sprintf("%s(T%d)", d.Kind, d.T)
+	}
+}
+
+// None is the sentinel "no defect" used for good-cell evaluation.
+var None = Defect{Kind: 255}
+
+type tstate uint8
+
+const (
+	tOff tstate = iota
+	tOn
+	tMaybe
+)
+
+// maxIters bounds the fixpoint iteration over multi-stage cells.
+const maxIters = 16
+
+// edge is one conduction edge in the channel graph: a transistor channel
+// (t >= 0) or a hard bridge (t == -1).
+type edge struct{ a, b, t int }
+
+// Eval evaluates the cell under the given full input assignment and defect.
+// prev supplies per-node retained charge for floating nodes (nil means all
+// unknown). It returns the output value and the final node state (length
+// cell.NumNodes) for chaining two-pattern simulations.
+//
+// Drive fights (simultaneous definite paths to VDD and GND) resolve to 0,
+// modeling the typically stronger NMOS pull-down network; this makes
+// stuck-on defect behavior deterministic and is documented in DESIGN.md.
+func Eval(c *library.Cell, d Defect, assignment uint, prev []Val) (Val, []Val) {
+	nn := c.NumNodes
+	vals := make([]Val, nn)
+	vals[library.VDD] = V1
+	vals[library.GND] = V0
+	for n := 2; n < nn; n++ {
+		vals[n] = VX
+	}
+
+	// Effective transistor channel endpoints, accounting for TermBreak
+	// (the broken terminal is re-pointed at a fresh isolated node) and
+	// OutputOpen (handled in Derive, which never calls Eval for it).
+	edges := make([]edge, 0, len(c.Transistors)+1)
+	extraNode := nn
+	total := nn
+	for ti, tr := range c.Transistors {
+		a, b := tr.A, tr.B
+		if d.Kind == TermBreak && d.T == ti {
+			if d.Term == 0 {
+				a = extraNode
+			} else {
+				b = extraNode
+			}
+			total = nn + 1
+		}
+		edges = append(edges, edge{a, b, ti})
+	}
+	if total > nn {
+		vals = append(vals, VX)
+	}
+	// A bridge is an always-on edge.
+	if d.Kind == NodeBridge {
+		edges = append(edges, edge{d.NodeA, d.NodeB, -1})
+	}
+
+	gateVal := func(s library.Signal) Val {
+		if s.Input >= 0 {
+			if assignment>>uint(s.Input)&1 == 1 {
+				return V1
+			}
+			return V0
+		}
+		return vals[s.Node]
+	}
+
+	states := make([]tstate, len(edges))
+	newVals := make([]Val, len(vals))
+	for iter := 0; iter < maxIters; iter++ {
+		// Transistor conduction states.
+		for ei, e := range edges {
+			if e.t < 0 {
+				states[ei] = tOn // bridge
+				continue
+			}
+			switch d.Kind {
+			case TransStuckOpen:
+				if d.T == e.t {
+					states[ei] = tOff
+					continue
+				}
+			case TransStuckOn:
+				if d.T == e.t {
+					states[ei] = tOn
+					continue
+				}
+			}
+			tr := c.Transistors[e.t]
+			g := gateVal(tr.Gate)
+			switch {
+			case g == VX:
+				states[ei] = tMaybe
+			case (g == V1) != tr.PMOS:
+				states[ei] = tOn
+			default:
+				states[ei] = tOff
+			}
+		}
+
+		// Reachability from the rails.
+		def1 := reach(len(vals), edges, states, library.VDD, false)
+		pos1 := reach(len(vals), edges, states, library.VDD, true)
+		def0 := reach(len(vals), edges, states, library.GND, false)
+		pos0 := reach(len(vals), edges, states, library.GND, true)
+
+		copy(newVals, vals)
+		for n := 2; n < len(vals); n++ {
+			switch {
+			case def1[n] && def0[n]:
+				newVals[n] = V0 // drive fight: 0-dominant
+			case def1[n] && !pos0[n]:
+				newVals[n] = V1
+			case def0[n] && !pos1[n]:
+				newVals[n] = V0
+			case !pos1[n] && !pos0[n]:
+				// Floating: retain charge if known.
+				if prev != nil && n < len(prev) {
+					newVals[n] = prev[n]
+				} else {
+					newVals[n] = VX
+				}
+			default:
+				newVals[n] = VX
+			}
+		}
+		changed := false
+		for n := range vals {
+			if vals[n] != newVals[n] {
+				changed = true
+			}
+		}
+		copy(vals, newVals)
+		if !changed {
+			break
+		}
+	}
+
+	out := vals[library.Out]
+	final := make([]Val, nn)
+	copy(final, vals[:nn])
+	return out, final
+}
+
+// reach computes rail reachability over conducting transistors. With maybe
+// set, tMaybe edges also conduct (possible-reachability); otherwise only
+// definite tOn edges conduct.
+func reach(n int, edges []edge, states []tstate, from int, maybe bool) []bool {
+	seen := make([]bool, n)
+	seen[from] = true
+	queue := []int{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for ei, e := range edges {
+			if states[ei] == tOff || (states[ei] == tMaybe && !maybe) {
+				continue
+			}
+			var next int
+			switch cur {
+			case e.a:
+				next = e.b
+			case e.b:
+				next = e.a
+			default:
+				continue
+			}
+			// The rails are infinite sources; paths do not pass
+			// *through* the opposite rail.
+			if next == library.VDD || next == library.GND {
+				continue
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return seen
+}
+
+// GoodOutput evaluates the defect-free cell at the switch level.
+func GoodOutput(c *library.Cell, assignment uint) Val {
+	v, _ := Eval(c, None, assignment, nil)
+	return v
+}
+
+// Behavior is the derived cell-aware (UDFM) behavior of a defect.
+//
+// StaticMask bit a is set when applying input assignment a to the settled
+// defective cell produces a solid output value opposite to the good output.
+//
+// PairMask[p] bit a is set when the two-pattern sequence (p, a) produces a
+// wrong solid output under assignment a thanks to charge retention, for
+// assignments a NOT already in StaticMask. Purely dynamic defects (e.g.
+// stuck-opens) have an empty StaticMask and rely entirely on PairMask.
+type Behavior struct {
+	Inputs     int
+	StaticMask uint64
+	PairMask   []uint64
+}
+
+// Detectable reports whether the defect changes cell behavior at all.
+func (b Behavior) Detectable() bool {
+	if b.StaticMask != 0 {
+		return true
+	}
+	for _, m := range b.PairMask {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StaticCount returns the number of statically-detecting assignments.
+func (b Behavior) StaticCount() int {
+	n := 0
+	for a := uint(0); a < 1<<uint(b.Inputs); a++ {
+		if b.StaticMask>>a&1 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Derive computes the Behavior of defect d in cell c by exhaustive
+// switch-level simulation over all input assignments and assignment pairs.
+func Derive(c *library.Cell, d Defect) Behavior {
+	n := c.NumInputs()
+	na := uint(1) << uint(n)
+	b := Behavior{Inputs: n, PairMask: make([]uint64, na)}
+
+	good := make([]Val, na)
+	for a := uint(0); a < na; a++ {
+		good[a] = Val(c.Eval(a) + 1) // V0=1, V1=2 encoding matches Val
+	}
+
+	if d.Kind == OutputOpen {
+		// The cell computes correctly but the pin floats at the old
+		// value: pair (p, a) detects when good(p) != good(a).
+		for p := uint(0); p < na; p++ {
+			for a := uint(0); a < na; a++ {
+				if good[p] != good[a] {
+					b.PairMask[p] |= 1 << a
+				}
+			}
+		}
+		return b
+	}
+
+	// Static behavior: settle the defective cell from an unknown state.
+	faultyOut := make([]Val, na)
+	faultyNodes := make([][]Val, na)
+	for a := uint(0); a < na; a++ {
+		out, nodes := Eval(c, d, a, nil)
+		faultyOut[a] = out
+		faultyNodes[a] = nodes
+		if out != VX && out != good[a] {
+			b.StaticMask |= 1 << a
+		}
+	}
+
+	// Dynamic behavior: apply p (defective cell settles, possibly with
+	// floating nodes at unknown), then a with charge retention.
+	for p := uint(0); p < na; p++ {
+		for a := uint(0); a < na; a++ {
+			if b.StaticMask>>a&1 == 1 {
+				continue // already statically detected
+			}
+			out, _ := Eval(c, d, a, faultyNodes[p])
+			if out != VX && out != good[a] {
+				b.PairMask[p] |= 1 << a
+			}
+		}
+	}
+	return b
+}

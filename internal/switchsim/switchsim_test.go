@@ -1,0 +1,244 @@
+package switchsim
+
+import (
+	"testing"
+
+	"dfmresyn/internal/library"
+)
+
+// TestGoodEvalMatchesTruthTables validates every cell's transistor netlist:
+// the defect-free switch-level output must equal the declared logic function
+// on every input assignment.
+func TestGoodEvalMatchesTruthTables(t *testing.T) {
+	lib := library.OSU018Like()
+	for _, c := range lib.Cells {
+		for a := uint(0); a < 1<<uint(c.NumInputs()); a++ {
+			got := GoodOutput(c, a)
+			want := V0
+			if c.Eval(a) == 1 {
+				want = V1
+			}
+			if got != want {
+				t.Errorf("%s(%0*b): switch-level %v, truth table %v",
+					c.Name, c.NumInputs(), a, got, want)
+			}
+		}
+	}
+}
+
+func TestInverterStuckOpenIsDynamic(t *testing.T) {
+	lib := library.OSU018Like()
+	inv := lib.ByName("INVX1")
+	// Transistor 0 is the NMOS (nmos added first by invTo).
+	b := Derive(inv, Defect{Kind: TransStuckOpen, T: 0})
+	if b.StaticMask != 0 {
+		t.Errorf("NMOS stuck-open should have no static detection, mask=%b", b.StaticMask)
+	}
+	// Pair (A=0 then A=1): output floats at retained 1, good output is 0.
+	if b.PairMask[0]>>1&1 != 1 {
+		t.Errorf("pair (0,1) should detect NMOS stuck-open, PairMask=%v", b.PairMask)
+	}
+	// Pair (1,1): output floated from unknown state, no detection.
+	if b.PairMask[1]>>1&1 != 0 {
+		t.Errorf("pair (1,1) should not detect (previous output was already wrong-unknown)")
+	}
+	if !b.Detectable() {
+		t.Error("stuck-open must be detectable")
+	}
+}
+
+func TestInverterStuckOnIsStatic(t *testing.T) {
+	lib := library.OSU018Like()
+	inv := lib.ByName("INVX1")
+	// NMOS stuck-on: with A=0 both networks drive; fight resolves to 0,
+	// good output is 1 -> static detection at assignment 0.
+	b := Derive(inv, Defect{Kind: TransStuckOn, T: 0})
+	if b.StaticMask != 0b01 {
+		t.Errorf("NMOS stuck-on static mask = %b, want 01", b.StaticMask)
+	}
+}
+
+func TestNand2OutputBridgeToGround(t *testing.T) {
+	lib := library.OSU018Like()
+	nand := lib.ByName("NAND2X1")
+	b := Derive(nand, Defect{Kind: NodeBridge, NodeA: library.Out, NodeB: library.GND})
+	// Good NAND2 output is 1 for assignments 0,1,2 — all become 0.
+	if b.StaticMask != 0b0111 {
+		t.Errorf("bridge-to-ground static mask = %04b, want 0111", b.StaticMask)
+	}
+}
+
+func TestOutputOpenPairBehavior(t *testing.T) {
+	lib := library.OSU018Like()
+	inv := lib.ByName("INVX1")
+	b := Derive(inv, Defect{Kind: OutputOpen})
+	if b.StaticMask != 0 {
+		t.Error("output open must be purely dynamic")
+	}
+	// good(0)=1, good(1)=0: pairs (0,1) and (1,0) detect; (0,0),(1,1) do not.
+	if b.PairMask[0] != 0b10 || b.PairMask[1] != 0b01 {
+		t.Errorf("output-open pair masks = %b,%b; want 10,01", b.PairMask[0], b.PairMask[1])
+	}
+}
+
+func TestTermBreakEquivalentToStuckOpenForInverter(t *testing.T) {
+	lib := library.OSU018Like()
+	inv := lib.ByName("INVX1")
+	open := Derive(inv, Defect{Kind: TransStuckOpen, T: 0})
+	brk := Derive(inv, Defect{Kind: TermBreak, T: 0, Term: 0})
+	if open.StaticMask != brk.StaticMask {
+		t.Errorf("static masks differ: %b vs %b", open.StaticMask, brk.StaticMask)
+	}
+	for p := range open.PairMask {
+		if open.PairMask[p] != brk.PairMask[p] {
+			t.Errorf("pair masks differ at prev=%d: %b vs %b", p, open.PairMask[p], brk.PairMask[p])
+		}
+	}
+}
+
+// TestEveryStuckOpenDetectableInSeriesParallelCells: in fully complementary
+// static CMOS (no transmission gates), every transistor stuck-open changes
+// behavior for some pattern pair. Transmission-gate cells (MUX2X1) are
+// exempt: one device of a t-gate is redundant in the ternary model.
+func TestEveryStuckOpenDetectableInSeriesParallelCells(t *testing.T) {
+	lib := library.OSU018Like()
+	for _, c := range lib.Cells {
+		if c.Name == "MUX2X1" {
+			continue
+		}
+		for ti := range c.Transistors {
+			b := Derive(c, Defect{Kind: TransStuckOpen, T: ti})
+			if !b.Detectable() {
+				t.Errorf("%s T%d stuck-open undetectable at cell level", c.Name, ti)
+			}
+		}
+	}
+}
+
+// TestEveryStuckOnHasDefinedBehavior: stuck-on defects either change the
+// logic (static detection) or leave it identical; they must never make the
+// good-side simulation diverge (the Derive call must terminate and produce
+// masks covering only real differences).
+func TestEveryStuckOnBehaviorSound(t *testing.T) {
+	lib := library.OSU018Like()
+	for _, c := range lib.Cells {
+		for ti := range c.Transistors {
+			d := Defect{Kind: TransStuckOn, T: ti}
+			b := Derive(c, d)
+			// Every statically-flagged assignment must really differ.
+			for a := uint(0); a < 1<<uint(c.NumInputs()); a++ {
+				if b.StaticMask>>a&1 == 0 {
+					continue
+				}
+				out, _ := Eval(c, d, a, nil)
+				if out == VX {
+					t.Errorf("%s T%d stuck-on: assignment %b flagged static but output is X", c.Name, ti, a)
+				}
+				good := V0
+				if c.Eval(a) == 1 {
+					good = V1
+				}
+				if out == good {
+					t.Errorf("%s T%d stuck-on: assignment %b flagged static but output matches good", c.Name, ti, a)
+				}
+			}
+		}
+	}
+}
+
+// TestPairMaskExcludesStatic: by construction the dynamic mask never repeats
+// statically-detected assignments.
+func TestPairMaskExcludesStatic(t *testing.T) {
+	lib := library.OSU018Like()
+	for _, c := range lib.Cells {
+		for ti := range c.Transistors {
+			for _, kind := range []DefectKind{TransStuckOpen, TransStuckOn} {
+				b := Derive(c, Defect{Kind: kind, T: ti})
+				for _, pm := range b.PairMask {
+					if pm&b.StaticMask != 0 {
+						t.Fatalf("%s T%d %v: pair mask overlaps static mask", c.Name, ti, kind)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNandStackNodeBridge(t *testing.T) {
+	lib := library.OSU018Like()
+	nand := lib.ByName("NAND2X1")
+	// Node 3 is the series-stack node between the two NMOS devices.
+	// Bridging it to ground lets input A pull the output down alone:
+	// at A=1,B=0 the output fights and resolves 0 while good is 1.
+	b := Derive(nand, Defect{Kind: NodeBridge, NodeA: 3, NodeB: library.GND})
+	if b.StaticMask>>1&1 != 1 {
+		t.Errorf("stack-node bridge must statically detect at A=1,B=0; mask=%04b", b.StaticMask)
+	}
+	if b.StaticMask>>3&1 != 0 {
+		t.Errorf("A=1,B=1 output is 0 in both circuits; mask=%04b", b.StaticMask)
+	}
+}
+
+// TestFeedbackBridgePessimism: bridging a buffer's internal inverted node to
+// its output creates a two-inverter fight; the ternary solver must settle on
+// X (sound pessimism), never a wrong definite claim of detection.
+func TestFeedbackBridgePessimism(t *testing.T) {
+	lib := library.OSU018Like()
+	buf := lib.ByName("BUFX2")
+	d := Defect{Kind: NodeBridge, NodeA: 3, NodeB: library.Out}
+	for a := uint(0); a < 2; a++ {
+		out, _ := Eval(buf, d, a, nil)
+		if out != VX {
+			t.Errorf("feedback bridge at A=%d: out=%v, want X", a, out)
+		}
+	}
+	b := Derive(buf, d)
+	if b.StaticMask != 0 {
+		t.Errorf("feedback bridge must not claim static detection; mask=%b", b.StaticMask)
+	}
+}
+
+func TestDefectString(t *testing.T) {
+	cases := map[string]Defect{
+		"trans-stuck-open(T3)": {Kind: TransStuckOpen, T: 3},
+		"trans-stuck-on(T0)":   {Kind: TransStuckOn, T: 0},
+		"node-bridge(n2,n4)":   {Kind: NodeBridge, NodeA: 2, NodeB: 4},
+		"term-break(T1.1)":     {Kind: TermBreak, T: 1, Term: 1},
+		"output-open":          {Kind: OutputOpen},
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestStaticCount(t *testing.T) {
+	b := Behavior{Inputs: 3, StaticMask: 0b1011}
+	if got := b.StaticCount(); got != 3 {
+		t.Errorf("StaticCount = %d, want 3", got)
+	}
+}
+
+// TestChargeRetentionChaining: with an explicit prev state, a floating
+// output must keep the supplied value.
+func TestChargeRetentionChaining(t *testing.T) {
+	lib := library.OSU018Like()
+	inv := lib.ByName("INVX1")
+	d := Defect{Kind: TransStuckOpen, T: 0} // NMOS open
+	// First settle at A=0: output drives 1.
+	out0, nodes0 := Eval(inv, d, 0, nil)
+	if out0 != V1 {
+		t.Fatalf("defective INV at A=0: out=%v, want 1", out0)
+	}
+	// Then A=1: both networks off, output floats, retains 1.
+	out1, _ := Eval(inv, d, 1, nodes0)
+	if out1 != V1 {
+		t.Errorf("defective INV at A=1 after A=0: out=%v, want retained 1", out1)
+	}
+	// Without retention state it must be unknown.
+	outX, _ := Eval(inv, d, 1, nil)
+	if outX != VX {
+		t.Errorf("defective INV at A=1 cold: out=%v, want X", outX)
+	}
+}

@@ -1,0 +1,250 @@
+// Package synth implements the logic-resynthesis substrate: an
+// and-inverter graph (AIG) with structural hashing and constant folding,
+// and a cut-based technology mapper that can be restricted to a subset of
+// the standard-cell library — the Synthesize() operation of the paper,
+// which resynthesizes a subcircuit "without using cell_0 ... cell_i".
+package synth
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/logic"
+)
+
+// Lit is an AIG literal: node index times two, plus one when complemented.
+type Lit uint32
+
+// The constant-false node is node 0; its literals are the two constants.
+const (
+	ConstFalse Lit = 0
+	ConstTrue  Lit = 1
+)
+
+// MkLit builds a literal from a node index and a complement flag.
+func MkLit(node int, inv bool) Lit {
+	l := Lit(node << 1)
+	if inv {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the literal's node index.
+func (l Lit) Node() int { return int(l >> 1) }
+
+// Inv reports whether the literal is complemented.
+func (l Lit) Inv() bool { return l&1 == 1 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// IsConst reports whether the literal is one of the constants.
+func (l Lit) IsConst() bool { return l.Node() == 0 }
+
+// nodeKind discriminates AIG node types.
+type nodeKind uint8
+
+const (
+	kindConst nodeKind = iota
+	kindPI
+	kindAnd
+)
+
+type node struct {
+	kind   nodeKind
+	f0, f1 Lit // fanins of AND nodes, f0 <= f1
+}
+
+// AIG is a structurally-hashed and-inverter graph.
+type AIG struct {
+	nodes []node
+	nPI   int
+	hash  map[[2]Lit]int
+}
+
+// NewAIG creates an AIG with the given number of primary inputs. PI i is
+// node i+1.
+func NewAIG(numPI int) *AIG {
+	a := &AIG{nPI: numPI, hash: make(map[[2]Lit]int)}
+	a.nodes = append(a.nodes, node{kind: kindConst})
+	for i := 0; i < numPI; i++ {
+		a.nodes = append(a.nodes, node{kind: kindPI})
+	}
+	return a
+}
+
+// NumPI returns the number of primary inputs.
+func (a *AIG) NumPI() int { return a.nPI }
+
+// Len returns the number of nodes including the constant and the PIs.
+func (a *AIG) Len() int { return len(a.nodes) }
+
+// PI returns the positive literal of primary input i.
+func (a *AIG) PI(i int) Lit {
+	if i < 0 || i >= a.nPI {
+		panic(fmt.Sprintf("synth: PI %d out of range", i))
+	}
+	return MkLit(i+1, false)
+}
+
+// IsAnd reports whether node n is an AND node, returning its fanins.
+func (a *AIG) IsAnd(n int) (f0, f1 Lit, ok bool) {
+	if n < 0 || n >= len(a.nodes) || a.nodes[n].kind != kindAnd {
+		return 0, 0, false
+	}
+	return a.nodes[n].f0, a.nodes[n].f1, true
+}
+
+// IsPI reports whether node n is a primary input.
+func (a *AIG) IsPI(n int) bool {
+	return n >= 1 && n <= a.nPI
+}
+
+// And returns the literal for the conjunction of x and y, applying constant
+// folding, trivial simplifications and structural hashing.
+func (a *AIG) And(x, y Lit) Lit {
+	// Normalize order.
+	if x > y {
+		x, y = y, x
+	}
+	switch {
+	case x == ConstFalse:
+		return ConstFalse
+	case x == ConstTrue:
+		return y
+	case x == y:
+		return x
+	case x == y.Not():
+		return ConstFalse
+	}
+	key := [2]Lit{x, y}
+	if n, ok := a.hash[key]; ok {
+		return MkLit(n, false)
+	}
+	a.nodes = append(a.nodes, node{kind: kindAnd, f0: x, f1: y})
+	n := len(a.nodes) - 1
+	a.hash[key] = n
+	return MkLit(n, false)
+}
+
+// Or returns the literal for the disjunction.
+func (a *AIG) Or(x, y Lit) Lit { return a.And(x.Not(), y.Not()).Not() }
+
+// Xor returns the literal for the exclusive-or.
+func (a *AIG) Xor(x, y Lit) Lit {
+	return a.Or(a.And(x, y.Not()), a.And(x.Not(), y))
+}
+
+// Mux returns s ? t : e.
+func (a *AIG) Mux(s, t, e Lit) Lit {
+	return a.Or(a.And(s, t), a.And(s.Not(), e))
+}
+
+// FromTT builds the function given by a truth table over the given input
+// literals using Shannon decomposition (with structural hashing providing
+// sharing and constant folding).
+func (a *AIG) FromTT(tt logic.TT, ins []Lit) Lit {
+	if len(ins) != tt.Inputs {
+		panic("synth: FromTT input arity mismatch")
+	}
+	return a.fromTTRec(tt, ins, tt.Inputs-1)
+}
+
+func (a *AIG) fromTTRec(tt logic.TT, ins []Lit, v int) Lit {
+	if c, ok := tt.IsConst(); ok {
+		if c == 1 {
+			return ConstTrue
+		}
+		return ConstFalse
+	}
+	// Cofactor on variable v (the highest remaining).
+	neg, pos := cofactors(tt, v)
+	f0 := a.fromTTRec(neg, ins, v-1)
+	f1 := a.fromTTRec(pos, ins, v-1)
+	if f0 == f1 {
+		return f0
+	}
+	return a.Mux(ins[v], f1, f0)
+}
+
+// cofactors splits tt on variable v, returning tables over the same input
+// count (variable v becomes don't-care).
+func cofactors(tt logic.TT, v int) (neg, pos logic.TT) {
+	n := uint(1) << uint(tt.Inputs)
+	var nb, pb uint64
+	for j := uint(0); j < n; j++ {
+		bit := uint64(tt.Bits >> j & 1)
+		if j>>uint(v)&1 == 1 {
+			pb |= bit << j
+			pb |= bit << (j ^ 1<<uint(v))
+		} else {
+			nb |= bit << j
+			nb |= bit << (j | 1<<uint(v))
+		}
+	}
+	return logic.TT{Inputs: tt.Inputs, Bits: nb}, logic.TT{Inputs: tt.Inputs, Bits: pb}
+}
+
+// Eval evaluates a literal on a full PI assignment (bit i of assignment is
+// PI i).
+func (a *AIG) Eval(l Lit, assignment uint) uint8 {
+	vals := make([]uint8, len(a.nodes))
+	for n := 1; n <= a.nPI; n++ {
+		vals[n] = uint8(assignment >> uint(n-1) & 1)
+	}
+	for n := a.nPI + 1; n < len(a.nodes); n++ {
+		nd := &a.nodes[n]
+		if nd.kind != kindAnd {
+			continue
+		}
+		v0 := vals[nd.f0.Node()] ^ b2u(nd.f0.Inv())
+		v1 := vals[nd.f1.Node()] ^ b2u(nd.f1.Inv())
+		vals[n] = v0 & v1
+	}
+	return vals[l.Node()] ^ b2u(l.Inv())
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ConeSize returns the number of AND nodes in the transitive fanin cone of
+// the literals.
+func (a *AIG) ConeSize(roots []Lit) int {
+	seen := make([]bool, len(a.nodes))
+	count := 0
+	var visit func(n int)
+	visit = func(n int) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if f0, f1, ok := a.IsAnd(n); ok {
+			count++
+			visit(f0.Node())
+			visit(f1.Node())
+		}
+	}
+	for _, r := range roots {
+		visit(r.Node())
+	}
+	return count
+}
+
+// Levels returns the AND-depth of each node.
+func (a *AIG) Levels() []int {
+	lv := make([]int, len(a.nodes))
+	for n := a.nPI + 1; n < len(a.nodes); n++ {
+		if f0, f1, ok := a.IsAnd(n); ok {
+			l0, l1 := lv[f0.Node()], lv[f1.Node()]
+			if l1 > l0 {
+				l0 = l1
+			}
+			lv[n] = l0 + 1
+		}
+	}
+	return lv
+}

@@ -1,0 +1,121 @@
+package synth
+
+import (
+	"testing"
+
+	"dfmresyn/internal/logic"
+)
+
+func TestMergeCuts(t *testing.T) {
+	if got := mergeCuts([]int{1, 3}, []int{2, 3}); !equalCut(got, []int{1, 2, 3}) {
+		t.Errorf("merge = %v", got)
+	}
+	if got := mergeCuts([]int{1}, []int{1}); !equalCut(got, []int{1}) {
+		t.Errorf("self-merge = %v", got)
+	}
+	// Over 4 leaves: rejected.
+	if got := mergeCuts([]int{1, 2, 3}, []int{4, 5}); got != nil {
+		t.Errorf("oversized merge accepted: %v", got)
+	}
+	if got := mergeCuts([]int{1, 2}, []int{3, 4}); !equalCut(got, []int{1, 2, 3, 4}) {
+		t.Errorf("4-leaf merge = %v", got)
+	}
+}
+
+func TestPruneCuts(t *testing.T) {
+	cs := [][]int{
+		{5, 6, 7},
+		{1, 2},
+		{1, 2}, // duplicate
+		{3},
+		{1, 4},
+	}
+	out := pruneCuts(cs)
+	if len(out) != 4 {
+		t.Fatalf("pruned to %d cuts, want 4 (dedup)", len(out))
+	}
+	// Smallest first.
+	for i := 1; i < len(out); i++ {
+		if len(out[i-1]) > len(out[i]) {
+			t.Fatalf("cuts not size-sorted: %v", out)
+		}
+	}
+	// Cap at maxCutsPerNode.
+	var many [][]int
+	for i := 0; i < 30; i++ {
+		many = append(many, []int{i})
+	}
+	if got := len(pruneCuts(many)); got != maxCutsPerNode {
+		t.Errorf("cap = %d, want %d", got, maxCutsPerNode)
+	}
+}
+
+func TestCutTT(t *testing.T) {
+	a := NewAIG(3)
+	x, y, z := a.PI(0), a.PI(1), a.PI(2)
+	n1 := a.And(x, y)
+	n2 := a.And(n1.Not(), z) // (x NAND y) AND z over cut {x,y,z}
+	cut := []int{x.Node(), y.Node(), z.Node()}
+	bits := a.cutTT(n2.Node(), cut)
+	for b := uint(0); b < 8; b++ {
+		xv, yv, zv := b&1, b>>1&1, b>>2&1
+		want := uint64((xv&yv ^ 1) & zv)
+		if bits>>b&1 != want {
+			t.Fatalf("cutTT at %03b = %d, want %d", b, bits>>b&1, want)
+		}
+	}
+}
+
+func TestProjection(t *testing.T) {
+	p := projection(1, 3)
+	for b := uint(0); b < 8; b++ {
+		if p>>b&1 != uint64(b>>1&1) {
+			t.Fatalf("projection(1,3) wrong at %03b", b)
+		}
+	}
+}
+
+func TestPermutationsCountAndUniqueness(t *testing.T) {
+	for k, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24} {
+		ps := permutations(k)
+		if len(ps) != want {
+			t.Errorf("permutations(%d) = %d, want %d", k, len(ps), want)
+		}
+		seen := map[string]bool{}
+		for _, p := range ps {
+			key := ""
+			for _, v := range p {
+				key += string(rune('0' + v))
+			}
+			if seen[key] {
+				t.Errorf("duplicate permutation %v", p)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// TestV5TableMatchesEvalV5: the cached table must agree with direct
+// five-valued evaluation on every cell and input combination.
+func TestV5TableMatchesEvalV5(t *testing.T) {
+	vals := []logic.V5{logic.X, logic.Zero, logic.One, logic.D, logic.DBar}
+	for _, c := range lib.Cells {
+		tab := c.TT.BuildV5Table()
+		k := c.NumInputs()
+		size := 1
+		for i := 0; i < k; i++ {
+			size *= 5
+		}
+		in := make([]logic.V5, k)
+		for code := 0; code < size; code++ {
+			cc := code
+			for i := 0; i < k; i++ {
+				in[i] = vals[cc%5]
+				cc /= 5
+			}
+			if tab.Eval(in) != c.TT.EvalV5(in) {
+				t.Fatalf("%s: table disagrees with EvalV5 at %v", c.Name, in)
+			}
+		}
+	}
+}

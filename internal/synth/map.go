@@ -1,0 +1,478 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+// Mode selects the mapping cost function.
+type Mode int
+
+// Mapping modes: minimize area (with delay tie-break) or delay (with area
+// tie-break).
+const (
+	Area Mode = iota
+	Delay
+)
+
+// maxCutsPerNode bounds priority-cut enumeration.
+const maxCutsPerNode = 8
+
+// Mapper holds the per-library match table; build it once and reuse.
+type Mapper struct {
+	Lib   *library.Library
+	table *matchTable
+}
+
+// NewMapper prepares a mapper for the library.
+func NewMapper(lib *library.Library) *Mapper {
+	return &Mapper{Lib: lib, table: buildMatchTable(lib)}
+}
+
+// chosen records the selected implementation of an AIG (node, phase).
+type chosen struct {
+	viaInv bool
+	cut    []int
+	m      match
+	cost   float64
+	delay  float64
+	valid  bool
+}
+
+// Mapped is a completed technology mapping, ready to be instantiated into a
+// netlist.
+type Mapped struct {
+	aig     *AIG
+	mapper  *Mapper
+	outs    []Lit
+	best    [][2]chosen // per node: phase 0 (positive), 1 (negative)
+	inv     *library.Cell
+	refs    []int // AIG fanout reference counts (area-flow)
+	EstArea float64
+}
+
+// ErrInsufficientCells is returned (wrapped) when the allowed cell subset
+// cannot realize the subcircuit — the eligibility condition (3) of the
+// paper's Section III-B.
+var ErrInsufficientCells = fmt.Errorf("synth: allowed cells insufficient for subcircuit")
+
+// Map performs cut-based technology mapping of the AIG outputs onto the
+// allowed cell subset.
+func (mp *Mapper) Map(a *AIG, outs []Lit, allowed func(*library.Cell) bool, mode Mode) (*Mapped, error) {
+	var inv *library.Cell
+	// Use the cheapest allowed inverter for phase flips.
+	for _, c := range mp.Lib.Cells {
+		if !allowed(c) || c.NumInputs() != 1 {
+			continue
+		}
+		// An inverter cell computes NOT.
+		if c.TT.Bits&1 == 1 && c.TT.Bits>>1&1 == 0 {
+			if inv == nil || c.Area < inv.Area {
+				inv = c
+			}
+		}
+	}
+
+	md := &Mapped{aig: a, mapper: mp, outs: outs, inv: inv,
+		best: make([][2]chosen, a.Len())}
+
+	// Reference counts for area-flow costing: a shared node's cost is
+	// amortized over its fanouts, which stops the tree-duplication
+	// overestimate classic DP mappers suffer from.
+	md.refs = make([]int, a.Len())
+	for n := a.NumPI() + 1; n < a.Len(); n++ {
+		if f0, f1, ok := a.IsAnd(n); ok {
+			md.refs[f0.Node()]++
+			md.refs[f1.Node()]++
+		}
+	}
+	for _, o := range outs {
+		md.refs[o.Node()]++
+	}
+
+	cuts := make([][][]int, a.Len())
+	tts := map[[2]int]uint64{} // (node, cutIndex) -> function bits
+
+	// PIs and constant.
+	md.best[0] = [2]chosen{} // constants handled at instantiation
+	for n := 1; n <= a.NumPI(); n++ {
+		md.best[n][0] = chosen{valid: true}
+		if inv != nil {
+			md.best[n][1] = chosen{valid: true, viaInv: true,
+				cost: inv.Area, delay: inv.Intrinsic}
+		}
+		cuts[n] = [][]int{{n}}
+	}
+
+	for n := a.NumPI() + 1; n < a.Len(); n++ {
+		f0, f1, ok := a.IsAnd(n)
+		if !ok {
+			continue
+		}
+		// Priority-cut enumeration.
+		var cs [][]int
+		for _, c0 := range cuts[f0.Node()] {
+			for _, c1 := range cuts[f1.Node()] {
+				mc := mergeCuts(c0, c1)
+				if mc == nil {
+					continue
+				}
+				cs = append(cs, mc)
+			}
+		}
+		cs = append(cs, []int{n})
+		cs = pruneCuts(cs)
+		cuts[n] = cs
+
+		// Evaluate matches per cut and phase.
+		for ci, cut := range cs {
+			if len(cut) == 1 && cut[0] == n {
+				continue // trivial cut: no cone to match
+			}
+			bits := a.cutTT(n, cut)
+			tts[[2]int{n, ci}] = bits
+			mask := uint64(1)<<(1<<uint(len(cut))) - 1
+			for phase := 0; phase < 2; phase++ {
+				target := bits
+				if phase == 1 {
+					target = ^bits & mask
+				}
+				for _, m := range mp.table.lookup(len(cut), target) {
+					if !allowed(m.cell) {
+						continue
+					}
+					cost, delay, feasible := md.matchCost(cut, m)
+					if !feasible {
+						continue
+					}
+					cand := chosen{cut: cut, m: m, cost: cost, delay: delay, valid: true}
+					if better(cand, md.best[n][phase], mode) {
+						md.best[n][phase] = cand
+					}
+				}
+			}
+		}
+		// Phase flip via inverter.
+		if inv != nil {
+			for phase := 0; phase < 2; phase++ {
+				other := md.best[n][1-phase]
+				if !other.valid {
+					continue
+				}
+				cand := chosen{viaInv: true, valid: true,
+					cost:  other.cost + inv.Area,
+					delay: other.delay + inv.Intrinsic}
+				if better(cand, md.best[n][phase], mode) {
+					md.best[n][phase] = cand
+				}
+			}
+		}
+	}
+
+	// Feasibility of all demanded outputs.
+	for _, o := range outs {
+		if o.IsConst() {
+			continue
+		}
+		phase := 0
+		if o.Inv() {
+			phase = 1
+		}
+		if !md.best[o.Node()][phase].valid {
+			return nil, fmt.Errorf("%w: output literal %d unrealizable", ErrInsufficientCells, o)
+		}
+		md.EstArea += md.best[o.Node()][phase].cost
+	}
+	return md, nil
+}
+
+// matchCost sums the cell cost with the demanded leaf phase costs; leaf
+// costs are amortized over the leaf's AIG fanout count (area flow).
+func (md *Mapped) matchCost(cut []int, m match) (cost, delay float64, feasible bool) {
+	cost = m.cell.Area
+	delay = 0
+	k := len(cut)
+	for i := 0; i < k; i++ {
+		leaf := cut[m.perm[i]]
+		phase := int(m.leafNeg >> uint(i) & 1)
+		lb := md.best[leaf][phase]
+		if !lb.valid {
+			return 0, 0, false
+		}
+		refs := md.refs[leaf]
+		if refs < 1 {
+			refs = 1
+		}
+		cost += lb.cost / float64(refs)
+		if lb.delay > delay {
+			delay = lb.delay
+		}
+	}
+	return cost, delay + m.cell.Intrinsic, true
+}
+
+func better(a, b chosen, mode Mode) bool {
+	if !b.valid {
+		return a.valid
+	}
+	if !a.valid {
+		return false
+	}
+	if mode == Area {
+		if a.cost != b.cost {
+			return a.cost < b.cost
+		}
+		return a.delay < b.delay
+	}
+	if a.delay != b.delay {
+		return a.delay < b.delay
+	}
+	return a.cost < b.cost
+}
+
+// mergeCuts unions two leaf sets, failing when the result exceeds 4 leaves.
+func mergeCuts(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+		if len(out) > 4 {
+			return nil
+		}
+	}
+	return out
+}
+
+// pruneCuts deduplicates and keeps the smallest cuts.
+func pruneCuts(cs [][]int) [][]int {
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i]) != len(cs[j]) {
+			return len(cs[i]) < len(cs[j])
+		}
+		for k := range cs[i] {
+			if cs[i][k] != cs[j][k] {
+				return cs[i][k] < cs[j][k]
+			}
+		}
+		return false
+	})
+	var out [][]int
+	for i, c := range cs {
+		if i > 0 && equalCut(c, cs[i-1]) {
+			continue
+		}
+		out = append(out, c)
+		if len(out) >= maxCutsPerNode {
+			break
+		}
+	}
+	return out
+}
+
+func equalCut(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cutTT computes the function of node n over the cut leaves (bit b of the
+// result is the node value when leaf i takes bit i of b).
+func (a *AIG) cutTT(n int, cut []int) uint64 {
+	memo := map[int]uint64{}
+	k := len(cut)
+	mask := uint64(1)<<(1<<uint(k)) - 1
+	for i, leaf := range cut {
+		memo[leaf] = projection(i, k)
+	}
+	var eval func(n int) uint64
+	eval = func(n int) uint64 {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		f0, f1, ok := a.IsAnd(n)
+		if !ok {
+			// Constant node (PIs would be leaves of any valid cut).
+			return 0
+		}
+		v0 := eval(f0.Node())
+		if f0.Inv() {
+			v0 = ^v0 & mask
+		}
+		v1 := eval(f1.Node())
+		if f1.Inv() {
+			v1 = ^v1 & mask
+		}
+		v := v0 & v1
+		memo[n] = v
+		return v
+	}
+	return eval(n) & mask
+}
+
+// projection returns the truth table of variable i over k variables.
+func projection(i, k int) uint64 {
+	var bits uint64
+	for b := uint(0); b < 1<<uint(k); b++ {
+		if b>>uint(i)&1 == 1 {
+			bits |= 1 << b
+		}
+	}
+	return bits
+}
+
+// Instantiate builds the mapped logic into nc. ins are the nets for the AIG
+// PIs in order; the returned nets realize the output literals in order.
+// Gates are named prefix plus a counter (the caller must pick a prefix that
+// cannot collide with existing gate names).
+func (md *Mapped) Instantiate(nc *netlist.Circuit, ins []*netlist.Net, prefix string) []*netlist.Net {
+	return md.InstantiateExt(nc, ins, prefix, nil)
+}
+
+// InstantiateExt is Instantiate with support for pseudo primary inputs: AIG
+// PI indices at or beyond len(ins) are obtained from resolve, which may
+// itself demand mapped literals through the provided callback (used to
+// re-instantiate frozen gates in place).
+func (md *Mapped) InstantiateExt(nc *netlist.Circuit, ins []*netlist.Net, prefix string,
+	resolve func(pi int, demand func(Lit) *netlist.Net) *netlist.Net) []*netlist.Net {
+
+	if len(ins) > md.aig.NumPI() || (resolve == nil && len(ins) != md.aig.NumPI()) {
+		panic("synth: Instantiate input count mismatch")
+	}
+	counter := 0
+	name := func() string {
+		counter++
+		return fmt.Sprintf("%s%d", prefix, counter)
+	}
+	memo := map[[2]int]*netlist.Net{}
+
+	var build func(n, phase int) *netlist.Net
+	demand := func(l Lit) *netlist.Net {
+		phase := 0
+		if l.Inv() {
+			phase = 1
+		}
+		return build(l.Node(), phase)
+	}
+	piNet := func(i int) *netlist.Net {
+		if i < len(ins) {
+			return ins[i]
+		}
+		if resolve == nil {
+			panic("synth: pseudo PI without resolver")
+		}
+		return resolve(i, demand)
+	}
+	build = func(n, phase int) *netlist.Net {
+		key := [2]int{n, phase}
+		if net, ok := memo[key]; ok {
+			return net
+		}
+		var net *netlist.Net
+		switch {
+		case n == 0:
+			net = md.makeConst(nc, ins, phase == 1, name)
+		case md.aig.IsPI(n):
+			if phase == 0 {
+				net = piNet(n - 1)
+			} else {
+				net = nc.AddGate(name(), md.inv, piNet(n-1))
+			}
+		default:
+			ch := md.best[n][phase]
+			if !ch.valid {
+				panic("synth: instantiating unrealizable literal")
+			}
+			if ch.viaInv {
+				other := build(n, 1-phase)
+				net = nc.AddGate(name(), md.inv, other)
+				break
+			}
+			k := len(ch.cut)
+			fanin := make([]*netlist.Net, k)
+			for i := 0; i < k; i++ {
+				leaf := ch.cut[ch.m.perm[i]]
+				lp := int(ch.m.leafNeg >> uint(i) & 1)
+				fanin[i] = build(leaf, lp)
+			}
+			net = nc.AddGate(name(), ch.m.cell, fanin...)
+		}
+		memo[key] = net
+		return net
+	}
+
+	outs := make([]*netlist.Net, len(md.outs))
+	for i, o := range md.outs {
+		phase := 0
+		if o.Inv() {
+			phase = 1
+		}
+		outs[i] = build(o.Node(), phase)
+	}
+	return outs
+}
+
+// makeConst builds a constant net. With at least one input available it
+// uses x AND NOT x (or its complement); otherwise it cannot be built.
+func (md *Mapped) makeConst(nc *netlist.Circuit, ins []*netlist.Net, one bool, name func() string) *netlist.Net {
+	if len(ins) == 0 || md.inv == nil {
+		panic("synth: constant output with no inputs to derive it from")
+	}
+	x := ins[0]
+	xn := nc.AddGate(name(), md.inv, x)
+	// Find an allowed 2-input AND-like or NAND-like cell.
+	var and2, nand2 *library.Cell
+	for _, c := range md.mapper.Lib.Cells {
+		if c.NumInputs() != 2 {
+			continue
+		}
+		switch c.TT.Bits & 0xF {
+		case 0x8:
+			if and2 == nil {
+				and2 = c
+			}
+		case 0x7:
+			if nand2 == nil {
+				nand2 = c
+			}
+		}
+	}
+	switch {
+	case one && nand2 != nil:
+		return nc.AddGate(name(), nand2, x, xn)
+	case one && and2 != nil:
+		z := nc.AddGate(name(), and2, x, xn)
+		return nc.AddGate(name(), md.inv, z)
+	case !one && and2 != nil:
+		return nc.AddGate(name(), and2, x, xn)
+	case !one && nand2 != nil:
+		z := nc.AddGate(name(), nand2, x, xn)
+		return nc.AddGate(name(), md.inv, z)
+	}
+	panic("synth: no cell available to build a constant")
+}

@@ -1,0 +1,83 @@
+package synth
+
+import (
+	"dfmresyn/internal/library"
+)
+
+// match is one way to implement a k-leaf cut function with a library cell:
+// cell input i connects to cut leaf perm[i], inverted when bit i of leafNeg
+// is set; the cell output realizes the target function directly (the output
+// phase is part of the lookup key, so no output inverter is implied).
+type match struct {
+	cell    *library.Cell
+	perm    [4]uint8
+	leafNeg uint8
+}
+
+// matchTable indexes matches by cut size and target function bits.
+type matchTable [5]map[uint64][]match
+
+// buildMatchTable enumerates, for every cell, every input permutation and
+// every input-phase assignment, the boundary function realized, and indexes
+// the results for O(1) lookup during mapping.
+func buildMatchTable(lib *library.Library) *matchTable {
+	var mt matchTable
+	for k := 1; k <= 4; k++ {
+		mt[k] = make(map[uint64][]match)
+	}
+	for _, cell := range lib.Cells {
+		k := cell.NumInputs()
+		if k > 4 {
+			continue
+		}
+		perms := permutations(k)
+		for _, perm := range perms {
+			for phase := uint8(0); phase < 1<<uint(k); phase++ {
+				var bits uint64
+				for b := uint(0); b < 1<<uint(k); b++ {
+					// Cell input i sees leaf perm[i], xored with
+					// its phase bit.
+					var cellAsg uint
+					for i := 0; i < k; i++ {
+						v := uint8(b>>uint(perm[i])&1) ^ (phase >> uint(i) & 1)
+						cellAsg |= uint(v) << uint(i)
+					}
+					if cell.Eval(cellAsg) == 1 {
+						bits |= 1 << b
+					}
+				}
+				var p4 [4]uint8
+				copy(p4[:], perm)
+				mt[k][bits] = append(mt[k][bits], match{cell: cell, perm: p4, leafNeg: phase})
+			}
+		}
+	}
+	return &mt
+}
+
+// lookup returns the matches implementing the k-leaf function bits.
+func (mt *matchTable) lookup(k int, bits uint64) []match {
+	if k < 1 || k > 4 {
+		return nil
+	}
+	return mt[k][bits]
+}
+
+// permutations enumerates all permutations of 0..k-1.
+func permutations(k int) [][]uint8 {
+	if k == 0 {
+		return [][]uint8{{}}
+	}
+	var out [][]uint8
+	base := permutations(k - 1)
+	for _, p := range base {
+		for pos := 0; pos <= len(p); pos++ {
+			np := make([]uint8, 0, k)
+			np = append(np, p[:pos]...)
+			np = append(np, uint8(k-1))
+			np = append(np, p[pos:]...)
+			out = append(out, np)
+		}
+	}
+	return out
+}

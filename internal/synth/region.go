@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+// frozenInfo describes one frozen gate: kept cell-for-cell, re-instantiated
+// inside the rebuilt region with its inputs taken from the mapped logic.
+type frozenInfo struct {
+	gate   *netlist.Gate
+	inLits []Lit
+}
+
+// RegionSynthesis is a prepared resynthesis of a subcircuit C_sub: the
+// extracted boundary function, technology-mapped onto an allowed cell
+// subset. Apply it with Rebuild.
+type RegionSynthesis struct {
+	Region  *netlist.Region
+	mapped  *Mapped
+	prefix  string
+	nOut    int
+	frozen  []frozenInfo
+	realPIs int
+}
+
+// SynthesizeRegion extracts the boundary function of region r from circuit
+// c, builds its AIG, and maps it using only the allowed cells. It returns
+// ErrInsufficientCells (wrapped) when the subset cannot realize the logic —
+// the eligibility condition for excluding a cell in the paper's procedure.
+//
+// Gates for which frozen returns true (the paper's G_zero and G_back sets)
+// are not remapped: each is re-instantiated with its original cell type,
+// its output entering the AIG as a pseudo primary input and its inputs
+// realized by the mapped logic. This preserves exactly the internal-fault
+// contribution of the frozen gates while everything around them is free to
+// change.
+func SynthesizeRegion(c *netlist.Circuit, r *netlist.Region,
+	mapper *Mapper, allowed func(*library.Cell) bool, mode Mode,
+	frozen func(*netlist.Gate) bool, prefix string) (*RegionSynthesis, error) {
+
+	// Topological region gates and frozen pre-scan (pseudo-PI count).
+	var regionGates []*netlist.Gate
+	for _, g := range c.Levelize() {
+		if r.Contains(g) {
+			regionGates = append(regionGates, g)
+		}
+	}
+	nFrozen := 0
+	if frozen != nil {
+		for _, g := range regionGates {
+			if frozen(g) {
+				nFrozen++
+			}
+		}
+	}
+	if nFrozen == len(regionGates) {
+		return nil, fmt.Errorf("synth: region fully frozen, nothing to resynthesize")
+	}
+
+	aig := NewAIG(len(r.Inputs) + nFrozen)
+	lits := map[*netlist.Net]Lit{}
+	for i, in := range r.Inputs {
+		lits[in] = aig.PI(i)
+	}
+
+	rs := &RegionSynthesis{Region: r, prefix: prefix, nOut: len(r.Outputs), realPIs: len(r.Inputs)}
+	for _, g := range regionGates {
+		ins := make([]Lit, len(g.Fanin))
+		for i, fn := range g.Fanin {
+			l, ok := lits[fn]
+			if !ok {
+				return nil, fmt.Errorf("synth: region gate %s has unmapped fanin %s", g.Name, fn.Name)
+			}
+			ins[i] = l
+		}
+		if frozen != nil && frozen(g) {
+			idx := len(r.Inputs) + len(rs.frozen)
+			rs.frozen = append(rs.frozen, frozenInfo{gate: g, inLits: ins})
+			lits[g.Out] = aig.PI(idx)
+			continue
+		}
+		lits[g.Out] = aig.FromTT(g.Type.TT, ins)
+	}
+
+	outs := make([]Lit, 0, len(r.Outputs)+2*nFrozen)
+	for _, o := range r.Outputs {
+		l, ok := lits[o]
+		if !ok {
+			return nil, fmt.Errorf("synth: region output %s not computed", o.Name)
+		}
+		outs = append(outs, l)
+	}
+	// Frozen gate inputs are additional mapping obligations.
+	for _, fi := range rs.frozen {
+		outs = append(outs, fi.inLits...)
+	}
+
+	mapped, err := mapper.Map(aig, outs, allowed, mode)
+	if err != nil {
+		return nil, err
+	}
+	rs.mapped = mapped
+	return rs, nil
+}
+
+// Rebuild produces the new circuit with the region replaced by the mapped
+// logic (frozen gates re-instantiated unchanged).
+func (rs *RegionSynthesis) Rebuild(c *netlist.Circuit) (*netlist.Circuit, error) {
+	return c.RebuildReplacing(rs.Region, func(nc *netlist.Circuit, ins []*netlist.Net) []*netlist.Net {
+		built := make([]*netlist.Net, len(rs.frozen))
+		resolve := func(pi int, demand func(Lit) *netlist.Net) *netlist.Net {
+			k := pi - rs.realPIs
+			if k < 0 || k >= len(rs.frozen) {
+				panic(fmt.Sprintf("synth: pseudo PI %d out of range", pi))
+			}
+			if built[k] != nil {
+				return built[k]
+			}
+			fi := rs.frozen[k]
+			fanin := make([]*netlist.Net, len(fi.inLits))
+			for i, l := range fi.inLits {
+				fanin[i] = demand(l)
+			}
+			// Frozen gates keep their original instance name (the
+			// original instance is gone from the rebuilt circuit,
+			// so there is no collision).
+			built[k] = nc.AddGate(fi.gate.Name, fi.gate.Type, fanin...)
+			return built[k]
+		}
+		outs := rs.mapped.InstantiateExt(nc, ins, rs.prefix, resolve)
+		return outs[:rs.nOut]
+	})
+}
+
+// EstArea returns the mapper's area estimate for the replacement logic.
+func (rs *RegionSynthesis) EstArea() float64 { return rs.mapped.EstArea }

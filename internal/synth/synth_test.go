@@ -1,0 +1,358 @@
+package synth
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/logic"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/sim"
+)
+
+var lib = library.OSU018Like()
+
+func TestAIGConstantFolding(t *testing.T) {
+	a := NewAIG(2)
+	x, y := a.PI(0), a.PI(1)
+	if a.And(ConstFalse, x) != ConstFalse {
+		t.Error("0 AND x must fold to 0")
+	}
+	if a.And(ConstTrue, x) != x {
+		t.Error("1 AND x must fold to x")
+	}
+	if a.And(x, x) != x {
+		t.Error("x AND x must fold to x")
+	}
+	if a.And(x, x.Not()) != ConstFalse {
+		t.Error("x AND ~x must fold to 0")
+	}
+	n1 := a.And(x, y)
+	n2 := a.And(y, x)
+	if n1 != n2 {
+		t.Error("structural hashing must merge commuted ANDs")
+	}
+}
+
+func TestAIGEvalGates(t *testing.T) {
+	a := NewAIG(2)
+	x, y := a.PI(0), a.PI(1)
+	and := a.And(x, y)
+	or := a.Or(x, y)
+	xor := a.Xor(x, y)
+	for asg := uint(0); asg < 4; asg++ {
+		bx := uint8(asg & 1)
+		by := uint8(asg >> 1 & 1)
+		if got := a.Eval(and, asg); got != bx&by {
+			t.Errorf("AND(%d,%d) = %d", bx, by, got)
+		}
+		if got := a.Eval(or, asg); got != bx|by {
+			t.Errorf("OR(%d,%d) = %d", bx, by, got)
+		}
+		if got := a.Eval(xor, asg); got != bx^by {
+			t.Errorf("XOR(%d,%d) = %d", bx, by, got)
+		}
+	}
+}
+
+func TestAIGMux(t *testing.T) {
+	a := NewAIG(3)
+	s, d1, d0 := a.PI(2), a.PI(1), a.PI(0)
+	m := a.Mux(s, d1, d0)
+	for asg := uint(0); asg < 8; asg++ {
+		want := uint8(asg & 1)
+		if asg>>2&1 == 1 {
+			want = uint8(asg >> 1 & 1)
+		}
+		if got := a.Eval(m, asg); got != want {
+			t.Errorf("mux(%03b) = %d, want %d", asg, got, want)
+		}
+	}
+}
+
+// TestFromTTProperty: FromTT must reproduce arbitrary truth tables exactly.
+func TestFromTTProperty(t *testing.T) {
+	f := func(bits uint16, n8 uint8) bool {
+		n := int(n8%4) + 1
+		mask := uint64(1)<<(1<<uint(n)) - 1
+		tt := logic.TT{Inputs: n, Bits: uint64(bits) & mask}
+		a := NewAIG(n)
+		ins := make([]Lit, n)
+		for i := range ins {
+			ins[i] = a.PI(i)
+		}
+		l := a.FromTT(tt, ins)
+		for asg := uint(0); asg < 1<<uint(n); asg++ {
+			if a.Eval(l, asg) != tt.Eval(asg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchTableHasIdentityMatches(t *testing.T) {
+	mt := buildMatchTable(lib)
+	for _, cell := range lib.Cells {
+		k := cell.NumInputs()
+		ms := mt.lookup(k, cell.TT.Bits)
+		found := false
+		for _, m := range ms {
+			if m.cell == cell {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no identity match for its own function", cell.Name)
+		}
+	}
+}
+
+func TestMatchesReproduceFunction(t *testing.T) {
+	mt := buildMatchTable(lib)
+	// For every table entry, applying the match must reproduce the key.
+	for k := 1; k <= 4; k++ {
+		checked := 0
+		for bits, ms := range mt[k] {
+			for _, m := range ms {
+				for b := uint(0); b < 1<<uint(k); b++ {
+					var cellAsg uint
+					for i := 0; i < m.cell.NumInputs(); i++ {
+						v := uint8(b>>uint(m.perm[i])&1) ^ (m.leafNeg >> uint(i) & 1)
+						cellAsg |= uint(v) << uint(i)
+					}
+					want := uint8(bits >> b & 1)
+					if m.cell.Eval(cellAsg) != want {
+						t.Fatalf("match %s does not reproduce function %x at %b",
+							m.cell.Name, bits, b)
+					}
+				}
+			}
+			checked++
+			if checked > 50 {
+				break // spot-check per arity
+			}
+		}
+	}
+}
+
+func allCells(*library.Cell) bool { return true }
+
+// randomCircuit builds a random circuit over few PIs for equivalence tests.
+func randomCircuit(t *testing.T, seed int64, gates, pis int) *netlist.Circuit {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"NAND2X1", "NOR3X1", "XOR2X1", "INVX1", "AND2X2", "AOI22X1", "MUX2X1", "OAI21X1"}
+	c := netlist.New("r", lib)
+	var nets []*netlist.Net
+	for i := 0; i < pis; i++ {
+		nets = append(nets, c.AddPI(string(rune('a'+i))))
+	}
+	for i := 0; i < gates; i++ {
+		cell := lib.ByName(names[rng.Intn(len(names))])
+		fanin := make([]*netlist.Net, cell.NumInputs())
+		for j := range fanin {
+			fanin[j] = nets[rng.Intn(len(nets))]
+		}
+		nets = append(nets, c.AddGate("", cell, fanin...))
+	}
+	for i := 0; i < 3; i++ {
+		c.MarkPO(nets[len(nets)-1-i])
+	}
+	return c
+}
+
+// equivalent exhaustively compares two circuits over their PIs (up to 2^16
+// patterns) on the PO values, matched by PO order.
+func equivalent(t *testing.T, c1, c2 *netlist.Circuit) bool {
+	t.Helper()
+	if len(c1.PIs) != len(c2.PIs) || len(c1.POs) != len(c2.POs) {
+		t.Fatalf("interface mismatch: %d/%d PIs, %d/%d POs",
+			len(c1.PIs), len(c2.PIs), len(c1.POs), len(c2.POs))
+	}
+	s1, s2 := sim.New(c1), sim.New(c2)
+	n := len(c1.PIs)
+	for base := uint(0); base < 1<<uint(n); base += 64 {
+		words1 := make([]logic.Word, n)
+		for p := uint(0); p < 64; p++ {
+			asg := base + p
+			for i := 0; i < n; i++ {
+				if asg>>uint(i)&1 == 1 {
+					words1[i] |= 1 << p
+				}
+			}
+		}
+		v1 := s1.Run(words1)
+		v2 := s2.Run(words1)
+		for i := range c1.POs {
+			if v1[c1.POs[i].ID] != v2[c2.POs[i].ID] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestResynthesisPreservesFunction(t *testing.T) {
+	mapper := NewMapper(lib)
+	for seed := int64(1); seed <= 6; seed++ {
+		c := randomCircuit(t, seed, 25, 6)
+		r := netlist.ExtractRegion(c.Gates) // whole circuit
+		for _, mode := range []Mode{Area, Delay} {
+			rs, err := SynthesizeRegion(c, r, mapper, allCells, mode, nil, "rs_")
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			nc, err := rs.Rebuild(c)
+			if err != nil {
+				t.Fatalf("seed %d rebuild: %v", seed, err)
+			}
+			if err := nc.Check(); err != nil {
+				t.Fatalf("seed %d check: %v", seed, err)
+			}
+			if !equivalent(t, c, nc) {
+				t.Fatalf("seed %d mode %d: resynthesis changed the function", seed, mode)
+			}
+		}
+	}
+}
+
+func TestResynthesisPartialRegion(t *testing.T) {
+	mapper := NewMapper(lib)
+	c := randomCircuit(t, 11, 30, 6)
+	// Region: a middle slice of gates.
+	r := netlist.ExtractRegion(c.Gates[5:15])
+	rs, err := SynthesizeRegion(c, r, mapper, allCells, Area, nil, "rs_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := rs.Rebuild(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !equivalent(t, c, nc) {
+		t.Fatal("partial-region resynthesis changed the function")
+	}
+}
+
+func TestRestrictedSubsetStillEquivalent(t *testing.T) {
+	mapper := NewMapper(lib)
+	// Only NAND2 and INV: universal, so mapping must succeed.
+	allowed := func(cell *library.Cell) bool {
+		return cell.Name == "NAND2X1" || cell.Name == "INVX1"
+	}
+	c := randomCircuit(t, 21, 20, 5)
+	r := netlist.ExtractRegion(c.Gates)
+	rs, err := SynthesizeRegion(c, r, mapper, allowed, Area, nil, "rs_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := rs.Rebuild(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equivalent(t, c, nc) {
+		t.Fatal("restricted-subset resynthesis changed the function")
+	}
+	for _, g := range nc.Gates {
+		if g.Type.Name != "NAND2X1" && g.Type.Name != "INVX1" {
+			t.Fatalf("disallowed cell %s used", g.Type.Name)
+		}
+	}
+}
+
+func TestInsufficientCellsDetected(t *testing.T) {
+	mapper := NewMapper(lib)
+	// NOR2 alone cannot invert in our matcher (no tied-input matching),
+	// so a circuit needing inversion must be rejected.
+	allowed := func(cell *library.Cell) bool { return cell.Name == "NOR2X1" }
+	c := netlist.New("inv", lib)
+	a := c.AddPI("a")
+	y := c.AddGate("u1", lib.ByName("INVX1"), a)
+	c.MarkPO(y)
+	r := netlist.ExtractRegion(c.Gates)
+	_, err := SynthesizeRegion(c, r, mapper, allowed, Area, nil, "rs_")
+	if !errors.Is(err, ErrInsufficientCells) {
+		t.Fatalf("expected ErrInsufficientCells, got %v", err)
+	}
+}
+
+func TestFrozenGatesPreserved(t *testing.T) {
+	mapper := NewMapper(lib)
+	c := randomCircuit(t, 31, 20, 5)
+	frozenGate := c.Gates[10]
+	r := netlist.ExtractRegion(c.Gates)
+	rs, err := SynthesizeRegion(c, r, mapper, allCells, Area,
+		func(g *netlist.Gate) bool { return g == frozenGate }, "rs_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := rs.Rebuild(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range nc.Gates {
+		if g.Name == frozenGate.Name && g.Type == frozenGate.Type {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("frozen gate vanished during resynthesis")
+	}
+	if !equivalent(t, c, nc) {
+		t.Fatal("frozen-gate resynthesis changed the function")
+	}
+}
+
+func TestAreaModeBeatsNaiveOnRedundantLogic(t *testing.T) {
+	mapper := NewMapper(lib)
+	// y = AND(a,b) OR AND(a,b): redundant duplicate logic that strash
+	// should collapse; the mapped result must be smaller than the
+	// original 3 gates.
+	c := netlist.New("dup", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	t1 := c.AddGate("u1", lib.ByName("AND2X2"), a, b)
+	t2 := c.AddGate("u2", lib.ByName("AND2X2"), a, b)
+	y := c.AddGate("u3", lib.ByName("OR2X2"), t1, t2)
+	c.MarkPO(y)
+	r := netlist.ExtractRegion(c.Gates)
+	rs, err := SynthesizeRegion(c, r, mapper, allCells, Area, nil, "rs_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := rs.Rebuild(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nc.Gates) >= 3 {
+		t.Errorf("mapped gates = %d, want < 3 (strash collapses duplicates)", len(nc.Gates))
+	}
+	if !equivalent(t, c, nc) {
+		t.Fatal("function changed")
+	}
+}
+
+func TestConeSizeAndLevels(t *testing.T) {
+	a := NewAIG(3)
+	x, y, z := a.PI(0), a.PI(1), a.PI(2)
+	n1 := a.And(x, y)
+	n2 := a.And(n1, z)
+	if got := a.ConeSize([]Lit{n2}); got != 2 {
+		t.Errorf("ConeSize = %d, want 2", got)
+	}
+	lv := a.Levels()
+	if lv[n2.Node()] != 2 {
+		t.Errorf("level of n2 = %d, want 2", lv[n2.Node()])
+	}
+}

@@ -1,0 +1,139 @@
+package verilog
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+var lib = library.OSU018Like()
+
+func TestWriteModuleStructure(t *testing.T) {
+	c := netlist.New("demo", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	n := c.AddGate("u1", lib.ByName("NAND2X1"), a, b)
+	y := c.AddGate("u2", lib.ByName("INVX1"), n)
+	c.MarkPO(y)
+
+	var buf bytes.Buffer
+	if err := WriteModule(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module demo (a, b, u2_o);",
+		"input a;",
+		"input b;",
+		"output u2_o;",
+		"wire u1_o;",
+		"NAND2X1 u1 (.A(a), .B(b), .Y(u1_o));",
+		"INVX1 u2 (.A(u1_o), .Y(u2_o));",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in:\n%s", want, v)
+		}
+	}
+}
+
+func TestInstanceCountMatches(t *testing.T) {
+	c := bench.MustBuild("sparc_tlu", lib)
+	var buf bytes.Buffer
+	if err := WriteModule(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	// One instance line per gate: "  <CELL> <inst> (...);"
+	inst := regexp.MustCompile(`(?m)^  [A-Z][A-Z0-9]*X\d+ \S+ \(`)
+	if got := len(inst.FindAllString(buf.String(), -1)); got != len(c.Gates) {
+		t.Errorf("instances in Verilog = %d, gates = %d", got, len(c.Gates))
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"abc":    "abc",
+		"a-b":    "a_b",
+		"3x":     "_3x",
+		"":       "_",
+		"u1_o":   "u1_o",
+		"a.b[0]": "a_b_0_",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteLibraryCoversAllCells(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, c := range lib.Cells {
+		if !strings.Contains(v, "module "+c.Name+" (") {
+			t.Errorf("library export missing cell %s", c.Name)
+		}
+	}
+	if !strings.Contains(v, "assign Y = ") {
+		t.Error("library export missing behavioral assigns")
+	}
+}
+
+// TestCellExprMatchesTruthTable: the generated SOP expression must agree
+// with the cell truth table when evaluated symbolically.
+func TestCellExprMatchesTruthTable(t *testing.T) {
+	for _, c := range lib.Cells {
+		expr := cellExpr(c)
+		for a := uint(0); a < 1<<uint(c.NumInputs()); a++ {
+			if got := evalExpr(t, expr, c, a); got != c.Eval(a) {
+				t.Fatalf("%s expr mismatch at %b: expr %d table %d\n%s",
+					c.Name, a, got, c.Eval(a), expr)
+			}
+		}
+	}
+}
+
+// evalExpr is a miniature evaluator for the SOP expressions cellExpr
+// produces: terms joined by " | ", each a parenthesized conjunction of
+// literals.
+func evalExpr(t *testing.T, expr string, c *library.Cell, a uint) uint8 {
+	t.Helper()
+	switch expr {
+	case "1'b0":
+		return 0
+	case "1'b1":
+		return 1
+	}
+	valOf := func(name string) uint8 {
+		for i, in := range c.Inputs {
+			if in == name {
+				return uint8(a >> uint(i) & 1)
+			}
+		}
+		t.Fatalf("unknown literal %q", name)
+		return 0
+	}
+	for _, term := range strings.Split(expr, " | ") {
+		term = strings.Trim(term, "()")
+		val := uint8(1)
+		for _, lit := range strings.Split(term, " & ") {
+			if strings.HasPrefix(lit, "~") {
+				val &= valOf(lit[1:]) ^ 1
+			} else {
+				val &= valOf(lit)
+			}
+		}
+		if val == 1 {
+			return 1
+		}
+	}
+	return 0
+}

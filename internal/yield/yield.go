@@ -1,0 +1,139 @@
+// Package yield quantifies the paper's motivation: systematic defects
+// predicted by DFM guideline violations escape test when the faults that
+// model them are undetectable, and those escapes hit the shipped-part
+// defect rate (DPPM). The model combines per-guideline defect likelihoods
+// with the fault statuses of a design to estimate test-escape risk before
+// and after resynthesis.
+//
+// The estimate follows the classic Williams–Brown reasoning adapted to
+// per-site systematic defects: each fault f models a potential defect with
+// occurrence probability p(f) (set by its guideline's severity); a defect
+// whose fault is detected is caught by the test set; a defect whose fault
+// is undetectable is caught only with the residual probability that the
+// defect behaves differently from its model (CaptureResidual). The expected
+// number of shipped defective parts per million is then
+//
+//	DPPM = 1e6 * (1 - Π_f (1 - p(f) * escape(f)))
+//
+// with escape(f) = 0 for detected faults and (1 - CaptureResidual) for
+// undetectable ones. Clustering makes it worse: escapes concentrated in one
+// area are more likely to share a root cause, which the ClusterAmplifier
+// models by scaling p(f) for faults inside large clusters.
+package yield
+
+import (
+	"math"
+	"strings"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/flow"
+)
+
+// Model holds the estimation parameters. The defaults are deliberately
+// round numbers: the output is meaningful as a *relative* risk (orig vs
+// resynthesized), not as a calibrated absolute DPPM.
+type Model struct {
+	// BaseProb is the per-site defect probability for a violation of a
+	// Metal guideline; Via and Density guidelines scale it.
+	BaseProb float64
+	// ViaScale / DensityScale multiply BaseProb per category.
+	ViaScale, DensityScale float64
+	// CaptureResidual is the probability that a defect whose modeling
+	// fault is undetectable still gets caught (because the defect
+	// behaves differently from the fault, or another test trips it).
+	CaptureResidual float64
+	// ClusterAmplifier scales the defect probability of faults inside
+	// clusters larger than ClusterThreshold: systematic defects repeat,
+	// so a large uncovered area multiplies exposure.
+	ClusterAmplifier float64
+	ClusterThreshold int
+}
+
+// DefaultModel returns the parameters used in the experiments.
+func DefaultModel() Model {
+	return Model{
+		BaseProb:         2e-6,
+		ViaScale:         1.5,
+		DensityScale:     0.8,
+		CaptureResidual:  0.4,
+		ClusterAmplifier: 3.0,
+		ClusterThreshold: 16,
+	}
+}
+
+// Estimate is the DPPM estimate for one analyzed design.
+type Estimate struct {
+	DPPM          float64
+	EscapeSites   int     // faults contributing escape probability
+	ClusteredRisk float64 // share of total escape mass inside big clusters
+}
+
+// Assess estimates the test-escape DPPM of a design.
+func (m Model) Assess(d *flow.Design) Estimate {
+	// Faults in clusters above the threshold get amplified.
+	amplified := map[*fault.Fault]bool{}
+	if d.Clusters != nil {
+		for _, set := range d.Clusters.Sets {
+			if len(set) < m.ClusterThreshold {
+				break // sets are sorted by size, descending
+			}
+			for _, f := range set {
+				amplified[f] = true
+			}
+		}
+	}
+
+	logShip := 0.0 // log of Π (1 - p*escape)
+	est := Estimate{}
+	totalMass, clusterMass := 0.0, 0.0
+	for _, f := range d.Faults.Faults {
+		if f.Status != fault.Undetectable {
+			continue
+		}
+		p := m.siteProb(f)
+		if amplified[f] {
+			p *= m.ClusterAmplifier
+		}
+		escape := p * (1 - m.CaptureResidual)
+		if escape >= 1 {
+			escape = 0.999999
+		}
+		logShip += math.Log1p(-escape)
+		est.EscapeSites++
+		totalMass += escape
+		if amplified[f] {
+			clusterMass += escape
+		}
+	}
+	est.DPPM = 1e6 * (1 - math.Exp(logShip))
+	if totalMass > 0 {
+		est.ClusteredRisk = clusterMass / totalMass
+	}
+	return est
+}
+
+// siteProb returns the defect probability of the violation behind fault f.
+func (m Model) siteProb(f *fault.Fault) float64 {
+	switch {
+	case strings.HasPrefix(f.Guideline, "VIA"):
+		return m.BaseProb * m.ViaScale
+	case strings.HasPrefix(f.Guideline, "DEN"):
+		return m.BaseProb * m.DensityScale
+	default:
+		return m.BaseProb
+	}
+}
+
+// Improvement compares two designs (original and resynthesized) and returns
+// the DPPM ratio orig/resyn (how many times lower the escape risk got).
+func (m Model) Improvement(orig, resyn *flow.Design) float64 {
+	a := m.Assess(orig)
+	b := m.Assess(resyn)
+	if b.DPPM == 0 {
+		if a.DPPM == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a.DPPM / b.DPPM
+}

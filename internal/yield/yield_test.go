@@ -1,0 +1,139 @@
+package yield
+
+import (
+	"math"
+	"testing"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/cluster"
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+var lib = library.OSU018Like()
+
+// fakeDesign builds a Design with hand-set fault statuses for unit-level
+// model checks (no ATPG involved).
+func fakeDesign(t *testing.T, undetectable int, guideline string, clusterIt bool) *flow.Design {
+	t.Helper()
+	c := netlist.New("fake", lib)
+	a := c.AddPI("a")
+	prev := a
+	gates := make([]*netlist.Gate, 0, undetectable)
+	for i := 0; i < undetectable; i++ {
+		prev = c.AddGate("", lib.ByName("INVX1"), prev)
+		gates = append(gates, prev.Driver)
+	}
+	c.MarkPO(prev)
+	l := &fault.List{}
+	for i := 0; i < undetectable; i++ {
+		g := gates[i]
+		if !clusterIt {
+			// Spread: every fault on a distinct, non-adjacent gate —
+			// use every second gate to break adjacency.
+			g = gates[(i*2)%len(gates)]
+		}
+		f := l.Add(&fault.Fault{Model: fault.CellAware, Internal: true,
+			Gate: g, Guideline: guideline})
+		f.Status = fault.Undetectable
+	}
+	d := &flow.Design{C: c, Faults: l}
+	d.Clusters = cluster.Build(l.UndetectableFaults())
+	return d
+}
+
+func TestMoreUndetectableMoreDPPM(t *testing.T) {
+	m := DefaultModel()
+	small := m.Assess(fakeDesign(t, 10, "MET.01", true))
+	big := m.Assess(fakeDesign(t, 100, "MET.01", true))
+	if big.DPPM <= small.DPPM {
+		t.Errorf("DPPM must grow with U: %v vs %v", small.DPPM, big.DPPM)
+	}
+	if small.EscapeSites != 10 || big.EscapeSites != 100 {
+		t.Errorf("escape sites wrong: %d, %d", small.EscapeSites, big.EscapeSites)
+	}
+}
+
+func TestViaWorseThanDensity(t *testing.T) {
+	m := DefaultModel()
+	via := m.Assess(fakeDesign(t, 50, "VIA.07", true))
+	den := m.Assess(fakeDesign(t, 50, "DEN.01", true))
+	if via.DPPM <= den.DPPM {
+		t.Errorf("via violations must carry more risk: %v vs %v", via.DPPM, den.DPPM)
+	}
+}
+
+func TestClusterAmplification(t *testing.T) {
+	m := DefaultModel()
+	// Same number of undetectable faults; one design has them all in one
+	// adjacency cluster (chain of gates), the other spread out.
+	clustered := m.Assess(fakeDesign(t, 40, "MET.01", true))
+	spread := m.Assess(fakeDesign(t, 40, "MET.01", false))
+	if clustered.DPPM <= spread.DPPM {
+		t.Errorf("clustered faults must carry more DPPM risk: %v vs %v",
+			clustered.DPPM, spread.DPPM)
+	}
+	if clustered.ClusteredRisk <= spread.ClusteredRisk {
+		t.Errorf("clustered-risk share must be higher: %v vs %v",
+			clustered.ClusteredRisk, spread.ClusteredRisk)
+	}
+}
+
+func TestZeroUndetectableZeroDPPM(t *testing.T) {
+	m := DefaultModel()
+	d := fakeDesign(t, 1, "MET.01", true)
+	d.Faults.Faults[0].Status = fault.Detected
+	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
+	e := m.Assess(d)
+	if e.DPPM != 0 || e.EscapeSites != 0 {
+		t.Errorf("detected-only design must have zero escape DPPM: %+v", e)
+	}
+}
+
+func TestImprovementRatio(t *testing.T) {
+	m := DefaultModel()
+	orig := fakeDesign(t, 100, "MET.01", true)
+	resyn := fakeDesign(t, 10, "MET.01", true)
+	r := m.Improvement(orig, resyn)
+	if r <= 1 {
+		t.Errorf("improvement ratio must exceed 1: %v", r)
+	}
+	same := m.Improvement(orig, orig)
+	if math.Abs(same-1) > 1e-9 {
+		t.Errorf("self-improvement must be 1: %v", same)
+	}
+	// Perfect resynthesis: infinite improvement.
+	perfect := fakeDesign(t, 1, "MET.01", true)
+	perfect.Faults.Faults[0].Status = fault.Detected
+	perfect.Clusters = cluster.Build(perfect.Faults.UndetectableFaults())
+	if !math.IsInf(m.Improvement(orig, perfect), 1) {
+		t.Error("zero-U resynthesis must give infinite improvement")
+	}
+}
+
+// TestEndToEndDPPMDropsAfterResynthesis is the integration check on a real
+// benchmark: the paper's DPPM argument must come out of the full pipeline.
+func TestEndToEndDPPMDropsAfterResynthesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow is slow")
+	}
+	env := flow.NewEnv()
+	env.ATPG.RandomBlocks = 4
+	env.ATPG.BacktrackLimit = 2000
+	c := bench.MustBuild("systemcaes", env.Lib)
+	d, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultModel()
+	before := m.Assess(d)
+	if before.DPPM <= 0 {
+		t.Fatal("original design must carry escape risk")
+	}
+	if before.ClusteredRisk < 0.3 {
+		t.Errorf("systemcaes escape risk should be cluster-dominated, got %.2f", before.ClusteredRisk)
+	}
+}
