@@ -1,0 +1,36 @@
+# Tier-1 gate plus convenience targets. `make check` is what CI (and the
+# roadmap's verify step) runs: formatting, vet, build, race-enabled tests,
+# and netlint over the shipped example and benchmark circuits.
+
+GO ?= go
+
+.PHONY: check fmt vet build test lint bench fuzz
+
+check: fmt vet build test lint
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# netlint must pass (exit 0) on every shipped circuit: the examples and the
+# twelve paper benchmarks.
+lint:
+	$(GO) run ./cmd/netlint examples/circuits/*.ckt
+	$(GO) run ./cmd/netlint -bench=all
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Short fuzz pass over the netlist parser (satellite of the lint work; the
+# full corpus grows under -fuzztime as long as you let it run).
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/netlist/

@@ -11,6 +11,7 @@ package dfmresyn
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
 	"dfmresyn/internal/library"
+	"dfmresyn/internal/lint"
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/report"
 	"dfmresyn/internal/resyn"
@@ -31,10 +33,38 @@ func newEnv() *flow.Env {
 	return flow.NewEnv()
 }
 
+// lintBenchOnce guards a one-time netlint smoke check over every benchmark
+// circuit, so a corrupt generator fails fast. The sync.Once plus the
+// b.ResetTimer at each call site keep the check out of the reported numbers.
+var (
+	lintBenchOnce sync.Once
+	lintBenchErr  error
+)
+
+func lintBenchCircuits(b *testing.B) {
+	b.Helper()
+	lintBenchOnce.Do(func() {
+		lib := library.OSU018Like()
+		for _, name := range bench.Names {
+			c := bench.MustBuild(name, lib)
+			fs := lint.Run(&lint.Context{Circuit: c})
+			if n := lint.CountAtLeast(fs, lint.Error); n > 0 {
+				lintBenchErr = fmt.Errorf("bench circuit %s has %d lint errors (run: go run ./cmd/netlint -bench=%s)", name, n, name)
+				return
+			}
+		}
+	})
+	if lintBenchErr != nil {
+		b.Fatal(lintBenchErr)
+	}
+	b.ResetTimer()
+}
+
 // BenchmarkTableI regenerates Table I: the clustering of undetectable DFM
 // faults in the original designs of aes_core, des_perf, sparc_exu and
 // sparc_fpu.
 func BenchmarkTableI(b *testing.B) {
+	lintBenchCircuits(b)
 	for i := 0; i < b.N; i++ {
 		env := newEnv()
 		fmt.Println("\nTABLE I. CLUSTERED UNDETECTABLE FAULTS")
@@ -57,6 +87,7 @@ func BenchmarkTableII(b *testing.B) {
 	for _, name := range bench.Names {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			lintBenchCircuits(b)
 			for i := 0; i < b.N; i++ {
 				env := newEnv()
 				c := bench.MustBuild(name, env.Lib)
@@ -111,6 +142,7 @@ func BenchmarkFig1Adjacency(b *testing.B) {
 // iteration evolution of U and S_max as phase one breaks the largest
 // clusters and phase two sweeps the rest.
 func BenchmarkFig2PhaseTrace(b *testing.B) {
+	lintBenchCircuits(b)
 	for i := 0; i < b.N; i++ {
 		env := newEnv()
 		c := bench.MustBuild("aes_core", env.Lib)

@@ -1,0 +1,130 @@
+// Command netlint runs the static analyzer of internal/lint over circuit
+// files in the netlist text format and/or the built-in benchmark circuits,
+// and exits non-zero when findings reach the -fail-on severity. Typical
+// usage:
+//
+//	netlint examples/circuits/*.ckt          # lint files, fail on errors
+//	netlint -format=json broken.ckt          # machine-readable report
+//	netlint -fail-on=warning design.ckt      # treat warnings as failures
+//	netlint -bench=all                       # lint every benchmark circuit
+//	netlint -rules                           # print the rule catalog
+//
+// Files are parsed leniently (see lint.ReadLoose): malformed circuits are
+// diagnosed rather than rejected, so a file with a combinational cycle or a
+// duplicate net name produces findings instead of a parse abort.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, for tests. It returns the exit
+// code: 0 clean, 1 findings at or above -fail-on, 2 usage or I/O error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "report format: text or json")
+	failOn := fs.String("fail-on", "error", "lowest severity that fails the run: error, warning or info")
+	benchName := fs.String("bench", "", "lint a built-in benchmark circuit by name, or \"all\"")
+	rules := fs.Bool("rules", false, "print the rule catalog and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: netlint [flags] [circuit.ckt ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *rules {
+		printRules(stdout)
+		return 0
+	}
+
+	failSev, err := lint.ParseSeverity(*failOn)
+	if err != nil {
+		fmt.Fprintf(stderr, "netlint: %v\n", err)
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "netlint: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
+	if *benchName == "" && fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	lib := library.OSU018Like()
+	var all []lint.Finding
+
+	for _, path := range fs.Args() {
+		_, findings, err := lint.LoadFile(path, lib)
+		if err != nil {
+			fmt.Fprintf(stderr, "netlint: %v\n", err)
+			return 2
+		}
+		all = append(all, prefixed(path, findings)...)
+	}
+
+	if *benchName != "" {
+		names := []string{*benchName}
+		if *benchName == "all" {
+			names = bench.Names
+		}
+		for _, name := range names {
+			c, err := bench.Build(name, lib)
+			if err != nil {
+				fmt.Fprintf(stderr, "netlint: %v\n", err)
+				return 2
+			}
+			all = append(all, prefixed(name, lint.Run(&lint.Context{Circuit: c}))...)
+		}
+	}
+
+	lint.Sort(all)
+	if *format == "json" {
+		if err := lint.WriteJSON(stdout, all); err != nil {
+			fmt.Fprintf(stderr, "netlint: %v\n", err)
+			return 2
+		}
+	} else {
+		if err := lint.WriteText(stdout, all); err != nil {
+			fmt.Fprintf(stderr, "netlint: %v\n", err)
+			return 2
+		}
+	}
+	if lint.CountAtLeast(all, failSev) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// prefixed tags each finding's message with its source (file path or
+// benchmark name) so multi-input runs stay attributable.
+func prefixed(src string, findings []lint.Finding) []lint.Finding {
+	for i := range findings {
+		findings[i].Message = src + ": " + findings[i].Message
+	}
+	return findings
+}
+
+// printRules writes the catalog of built-in rules.
+func printRules(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	for _, r := range lint.Builtin().Rules() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", r.Name(), r.Severity(), r.Doc())
+	}
+	tw.Flush()
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const testdata = "../../internal/lint/testdata/"
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestBrokenCircuitsFail(t *testing.T) {
+	for _, f := range []string{"broken_cycle.ckt", "broken_dup.ckt", "broken_arity.ckt", "broken_undriven.ckt"} {
+		code, out, _ := runCLI(t, testdata+f)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1\n%s", f, code, out)
+		}
+	}
+}
+
+func TestCleanCircuitsPass(t *testing.T) {
+	code, out, _ := runCLI(t,
+		testdata+"good_small.ckt",
+		"../../examples/circuits/majority3.ckt",
+		"../../examples/circuits/parity4.ckt")
+	if code != 0 {
+		t.Errorf("clean circuits: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 findings") {
+		t.Errorf("missing summary line: %q", out)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	code, out, _ := runCLI(t, "-format=json", testdata+"broken_cycle.ckt")
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	var rep struct {
+		Findings []struct {
+			Rule string `json:"rule"`
+		} `json:"findings"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Errors == 0 || len(rep.Findings) == 0 {
+		t.Errorf("expected error findings, got %+v", rep)
+	}
+}
+
+func TestFailOnSeverity(t *testing.T) {
+	// broken_dup has warnings beyond its error; good circuits have none.
+	if code, _, _ := runCLI(t, "-fail-on=warning", testdata+"good_small.ckt"); code != 0 {
+		t.Errorf("good_small -fail-on=warning: exit %d, want 0", code)
+	}
+	// Bench circuits carry intentional dead cones: warnings, no errors.
+	if code, _, _ := runCLI(t, "-bench=wb_conmax"); code != 0 {
+		t.Errorf("bench wb_conmax: exit %d, want 0", code)
+	}
+	if code, _, _ := runCLI(t, "-fail-on=warning", "-bench=wb_conmax"); code != 1 {
+		t.Errorf("bench wb_conmax -fail-on=warning: exit %d, want 1", code)
+	}
+}
+
+func TestRulesCatalog(t *testing.T) {
+	code, out, _ := runCLI(t, "-rules")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, want := range []string{"struct/cycle", "pipe/region-convex", "fault/live-site"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("catalog missing %s", want)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Error("no inputs should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-fail-on=fatal", testdata+"good_small.ckt"); code != 2 {
+		t.Error("bad -fail-on should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-format=xml", testdata+"good_small.ckt"); code != 2 {
+		t.Error("bad -format should exit 2")
+	}
+	if code, _, _ := runCLI(t, "no_such_file.ckt"); code != 2 {
+		t.Error("missing file should exit 2")
+	}
+	if code, _, _ := runCLI(t, "-bench=nope"); code != 2 {
+		t.Error("unknown bench should exit 2")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/geom"
 	"dfmresyn/internal/library"
+	"dfmresyn/internal/lint"
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/place"
 	"dfmresyn/internal/power"
@@ -35,6 +36,10 @@ type Env struct {
 	Mapper *synth.Mapper
 	ATPG   atpg.Config
 	Seed   int64
+	// Lint selects static-analysis enforcement on every design the
+	// pipeline produces: off (default), warn (record findings on the
+	// Design), or strict (Error findings abort the analysis).
+	Lint lint.Mode
 }
 
 // NewEnv builds the default environment over the OSU-like library.
@@ -62,6 +67,29 @@ type Design struct {
 	Clusters *cluster.Result
 	Timing   sta.Report
 	Power    power.Report
+	// LintFindings holds the static-analysis findings recorded when the
+	// environment's lint mode is warn or strict (nil when off).
+	LintFindings []lint.Finding
+}
+
+// lintDesign runs the static analyzer over whatever artifacts the design
+// carries so far, per e.Lint. In strict mode Error findings become an
+// error wrapping lint.ErrFindings.
+func (e *Env) lintDesign(d *Design) error {
+	if e.Lint == lint.ModeOff {
+		return nil
+	}
+	d.LintFindings = lint.Run(&lint.Context{
+		Circuit:   d.C,
+		Placement: d.P,
+		Layout:    d.Lay,
+		Faults:    d.Faults,
+		Clusters:  d.Clusters,
+	})
+	if e.Lint == lint.ModeStrict {
+		return lint.Err(d.LintFindings, lint.Error)
+	}
+	return nil
 }
 
 // Analyze runs the full pipeline on a netlist. A zero die means "size a
@@ -75,6 +103,9 @@ func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	d.Faults, d.DFMRep = dfm.BuildFaults(c, d.Lay, e.Prof)
 	d.Result = atpg.Run(c, d.Faults, e.ATPG)
 	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
+	if err := e.lintDesign(d); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
 	return d, nil
 }
 
@@ -94,6 +125,9 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 	d.Faults, d.DFMRep = dfm.BuildFaults(c, lay, e.Prof)
 	d.Result = atpg.Run(c, d.Faults, e.ATPG)
 	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
+	if err := e.lintDesign(d); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
 	return d, nil
 }
 
@@ -114,6 +148,9 @@ func (e *Env) PhysicalOnly(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	d := &Design{Env: e, C: c, Die: p.Die, P: p, Lay: lay}
 	d.Timing = sta.Analyze(c, sta.LoadFromLayout(lay))
 	d.Power = power.Estimate(c, sta.LoadFromLayout(lay), 4, e.Seed)
+	if err := e.lintDesign(d); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
 	return d, nil
 }
 

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/fault"
+)
+
+// faultRules check the fault universe against the circuit it was extracted
+// from: every fault site must reference a live gate/net of that circuit,
+// IDs must be dense and unique, and the clustering must only contain
+// members of the universe. Violations here mean a stale fault list survived
+// a resynthesis rebuild — the exact bug class the incremental flow invites.
+func faultRules() []Rule {
+	return []Rule{
+		&rule{
+			name: "fault/duplicate-id",
+			sev:  Error,
+			doc:  "fault IDs must be dense and unique (List.Add assigns them; ATPG and clustering index by them)",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				l := ctx.Faults
+				if l == nil {
+					return
+				}
+				seen := make(map[int]int, len(l.Faults))
+				for i, f := range l.Faults {
+					if f == nil {
+						emit(Loc{Gate: -1, Net: -1, Fault: i}, fmt.Sprintf("nil fault at position %d", i), "remove the hole from the fault list")
+						continue
+					}
+					if first, dup := seen[f.ID]; dup {
+						emit(FaultLoc(f), fmt.Sprintf("fault ID %d at position %d duplicates position %d", f.ID, i, first),
+							"renumber the list with List.Add")
+					} else {
+						seen[f.ID] = i
+					}
+					if f.ID != i {
+						emit(FaultLoc(f), fmt.Sprintf("fault ID %d at position %d is not dense", f.ID, i),
+							"renumber the list with List.Add")
+					}
+				}
+			},
+		},
+		&rule{
+			name: "fault/live-site",
+			sev:  Error,
+			doc:  "every fault must reference live gates/nets of the analyzed circuit, per its model's site semantics",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				l, c := ctx.Faults, ctx.Circuit
+				if l == nil || c == nil {
+					return
+				}
+				for _, f := range l.Faults {
+					if f == nil {
+						continue
+					}
+					loc := FaultLoc(f)
+					switch f.Model {
+					case fault.CellAware:
+						if !liveGate(c, f.Gate) {
+							emit(loc, fmt.Sprintf("cell-aware fault %d hosts gate %q which is not in the circuit", f.ID, gateName(f.Gate)),
+								"rebuild the fault universe after netlist edits")
+						}
+					case fault.Bridge:
+						if !liveNet(c, f.Net) {
+							emit(loc, fmt.Sprintf("bridge fault %d victim net %q is not in the circuit", f.ID, faultNetName(f)),
+								"rebuild the fault universe after netlist edits")
+						}
+						if !liveNet(c, f.Other) {
+							emit(loc, fmt.Sprintf("bridge fault %d aggressor net %q is not in the circuit", f.ID, netName(f.Other)),
+								"rebuild the fault universe after netlist edits")
+						}
+					default: // StuckAt, Transition
+						if !liveNet(c, f.Net) {
+							emit(loc, fmt.Sprintf("%s fault %d site net %q is not in the circuit", f.Model, f.ID, faultNetName(f)),
+								"rebuild the fault universe after netlist edits")
+						}
+						if f.BranchGate != nil && !liveGate(c, f.BranchGate) {
+							emit(loc, fmt.Sprintf("%s fault %d branch gate %q is not in the circuit", f.Model, f.ID, f.BranchGate.Name),
+								"rebuild the fault universe after netlist edits")
+						}
+					}
+				}
+			},
+		},
+		&rule{
+			name: "fault/cluster-membership",
+			sev:  Error,
+			doc:  "cluster sets may only contain undetectable members of the fault universe, and their gates must be live circuit gates",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				r := ctx.Clusters
+				if r == nil {
+					return
+				}
+				inList := map[*fault.Fault]bool{}
+				if ctx.Faults != nil {
+					for _, f := range ctx.Faults.Faults {
+						inList[f] = true
+					}
+				}
+				for si, set := range r.Sets {
+					for _, f := range set {
+						if f == nil {
+							emit(NoLoc, fmt.Sprintf("cluster %d contains a nil fault", si), "rebuild the clustering")
+							continue
+						}
+						if ctx.Faults != nil && !inList[f] {
+							emit(FaultLoc(f), fmt.Sprintf("cluster %d member %d is not in the fault universe", si, f.ID),
+								"rebuild the clustering from the current fault list")
+						}
+						if f.Status != fault.Undetectable {
+							emit(FaultLoc(f), fmt.Sprintf("cluster %d member %d has status %s, want undetectable", si, f.ID, f.Status),
+								"cluster only the proven-undetectable set U")
+						}
+					}
+				}
+				if ctx.Circuit != nil {
+					for _, g := range r.GU {
+						if !liveGate(ctx.Circuit, g) {
+							emit(GateLoc(g), fmt.Sprintf("clustered gate %q (G_U) is not in the circuit", gateName(g)),
+								"rebuild the clustering after netlist edits")
+						}
+					}
+				}
+			},
+		},
+	}
+}
+
+func faultNetName(f *fault.Fault) string {
+	if f.Net == nil {
+		return "(nil)"
+	}
+	return f.Net.Name
+}

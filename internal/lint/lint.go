@@ -1,0 +1,342 @@
+// Package lint is a rule-based static analyzer for the data structures the
+// whole pipeline silently relies on: circuits (internal/netlist), physical
+// design artifacts (internal/place, internal/route) and fault universes
+// (internal/fault, internal/cluster). Each invariant that flow, resyn and
+// cluster previously assumed implicitly — acyclicity, driver/fanout
+// consistency, region convexity, PI/PO preservation across rebuilds,
+// placement and routing legality, fault-site liveness — is expressed as one
+// Rule producing severity-ranked Findings, so that every intermediate
+// circuit of a resynthesis run can be checked against a single enforced
+// contract. The philosophy mirrors the paper's own premise: statically
+// checkable properties predict failures, so check them early and everywhere.
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfmresyn/internal/cluster"
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/place"
+	"dfmresyn/internal/route"
+)
+
+// Severity ranks findings. Error findings mark states downstream passes
+// cannot survive (panics, corrupt indices); Warning marks suspicious but
+// tolerated states (dead logic, floating nets); Info is advisory.
+type Severity uint8
+
+// Severities, weakest first so ordered comparisons read naturally.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// ParseSeverity parses a severity name as accepted by the netlint -fail-on
+// flag ("info", "warning"/"warn", "error").
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "info":
+		return Info, nil
+	case "warning", "warn":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("lint: unknown severity %q", s)
+}
+
+// Mode selects how the pipeline (flow, resyn) enforces lint on the
+// intermediate artifacts it produces.
+type Mode uint8
+
+// Enforcement modes: ModeOff skips linting entirely (the default — keeps
+// benchmark numbers clean), ModeWarn records findings without failing, and
+// ModeStrict turns Error findings into pipeline errors, so every
+// intermediate circuit of a resynthesis run is held to the contract.
+const (
+	ModeOff Mode = iota
+	ModeWarn
+	ModeStrict
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeWarn:
+		return "warn"
+	case ModeStrict:
+		return "strict"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Loc pinpoints a finding by the IDs of the objects involved; -1 means "not
+// applicable". IDs rather than pointers keep findings serializable and
+// stable across runs.
+type Loc struct {
+	Gate  int `json:"gate"`
+	Net   int `json:"net"`
+	Fault int `json:"fault"`
+}
+
+// NoLoc is the empty location.
+var NoLoc = Loc{Gate: -1, Net: -1, Fault: -1}
+
+// GateLoc locates a finding at a gate.
+func GateLoc(g *netlist.Gate) Loc {
+	l := NoLoc
+	if g != nil {
+		l.Gate = g.ID
+	}
+	return l
+}
+
+// NetLoc locates a finding at a net.
+func NetLoc(n *netlist.Net) Loc {
+	l := NoLoc
+	if n != nil {
+		l.Net = n.ID
+	}
+	return l
+}
+
+// FaultLoc locates a finding at a fault.
+func FaultLoc(f *fault.Fault) Loc {
+	l := NoLoc
+	if f != nil {
+		l.Fault = f.ID
+	}
+	return l
+}
+
+// less orders locations gate-major for deterministic reports.
+func (l Loc) less(o Loc) bool {
+	if l.Gate != o.Gate {
+		return l.Gate < o.Gate
+	}
+	if l.Net != o.Net {
+		return l.Net < o.Net
+	}
+	return l.Fault < o.Fault
+}
+
+// Finding is one rule violation.
+type Finding struct {
+	// Rule is the name of the rule that produced the finding.
+	Rule string `json:"rule"`
+	// Severity is the rule's severity (copied so findings sort standalone).
+	Severity Severity `json:"-"`
+	// Loc locates the finding by gate/net/fault ID (-1: not applicable).
+	Loc Loc `json:"loc"`
+	// Message describes the violation with object names.
+	Message string `json:"message"`
+	// Fix is a suggested remedy; may be empty.
+	Fix string `json:"fix,omitempty"`
+}
+
+// Context carries everything a rule may inspect. Circuit is the only field
+// rules generally require; every other field is optional — a rule that
+// needs an absent artifact reports nothing, so the same registry runs
+// against a bare netlist, a placed-and-routed design, or a full fault
+// universe.
+type Context struct {
+	// Circuit is the netlist under analysis.
+	Circuit *netlist.Circuit
+
+	// Prev, when set, is the circuit Circuit was rebuilt from
+	// (netlist.RebuildReplacing); the rebuild-io rule checks interface
+	// preservation against it.
+	Prev *netlist.Circuit
+	// Region, when set, is the resynthesis region whose convexity the
+	// region-convex rule checks. The region's gates belong to Prev when
+	// Prev is set (the rebuild source), otherwise to Circuit.
+	Region *netlist.Region
+
+	// Placement and Layout are the physical-design artifacts of Circuit.
+	Placement *place.Placement
+	// Layout is the routed geometry over Placement.
+	Layout *route.Layout
+
+	// Faults is the fault universe extracted for Circuit.
+	Faults *fault.List
+	// Clusters is the clustering of Faults' undetectable subset.
+	Clusters *cluster.Result
+}
+
+// regionCircuit returns the circuit ctx.Region refers to.
+func (ctx *Context) regionCircuit() *netlist.Circuit {
+	if ctx.Prev != nil {
+		return ctx.Prev
+	}
+	return ctx.Circuit
+}
+
+// Rule is one static check. Check receives the full context and returns all
+// violations it can find (not just the first), each with the rule's name
+// and severity filled in.
+type Rule interface {
+	// Name identifies the rule, conventionally "<layer>/<check>", e.g.
+	// "struct/cycle".
+	Name() string
+	// Severity ranks the rule's findings.
+	Severity() Severity
+	// Doc is a one-line description for the rule catalog.
+	Doc() string
+	// Check analyzes the context.
+	Check(ctx *Context) []Finding
+}
+
+// rule is the concrete Rule used by the built-in checks.
+type rule struct {
+	name  string
+	sev   Severity
+	doc   string
+	check func(ctx *Context, emit func(Loc, string, string))
+}
+
+func (r *rule) Name() string       { return r.name }
+func (r *rule) Severity() Severity { return r.sev }
+func (r *rule) Doc() string        { return r.doc }
+
+func (r *rule) Check(ctx *Context) []Finding {
+	var out []Finding
+	r.check(ctx, func(loc Loc, msg, fix string) {
+		out = append(out, Finding{Rule: r.name, Severity: r.sev, Loc: loc, Message: msg, Fix: fix})
+	})
+	return out
+}
+
+// Registry is an ordered, name-unique collection of rules.
+type Registry struct {
+	rules  []Rule
+	byName map[string]Rule
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Rule)}
+}
+
+// Register adds a rule; duplicate names are a programming error and panic,
+// matching library.New's handling of duplicate cells.
+func (reg *Registry) Register(r Rule) {
+	if _, dup := reg.byName[r.Name()]; dup {
+		panic("lint: duplicate rule " + r.Name())
+	}
+	reg.byName[r.Name()] = r
+	reg.rules = append(reg.rules, r)
+}
+
+// Rules returns the registered rules sorted by name.
+func (reg *Registry) Rules() []Rule {
+	out := make([]Rule, len(reg.rules))
+	copy(out, reg.rules)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// ByName returns the named rule, or nil.
+func (reg *Registry) ByName(name string) Rule { return reg.byName[name] }
+
+// Run executes every registered rule and returns the findings in the
+// canonical report order: severity descending, then rule name, then
+// location, then message.
+func (reg *Registry) Run(ctx *Context) []Finding {
+	var out []Finding
+	for _, r := range reg.Rules() {
+		out = append(out, r.Check(ctx)...)
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders findings into the canonical report order (severity
+// descending, then rule name, then location, then message). Run and the
+// reporters rely on this order being deterministic.
+func Sort(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity
+		}
+		if fs[i].Rule != fs[j].Rule {
+			return fs[i].Rule < fs[j].Rule
+		}
+		if fs[i].Loc != fs[j].Loc {
+			return fs[i].Loc.less(fs[j].Loc)
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}
+
+// Builtin returns a fresh registry holding every built-in rule: the
+// structural circuit checks, the pipeline-invariant checks and the
+// fault-universe checks.
+func Builtin() *Registry {
+	reg := NewRegistry()
+	for _, r := range structuralRules() {
+		reg.Register(r)
+	}
+	for _, r := range pipelineRules() {
+		reg.Register(r)
+	}
+	for _, r := range faultRules() {
+		reg.Register(r)
+	}
+	return reg
+}
+
+// Run executes the built-in rules against the context.
+func Run(ctx *Context) []Finding { return Builtin().Run(ctx) }
+
+// CountAtLeast counts the findings at or above the severity.
+func CountAtLeast(fs []Finding, s Severity) int {
+	n := 0
+	for _, f := range fs {
+		if f.Severity >= s {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrFindings is the sentinel wrapped by Err, so pipeline callers can
+// distinguish lint failures from other analysis errors with errors.Is.
+var ErrFindings = errors.New("lint: findings at or above fail severity")
+
+// Err converts findings into an error when any reaches the failOn
+// severity: nil otherwise. The error wraps ErrFindings and quotes the first
+// offending finding.
+func Err(fs []Finding, failOn Severity) error {
+	n := CountAtLeast(fs, failOn)
+	if n == 0 {
+		return nil
+	}
+	first := ""
+	for _, f := range fs {
+		if f.Severity >= failOn {
+			first = fmt.Sprintf("%s %s: %s", f.Severity, f.Rule, f.Message)
+			break
+		}
+	}
+	return fmt.Errorf("%w: %d finding(s), first: %s", ErrFindings, n, first)
+}

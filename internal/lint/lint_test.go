@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"dfmresyn/internal/cluster"
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/place"
+	"dfmresyn/internal/route"
+)
+
+// cleanCircuit builds a small lint-clean circuit: three PIs feeding a
+// two-level cone into one PO.
+func cleanCircuit(lib *library.Library) *netlist.Circuit {
+	c := netlist.New("clean", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	ci := c.AddPI("ci")
+	n1 := c.AddGate("g1", lib.ByName("NAND2X1"), a, b)
+	n2 := c.AddGate("g2", lib.ByName("INVX1"), ci)
+	y := c.AddGate("g3", lib.ByName("NOR2X1"), n1, n2)
+	c.MarkPO(y)
+	return c
+}
+
+func ruleNames(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Rule]++
+	}
+	return m
+}
+
+func wantRule(t *testing.T, fs []Finding, rule string) {
+	t.Helper()
+	if ruleNames(fs)[rule] == 0 {
+		t.Errorf("expected a %s finding, got %v", rule, ruleNames(fs))
+	}
+}
+
+func wantClean(t *testing.T, fs []Finding) {
+	t.Helper()
+	if len(fs) != 0 {
+		t.Errorf("expected no findings, got %v", ruleNames(fs))
+	}
+}
+
+func TestCleanCircuit(t *testing.T) {
+	lib := library.OSU018Like()
+	wantClean(t, Run(&Context{Circuit: cleanCircuit(lib)}))
+}
+
+func TestIDIndex(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	c.Gates[0].ID = 5
+	wantRule(t, Run(&Context{Circuit: c}), "struct/id-index")
+
+	c2 := cleanCircuit(lib)
+	c2.Nets[1].ID = 0
+	wantRule(t, Run(&Context{Circuit: c2}), "struct/id-index")
+}
+
+func TestCycle(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	// Rewire g1 pin 1 from PI b to g3's output, closing g1 -> g3 -> g1
+	// with consistent fanout back-references so only the cycle is reported.
+	g1 := c.Gates[0]
+	b := g1.Fanin[1]
+	y := c.Gates[2].Out
+	for i, p := range b.Fanout {
+		if p.Gate == g1 && p.Pin == 1 {
+			b.Fanout = append(b.Fanout[:i], b.Fanout[i+1:]...)
+			break
+		}
+	}
+	g1.Fanin[1] = y
+	y.Fanout = append(y.Fanout, netlist.Pin{Gate: g1, Pin: 1})
+
+	fs := Run(&Context{Circuit: c})
+	wantRule(t, fs, "struct/cycle")
+	for _, f := range fs {
+		if f.Rule == "struct/cycle" && !strings.Contains(f.Message, "->") {
+			t.Errorf("cycle finding should name the path, got %q", f.Message)
+		}
+	}
+}
+
+func TestUndrivenNet(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	c.Nets = append(c.Nets, &netlist.Net{ID: len(c.Nets), Name: "ghost"})
+	wantRule(t, Run(&Context{Circuit: c}), "struct/undriven-net")
+
+	// A driven primary input is the dual violation.
+	c2 := cleanCircuit(lib)
+	c2.PIs[0].Driver = c2.Gates[0]
+	wantRule(t, Run(&Context{Circuit: c2}), "struct/undriven-net")
+}
+
+func TestFloatingNetAndDeadLogic(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	c.AddGate("dead", lib.ByName("INVX1"), c.PIs[0]) // output unused, not a PO
+	fs := Run(&Context{Circuit: c})
+	wantRule(t, fs, "struct/floating-net")
+	wantRule(t, fs, "struct/dead-logic")
+	if n := CountAtLeast(fs, Error); n != 0 {
+		t.Errorf("floating/dead are warnings, got %d errors", n)
+	}
+}
+
+func TestDanglingFanout(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	c.Nets[0].Fanout[0].Pin = 7 // pin index beyond the gate's fanin
+	wantRule(t, Run(&Context{Circuit: c}), "struct/dangling-fanout")
+
+	// Gate reads a net whose fanout list omits the back-reference.
+	c2 := cleanCircuit(lib)
+	c2.Nets[0].Fanout = nil
+	wantRule(t, Run(&Context{Circuit: c2}), "struct/dangling-fanout")
+
+	// Foreign gate in a fanout list.
+	c3 := cleanCircuit(lib)
+	other := cleanCircuit(lib)
+	c3.Nets[0].Fanout = append(c3.Nets[0].Fanout, netlist.Pin{Gate: other.Gates[0], Pin: 0})
+	wantRule(t, Run(&Context{Circuit: c3}), "struct/dangling-fanout")
+}
+
+func TestDuplicateName(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	c.Gates[1].Name = c.Gates[0].Name
+	wantRule(t, Run(&Context{Circuit: c}), "struct/duplicate-name")
+
+	c2 := cleanCircuit(lib)
+	c2.Nets[1].Name = c2.Nets[0].Name
+	wantRule(t, Run(&Context{Circuit: c2}), "struct/duplicate-name")
+}
+
+func TestFaninArity(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	g := c.Gates[0]
+	g.Fanin = g.Fanin[:1] // NAND2X1 expects 2
+	wantRule(t, Run(&Context{Circuit: c}), "struct/fanin-arity")
+
+	c2 := cleanCircuit(lib)
+	c2.Gates[0].Type = nil
+	wantRule(t, Run(&Context{Circuit: c2}), "struct/fanin-arity")
+}
+
+func TestRegionConvex(t *testing.T) {
+	lib := library.OSU018Like()
+	c := netlist.New("chain", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	n1 := c.AddGate("g1", lib.ByName("INVX1"), a)
+	n2 := c.AddGate("g2", lib.ByName("INVX1"), n1)
+	y := c.AddGate("g3", lib.ByName("NAND2X1"), n2, b)
+	c.MarkPO(y)
+
+	// {g1, g3} is not convex: the path g1 -> g2 -> g3 re-enters the set.
+	r := netlist.ExtractRegion([]*netlist.Gate{c.Gates[0], c.Gates[2]})
+	fs := Run(&Context{Circuit: c, Region: r})
+	wantRule(t, fs, "pipe/region-convex")
+
+	// The convex closure of the same seed is clean.
+	closed := netlist.ExtractRegion(netlist.ConvexClosure(c, []*netlist.Gate{c.Gates[0], c.Gates[2]}))
+	wantClean(t, Run(&Context{Circuit: c, Region: closed}))
+}
+
+func TestRebuildIO(t *testing.T) {
+	lib := library.OSU018Like()
+	prev := cleanCircuit(lib)
+	c := prev.Clone()
+	c.PIs[0].Name = "renamed"
+	wantRule(t, Run(&Context{Circuit: c, Prev: prev}), "pipe/rebuild-io")
+
+	c2 := prev.Clone()
+	c2.POs = nil
+	wantRule(t, Run(&Context{Circuit: c2, Prev: prev}), "pipe/rebuild-io")
+
+	wantClean(t, Run(&Context{Circuit: prev.Clone(), Prev: prev}))
+}
+
+func TestPlacementBounds(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	p, err := place.Place(c, 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClean(t, Run(&Context{Circuit: c, Placement: p}))
+
+	p.Loc[0].X = p.Die.X1 // width pushes past the right edge
+	wantRule(t, Run(&Context{Circuit: c, Placement: p}), "pipe/placement-bounds")
+
+	p2, err := place.Place(c, 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Loc[1] = p2.Loc[0] // two cells on the same origin overlap
+	wantRule(t, Run(&Context{Circuit: c, Placement: p2}), "pipe/placement-bounds")
+}
+
+func TestRouteLayers(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	p, err := place.Place(c, 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := route.Route(p)
+	wantClean(t, Run(&Context{Circuit: c, Placement: p, Layout: lay}))
+
+	// Seed a diagonal segment on an arbitrary routed net.
+	for i := range lay.Routes {
+		if lay.Routes[i].Net != nil {
+			o := geom.Pt{X: lay.P.Die.X0, Y: lay.P.Die.Y0}
+			lay.Routes[i].Segs = append(lay.Routes[i].Segs, route.Seg{
+				Layer: route.M2,
+				A:     o,
+				B:     o.Add(1, 1),
+			})
+			break
+		}
+	}
+	wantRule(t, Run(&Context{Circuit: c, Layout: lay}), "pipe/route-layers")
+}
+
+func TestFaultRules(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	l := &fault.List{}
+	l.Add(&fault.Fault{Model: fault.StuckAt, Net: c.Nets[0]})
+	l.Add(&fault.Fault{Model: fault.CellAware, Gate: c.Gates[0]})
+	wantClean(t, Run(&Context{Circuit: c, Faults: l}))
+
+	l.Faults[1].ID = 0 // duplicate and non-dense
+	fs := Run(&Context{Circuit: c, Faults: l})
+	wantRule(t, fs, "fault/duplicate-id")
+	l.Faults[1].ID = 1
+
+	stale := &fault.List{}
+	stale.Add(&fault.Fault{Model: fault.StuckAt, Net: &netlist.Net{ID: 99, Name: "stale"}})
+	stale.Add(&fault.Fault{Model: fault.Bridge, Net: c.Nets[0], Other: &netlist.Net{ID: 98, Name: "gone"}})
+	stale.Add(&fault.Fault{Model: fault.CellAware, Gate: &netlist.Gate{ID: 97, Name: "ghost"}})
+	fs = Run(&Context{Circuit: c, Faults: stale})
+	if got := ruleNames(fs)["fault/live-site"]; got < 3 {
+		t.Errorf("expected >=3 fault/live-site findings, got %d", got)
+	}
+}
+
+func TestClusterMembership(t *testing.T) {
+	lib := library.OSU018Like()
+	c := cleanCircuit(lib)
+	l := &fault.List{}
+	f1 := l.Add(&fault.Fault{Model: fault.StuckAt, Net: c.Nets[0], Status: fault.Undetectable})
+	r := cluster.Build([]*fault.Fault{f1})
+	wantClean(t, Run(&Context{Circuit: c, Faults: l, Clusters: r}))
+
+	// A detected fault inside a cluster set violates the contract.
+	f1.Status = fault.Detected
+	wantRule(t, Run(&Context{Circuit: c, Faults: l, Clusters: r}), "fault/cluster-membership")
+	f1.Status = fault.Undetectable
+
+	// A clustered fault outside the universe.
+	r2 := cluster.Build([]*fault.Fault{{ID: 42, Model: fault.StuckAt, Net: c.Nets[0], Status: fault.Undetectable}})
+	wantRule(t, Run(&Context{Circuit: c, Faults: l, Clusters: r2}), "fault/cluster-membership")
+}
+
+func TestRegistry(t *testing.T) {
+	reg := Builtin()
+	if n := len(reg.Rules()); n < 10 {
+		t.Fatalf("expected >=10 built-in rules, got %d", n)
+	}
+	names := reg.Rules()
+	for i := 1; i < len(names); i++ {
+		if names[i-1].Name() >= names[i].Name() {
+			t.Fatalf("rules not sorted: %q before %q", names[i-1].Name(), names[i].Name())
+		}
+	}
+	if reg.ByName("struct/cycle") == nil {
+		t.Error("ByName failed for struct/cycle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	reg.Register(&rule{name: "struct/cycle"})
+}
+
+func TestSortAndErr(t *testing.T) {
+	fs := []Finding{
+		{Rule: "b", Severity: Warning, Loc: NoLoc, Message: "w"},
+		{Rule: "a", Severity: Error, Loc: NetLoc(&netlist.Net{ID: 3}), Message: "e2"},
+		{Rule: "a", Severity: Error, Loc: NetLoc(&netlist.Net{ID: 1}), Message: "e1"},
+		{Rule: "c", Severity: Info, Loc: NoLoc, Message: "i"},
+	}
+	Sort(fs)
+	got := []string{fs[0].Message, fs[1].Message, fs[2].Message, fs[3].Message}
+	want := []string{"e1", "e2", "w", "i"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sort order %v, want %v", got, want)
+		}
+	}
+	if err := Err(fs, Error); err == nil || !strings.Contains(err.Error(), "e1") {
+		t.Errorf("Err should quote the first error finding, got %v", err)
+	}
+	if err := Err(fs[3:], Warning); err != nil {
+		t.Errorf("Err below threshold should be nil, got %v", err)
+	}
+	if CountAtLeast(fs, Warning) != 3 {
+		t.Errorf("CountAtLeast(Warning) = %d, want 3", CountAtLeast(fs, Warning))
+	}
+}
+
+func TestParseSeverity(t *testing.T) {
+	for in, want := range map[string]Severity{"info": Info, "warn": Warning, "warning": Warning, "error": Error} {
+		got, err := ParseSeverity(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity should reject unknown names")
+	}
+}

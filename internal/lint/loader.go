@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+// ReadLoose parses the netlist text format (see netlist.Read) permissively,
+// so that malformed circuits can be *linted* instead of rejected at the
+// door: forward references create placeholder nets (which is also how a
+// combinational cycle becomes expressible in the file format), duplicate
+// names create shadowing nets, and fanin-arity mismatches are kept as
+// written. Unrecoverable lines (unknown directives or cells, missing
+// fields) become parse/* findings. The returned circuit may therefore
+// violate any invariant — feed it to Run to get the full diagnosis.
+//
+// Name lookups on the returned circuit (NetByName) do not work: the loose
+// loader bypasses the strict constructors precisely because they enforce
+// the invariants being linted.
+func ReadLoose(r io.Reader, lib *library.Library) (*netlist.Circuit, []Finding) {
+	var fs []Finding
+	parseErr := func(lineNo int, format string, args ...interface{}) {
+		fs = append(fs, Finding{
+			Rule:     "parse/syntax",
+			Severity: Error,
+			Loc:      NoLoc,
+			Message:  fmt.Sprintf("line %d: %s", lineNo, fmt.Sprintf(format, args...)),
+		})
+	}
+
+	c := netlist.New("", lib)
+	// Last net registered under each name; duplicates shadow earlier ones,
+	// matching how the strict parser would resolve references.
+	byName := map[string]*netlist.Net{}
+	addNet := func(name string) *netlist.Net {
+		n := &netlist.Net{ID: len(c.Nets), Name: name}
+		c.Nets = append(c.Nets, n)
+		byName[name] = n
+		return n
+	}
+	// resolve returns the net a reference names, creating an undriven
+	// placeholder on first use (forward references and typos alike — the
+	// undriven-net rule reports whichever it was).
+	resolve := func(name string) *netlist.Net {
+		if n, ok := byName[name]; ok {
+			return n
+		}
+		return addNet(name)
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	sawCircuit := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if len(fields) != 2 {
+				parseErr(lineNo, "circuit needs a name")
+				continue
+			}
+			c.Name = fields[1]
+			sawCircuit = true
+		case "input":
+			for _, name := range fields[1:] {
+				var n *netlist.Net
+				if old, ok := byName[name]; ok && old.Driver == nil && !old.IsPI {
+					n = old // forward-referenced placeholder
+				} else {
+					n = addNet(name) // fresh or duplicate (duplicate-name rule reports)
+				}
+				n.IsPI = true
+				c.PIs = append(c.PIs, n)
+			}
+		case "gate":
+			if len(fields) < 4 {
+				parseErr(lineNo, "gate needs instance, cell and output")
+				continue
+			}
+			inst, cellName, outName := fields[1], fields[2], fields[3]
+			cell := lib.ByName(cellName)
+			if cell == nil {
+				parseErr(lineNo, "unknown cell %q", cellName)
+				// Keep going with a typeless gate so connectivity (and any
+				// cycle through it) is still analyzed; fanin-arity reports
+				// the missing cell.
+			}
+			fanin := make([]*netlist.Net, len(fields[4:]))
+			for i, name := range fields[4:] {
+				fanin[i] = resolve(name)
+			}
+			g := &netlist.Gate{ID: len(c.Gates), Name: inst, Type: cell, Fanin: fanin}
+			var out *netlist.Net
+			if old, ok := byName[outName]; ok && old.Driver == nil && !old.IsPI {
+				out = old // forward-referenced placeholder: this closes cycles
+			} else {
+				out = addNet(outName)
+			}
+			out.Driver = g
+			g.Out = out
+			c.Gates = append(c.Gates, g)
+			for i, in := range fanin {
+				in.Fanout = append(in.Fanout, netlist.Pin{Gate: g, Pin: i})
+			}
+		case "output":
+			for _, name := range fields[1:] {
+				n := resolve(name)
+				if !n.IsPO {
+					n.IsPO = true
+					c.POs = append(c.POs, n)
+				}
+			}
+		default:
+			parseErr(lineNo, "unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		parseErr(lineNo+1, "read failed: %v", err)
+	}
+	if !sawCircuit {
+		parseErr(lineNo+1, "no circuit declaration found")
+	}
+	return c, fs
+}
+
+// LoadFile reads and lints one circuit file: the loose parse findings plus
+// the full rule run over the parsed circuit, in canonical order.
+func LoadFile(path string, lib *library.Library) (*netlist.Circuit, []Finding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	c, fs := ReadLoose(f, lib)
+	fs = append(fs, Run(&Context{Circuit: c})...)
+	Sort(fs)
+	return c, fs, nil
+}

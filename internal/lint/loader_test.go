@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dfmresyn/internal/library"
+)
+
+func TestLoadFileBroken(t *testing.T) {
+	lib := library.OSU018Like()
+	cases := []struct {
+		file string
+		rule string
+	}{
+		{"broken_cycle.ckt", "struct/cycle"},
+		{"broken_dup.ckt", "struct/duplicate-name"},
+		{"broken_arity.ckt", "struct/fanin-arity"},
+		{"broken_undriven.ckt", "struct/undriven-net"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			_, fs, err := LoadFile(filepath.Join("testdata", tc.file), lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRule(t, fs, tc.rule)
+			if CountAtLeast(fs, Error) == 0 {
+				t.Error("broken circuit must produce at least one error")
+			}
+		})
+	}
+}
+
+func TestLoadFileClean(t *testing.T) {
+	lib := library.OSU018Like()
+	_, fs, err := LoadFile(filepath.Join("testdata", "good_small.ckt"), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClean(t, fs)
+}
+
+func TestReadLooseSyntax(t *testing.T) {
+	lib := library.OSU018Like()
+	src := "circuit x\nbogus directive\ninput a\ngate g1 NOPE y a\noutput y\n"
+	c, fs := ReadLoose(strings.NewReader(src), lib)
+	if c == nil {
+		t.Fatal("ReadLoose must always return a circuit")
+	}
+	syntax := 0
+	for _, f := range fs {
+		if f.Rule == "parse/syntax" {
+			syntax++
+		}
+	}
+	if syntax != 2 { // unknown directive + unknown cell
+		t.Errorf("expected 2 parse/syntax findings, got %d: %v", syntax, fs)
+	}
+	// The typeless gate still surfaces through fanin-arity.
+	wantRule(t, Run(&Context{Circuit: c}), "struct/fanin-arity")
+}
+
+func TestReadLooseNoCircuit(t *testing.T) {
+	lib := library.OSU018Like()
+	_, fs := ReadLoose(strings.NewReader("input a\n"), lib)
+	found := false
+	for _, f := range fs {
+		if f.Rule == "parse/syntax" && strings.Contains(f.Message, "no circuit declaration") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing circuit declaration must be reported, got %v", fs)
+	}
+}

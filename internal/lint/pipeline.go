@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/route"
+)
+
+// pipelineRules check the invariants the flow/resyn pipeline assumes between
+// stages: resynthesis regions stay convex, rebuilds preserve the circuit
+// interface, placements stay inside the die, and routed geometry stays on
+// the declared layers. Each rule activates only when its artifact is
+// present in the context.
+func pipelineRules() []Rule {
+	return []Rule{
+		&rule{
+			name: "pipe/region-convex",
+			sev:  Error,
+			doc:  "a resynthesis region must be convex: no path may leave the region and re-enter it (RebuildReplacing requires this)",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				r := ctx.Region
+				c := ctx.regionCircuit()
+				if r == nil || c == nil {
+					return
+				}
+				inSet := make(map[*netlist.Gate]bool, len(r.Gates))
+				for _, g := range r.Gates {
+					if !liveGate(c, g) {
+						emit(GateLoc(g), fmt.Sprintf("region gate %q is not in the circuit", gateName(g)),
+							"extract the region from the current circuit generation")
+						return
+					}
+					inSet[g] = true
+				}
+				if len(r.Gates) == 0 || c.FindCycle() != nil {
+					return // nothing to check / cycle rule reports
+				}
+				closed := netlist.ConvexClosure(c, r.Gates)
+				for _, g := range closed {
+					if !inSet[g] {
+						emit(GateLoc(g), fmt.Sprintf("region is not convex: gate %q lies on a path leaving and re-entering it", g.Name),
+							"take the convex closure of the gate set before extracting the region")
+					}
+				}
+			},
+		},
+		&rule{
+			name: "pipe/rebuild-io",
+			sev:  Error,
+			doc:  "a rebuilt circuit must preserve the interface: same PIs (by name and order) and the same PO count/order",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c, prev := ctx.Circuit, ctx.Prev
+				if c == nil || prev == nil {
+					return
+				}
+				if len(c.PIs) != len(prev.PIs) {
+					emit(NoLoc, fmt.Sprintf("rebuild changed the PI count: %d, was %d", len(c.PIs), len(prev.PIs)),
+						"copy every primary input into the rebuilt circuit")
+				} else {
+					for i, pi := range c.PIs {
+						if pi == nil || prev.PIs[i] == nil {
+							continue // undriven-net/id-index rules report
+						}
+						if pi.Name != prev.PIs[i].Name {
+							emit(NetLoc(pi), fmt.Sprintf("rebuild changed PI %d: %q, was %q", i, pi.Name, prev.PIs[i].Name),
+								"preserve primary-input names and order")
+						}
+					}
+				}
+				if len(c.POs) != len(prev.POs) {
+					emit(NoLoc, fmt.Sprintf("rebuild changed the PO count: %d, was %d", len(c.POs), len(prev.POs)),
+						"return one driven net per region output and re-mark every PO")
+				}
+				for i, po := range c.POs {
+					if po != nil && !po.IsPO {
+						emit(NetLoc(po), fmt.Sprintf("net %q is in the PO list but not marked IsPO (position %d)", po.Name, i),
+							"mark the net with MarkPO")
+					}
+				}
+			},
+		},
+		&rule{
+			name: "pipe/placement-bounds",
+			sev:  Error,
+			doc:  "every placed cell must lie inside the die rows, and cells in one row must not overlap",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				p := ctx.Placement
+				if p == nil || p.C == nil {
+					return
+				}
+				c := p.C
+				die := p.Die
+				type span struct {
+					g      *netlist.Gate
+					x0, x1 int
+				}
+				rows := make(map[int][]span)
+				for _, g := range c.Gates {
+					if !liveGate(c, g) || g.ID >= len(p.Loc) || g.ID >= len(p.W) {
+						emit(GateLoc(g), fmt.Sprintf("gate %q has no placement entry", gateName(g)),
+							"re-place the circuit after netlist edits")
+						continue
+					}
+					loc, w := p.Loc[g.ID], p.W[g.ID]
+					if w < 1 {
+						emit(GateLoc(g), fmt.Sprintf("gate %q has non-positive width %d", g.Name, w),
+							"recompute cell widths from the library areas")
+						continue
+					}
+					if loc.X < die.X0 || loc.X+w > die.X1 || loc.Y < die.Y0 || loc.Y >= die.Y0+p.Rows || loc.Y >= die.Y1 {
+						emit(GateLoc(g), fmt.Sprintf("gate %q at (%d,%d) width %d leaves the %dx%d die", g.Name, loc.X, loc.Y, w, die.W(), die.H()),
+							"re-place the circuit inside the die")
+						continue
+					}
+					rows[loc.Y] = append(rows[loc.Y], span{g: g, x0: loc.X, x1: loc.X + w})
+				}
+				ys := make([]int, 0, len(rows))
+				for y := range rows {
+					ys = append(ys, y)
+				}
+				sort.Ints(ys)
+				for _, y := range ys {
+					row := rows[y]
+					sort.Slice(row, func(i, j int) bool {
+						if row[i].x0 != row[j].x0 {
+							return row[i].x0 < row[j].x0
+						}
+						return row[i].g.ID < row[j].g.ID
+					})
+					for i := 1; i < len(row); i++ {
+						if row[i].x0 < row[i-1].x1 {
+							emit(GateLoc(row[i].g),
+								fmt.Sprintf("gate %q overlaps gate %q in row %d (columns %d-%d vs %d-%d)",
+									row[i].g.Name, row[i-1].g.Name, y, row[i].x0, row[i].x1-1, row[i-1].x0, row[i-1].x1-1),
+								"legalize the row by spreading the cells")
+						}
+					}
+				}
+			},
+		},
+		&rule{
+			name: "pipe/route-layers",
+			sev:  Error,
+			doc:  "routed segments must run on the declared layers with the right orientation (M2 horizontal, M3 vertical) and stay inside the die; vias must cut between declared layers",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				lay := ctx.Layout
+				if lay == nil || lay.P == nil {
+					return
+				}
+				die := lay.P.Die
+				inDie := func(x, y int) bool {
+					return x >= die.X0 && x < die.X1 && y >= die.Y0 && y < die.Y1
+				}
+				for i := range lay.Routes {
+					nr := &lay.Routes[i]
+					if nr.Net == nil {
+						continue
+					}
+					loc := NetLoc(nr.Net)
+					if nr.Net.ID != i {
+						emit(loc, fmt.Sprintf("route at index %d belongs to net %q with ID %d", i, nr.Net.Name, nr.Net.ID),
+							"index routes by net ID")
+					}
+					for _, s := range nr.Segs {
+						switch {
+						case s.A.X != s.B.X && s.A.Y != s.B.Y:
+							emit(loc, fmt.Sprintf("net %q has a diagonal segment (%d,%d)-(%d,%d)", nr.Net.Name, s.A.X, s.A.Y, s.B.X, s.B.Y),
+								"split the segment into axis-aligned runs")
+						case s.Layer != route.M2 && s.Layer != route.M3:
+							emit(loc, fmt.Sprintf("net %q has a segment on undeclared layer %s", nr.Net.Name, s.Layer),
+								"route only on the declared layers M2 and M3")
+						case s.Layer == route.M2 && !s.Horizontal():
+							emit(loc, fmt.Sprintf("net %q has a vertical segment on horizontal layer M2 at x=%d", nr.Net.Name, s.A.X),
+								"move vertical runs to M3")
+						case s.Layer == route.M3 && s.Horizontal() && s.A != s.B:
+							emit(loc, fmt.Sprintf("net %q has a horizontal segment on vertical layer M3 at y=%d", nr.Net.Name, s.A.Y),
+								"move horizontal runs to M2")
+						}
+						if !inDie(s.A.X, s.A.Y) || !inDie(s.B.X, s.B.Y) {
+							emit(loc, fmt.Sprintf("net %q segment (%d,%d)-(%d,%d) leaves the die", nr.Net.Name, s.A.X, s.A.Y, s.B.X, s.B.Y),
+								"route inside the die")
+						}
+					}
+					for _, v := range nr.Vias {
+						lo, hi := v.From, v.To
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						if lo < route.M1 || hi > route.M3 || lo == hi {
+							emit(loc, fmt.Sprintf("net %q via at (%d,%d) cuts undeclared layers %s-%s", nr.Net.Name, v.At.X, v.At.Y, v.From, v.To),
+								"cut only between the declared layers M1, M2 and M3")
+						}
+						if !inDie(v.At.X, v.At.Y) {
+							emit(loc, fmt.Sprintf("net %q via at (%d,%d) is outside the die", nr.Net.Name, v.At.X, v.At.Y),
+								"place vias inside the die")
+						}
+					}
+				}
+			},
+		},
+	}
+}

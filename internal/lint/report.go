@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders findings in the canonical order (see Sort), one line
+// per finding plus a summary, e.g.:
+//
+//	error   struct/cycle          gate=2            combinational cycle: a -> b -> a
+//	        fix: break the loop by removing one feedback connection
+//	2 findings: 1 error, 1 warning, 0 info
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintf(w, "%-7s %-22s %-17s %s\n", f.Severity, f.Rule, locString(f.Loc), f.Message); err != nil {
+			return err
+		}
+		if f.Fix != "" {
+			if _, err := fmt.Fprintf(w, "        fix: %s\n", f.Fix); err != nil {
+				return err
+			}
+		}
+	}
+	e := CountAtLeast(fs, Error)
+	warn := CountAtLeast(fs, Warning) - e
+	info := len(fs) - e - warn
+	_, err := fmt.Fprintf(w, "%d findings: %d error, %d warning, %d info\n", len(fs), e, warn, info)
+	return err
+}
+
+// locString renders the non-empty components of a location.
+func locString(l Loc) string {
+	s := ""
+	if l.Gate >= 0 {
+		s += fmt.Sprintf("gate=%d ", l.Gate)
+	}
+	if l.Net >= 0 {
+		s += fmt.Sprintf("net=%d ", l.Net)
+	}
+	if l.Fault >= 0 {
+		s += fmt.Sprintf("fault=%d ", l.Fault)
+	}
+	if s == "" {
+		return "-"
+	}
+	return s[:len(s)-1]
+}
+
+// jsonFinding is the JSON wire form: severities as strings, locations
+// flattened.
+type jsonFinding struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Gate     int    `json:"gate"`
+	Net      int    `json:"net"`
+	Fault    int    `json:"fault"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+}
+
+// jsonReport is the envelope WriteJSON emits.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Errors   int           `json:"errors"`
+	Warnings int           `json:"warnings"`
+	Infos    int           `json:"infos"`
+}
+
+// WriteJSON renders findings as one indented JSON document with summary
+// counts, in the canonical order (see Sort).
+func WriteJSON(w io.Writer, fs []Finding) error {
+	rep := jsonReport{Findings: make([]jsonFinding, 0, len(fs))}
+	for _, f := range fs {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Rule:     f.Rule,
+			Severity: f.Severity.String(),
+			Gate:     f.Loc.Gate,
+			Net:      f.Loc.Net,
+			Fault:    f.Loc.Fault,
+			Message:  f.Message,
+			Fix:      f.Fix,
+		})
+		switch f.Severity {
+		case Error:
+			rep.Errors++
+		case Warning:
+			rep.Warnings++
+		default:
+			rep.Infos++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

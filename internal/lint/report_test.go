@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dfmresyn/internal/library"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenFindings are the deterministic findings of the broken_dup testdata
+// circuit — the same circuit the CLI acceptance check uses.
+func goldenFindings(t *testing.T) []Finding {
+	t.Helper()
+	lib := library.OSU018Like()
+	_, fs, err := LoadFile(filepath.Join("testdata", "broken_dup.ckt"), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, goldenFindings(t)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "broken_dup.txt.golden", buf.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenFindings(t)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "broken_dup.json.golden", buf.Bytes())
+
+	// The golden document must stay parseable with accurate counts.
+	var rep struct {
+		Findings []struct {
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+		} `json:"findings"`
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	e := 0
+	for _, f := range rep.Findings {
+		if f.Severity == "error" {
+			e++
+		}
+	}
+	if e != rep.Errors {
+		t.Errorf("summary errors %d != counted %d", rep.Errors, e)
+	}
+}
+
+func TestWriteTextEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "0 findings: 0 error, 0 warning, 0 info\n" {
+		t.Errorf("empty report = %q", got)
+	}
+}

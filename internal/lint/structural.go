@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/netlist"
+)
+
+// liveGate reports whether g is a member of c's gate list (not a stale
+// pointer into another circuit generation).
+func liveGate(c *netlist.Circuit, g *netlist.Gate) bool {
+	return g != nil && g.ID >= 0 && g.ID < len(c.Gates) && c.Gates[g.ID] == g
+}
+
+// liveNet reports whether n is a member of c's net list.
+func liveNet(c *netlist.Circuit, n *netlist.Net) bool {
+	return n != nil && n.ID >= 0 && n.ID < len(c.Nets) && c.Nets[n.ID] == n
+}
+
+// structuralRules are the circuit-only checks. They assume nothing beyond
+// ctx.Circuit being non-nil and tolerate arbitrarily corrupt circuits (nil
+// cells, stale pointers, duplicate names) — that is the point.
+func structuralRules() []Rule {
+	return []Rule{
+		&rule{
+			name: "struct/id-index",
+			sev:  Error,
+			doc:  "gate and net IDs must equal their slice positions (placement, routing and simulation index by ID)",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c := ctx.Circuit
+				if c == nil {
+					return
+				}
+				for i, n := range c.Nets {
+					if n == nil {
+						emit(Loc{Gate: -1, Net: i, Fault: -1}, fmt.Sprintf("nil net at position %d", i), "remove the hole or rebuild the net list")
+						continue
+					}
+					if n.ID != i {
+						emit(NetLoc(n), fmt.Sprintf("net %q has ID %d at position %d", n.Name, n.ID, i), "renumber nets densely in list order")
+					}
+				}
+				for i, g := range c.Gates {
+					if g == nil {
+						emit(Loc{Gate: i, Net: -1, Fault: -1}, fmt.Sprintf("nil gate at position %d", i), "remove the hole or rebuild the gate list")
+						continue
+					}
+					if g.ID != i {
+						emit(GateLoc(g), fmt.Sprintf("gate %q has ID %d at position %d", g.Name, g.ID, i), "renumber gates densely in list order")
+					}
+				}
+			},
+		},
+		&rule{
+			name: "struct/cycle",
+			sev:  Error,
+			doc:  "the combinational network must be acyclic (Levelize panics otherwise)",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c := ctx.Circuit
+				if c == nil {
+					return
+				}
+				// FindCycle indexes by gate ID; with corrupt IDs the
+				// id-index rule reports and cycle detection stands down.
+				for i, g := range c.Gates {
+					if g == nil || g.ID != i {
+						return
+					}
+				}
+				if cyc := c.FindCycle(); cyc != nil {
+					emit(GateLoc(cyc[0]),
+						"combinational cycle: "+netlist.CycleString(cyc),
+						"break the loop by removing one feedback connection or inserting a scan point")
+				}
+			},
+		},
+		&rule{
+			name: "struct/undriven-net",
+			sev:  Error,
+			doc:  "every net needs exactly one source: a driving gate or a primary-input marking",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c := ctx.Circuit
+				if c == nil {
+					return
+				}
+				for _, n := range c.Nets {
+					if n == nil {
+						continue
+					}
+					if n.Driver == nil && !n.IsPI {
+						emit(NetLoc(n), fmt.Sprintf("net %q has no driver and is not a primary input", n.Name),
+							"connect a driving gate or declare the net as an input")
+					}
+					if n.Driver != nil && n.IsPI {
+						emit(NetLoc(n), fmt.Sprintf("primary input %q is driven by gate %q", n.Name, n.Driver.Name),
+							"drop the PI marking or disconnect the driver")
+					}
+				}
+			},
+		},
+		&rule{
+			name: "struct/floating-net",
+			sev:  Warning,
+			doc:  "a net that drives nothing and is not a primary output is dead weight for placement and routing",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c := ctx.Circuit
+				if c == nil {
+					return
+				}
+				for _, n := range c.Nets {
+					if n == nil {
+						continue
+					}
+					if len(n.Fanout) == 0 && !n.IsPO {
+						emit(NetLoc(n), fmt.Sprintf("net %q floats: no fanout and not a primary output", n.Name),
+							"remove the net's cone or mark the net as an output")
+					}
+				}
+			},
+		},
+		&rule{
+			name: "struct/dangling-fanout",
+			sev:  Error,
+			doc:  "net fanout entries and gate fanins must back-reference each other exactly",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c := ctx.Circuit
+				if c == nil {
+					return
+				}
+				for _, n := range c.Nets {
+					if n == nil {
+						continue
+					}
+					for _, p := range n.Fanout {
+						switch {
+						case p.Gate == nil:
+							emit(NetLoc(n), fmt.Sprintf("net %q fans out to a nil gate", n.Name),
+								"drop the fanout entry")
+						case !liveGate(c, p.Gate):
+							emit(NetLoc(n), fmt.Sprintf("net %q fans out to gate %q which is not in the circuit", n.Name, p.Gate.Name),
+								"rebuild the fanout list from the live gate set")
+						case p.Pin < 0 || p.Pin >= len(p.Gate.Fanin):
+							emit(NetLoc(n), fmt.Sprintf("net %q fans out to gate %q pin %d, outside its %d fanins", n.Name, p.Gate.Name, p.Pin, len(p.Gate.Fanin)),
+								"repair the pin index")
+						case p.Gate.Fanin[p.Pin] != n:
+							emit(NetLoc(n), fmt.Sprintf("net %q fanout to gate %q pin %d is stale: the pin reads net %q", n.Name, p.Gate.Name, p.Pin, netName(p.Gate.Fanin[p.Pin])),
+								"rebuild the fanout list from the gate fanins")
+						}
+					}
+				}
+				for _, g := range c.Gates {
+					if g == nil {
+						continue
+					}
+					if g.Out == nil {
+						emit(GateLoc(g), fmt.Sprintf("gate %q has no output net", g.Name), "attach an output net")
+					} else if g.Out.Driver != g {
+						emit(GateLoc(g), fmt.Sprintf("gate %q output net %q records driver %q", g.Name, g.Out.Name, gateName(g.Out.Driver)),
+							"repair the output net's Driver link")
+					}
+					for pin, in := range g.Fanin {
+						if in == nil {
+							emit(GateLoc(g), fmt.Sprintf("gate %q pin %d reads a nil net", g.Name, pin), "connect the pin")
+							continue
+						}
+						if !liveNet(c, in) {
+							emit(GateLoc(g), fmt.Sprintf("gate %q pin %d reads net %q which is not in the circuit", g.Name, pin, in.Name),
+								"reconnect the pin to a live net")
+							continue
+						}
+						found := false
+						for _, p := range in.Fanout {
+							if p.Gate == g && p.Pin == pin {
+								found = true
+								break
+							}
+						}
+						if !found {
+							emit(GateLoc(g), fmt.Sprintf("gate %q pin %d reads net %q but the net's fanout list omits it", g.Name, pin, in.Name),
+								"append the missing fanout back-reference")
+						}
+					}
+				}
+			},
+		},
+		&rule{
+			name: "struct/duplicate-name",
+			sev:  Error,
+			doc:  "net and gate names must be unique (the text format and name lookups key on them)",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c := ctx.Circuit
+				if c == nil {
+					return
+				}
+				netSeen := make(map[string]*netlist.Net, len(c.Nets))
+				for _, n := range c.Nets {
+					if n == nil {
+						continue
+					}
+					if first, dup := netSeen[n.Name]; dup {
+						emit(NetLoc(n), fmt.Sprintf("net name %q duplicates net %d", n.Name, first.ID),
+							"rename one of the nets")
+					} else {
+						netSeen[n.Name] = n
+					}
+				}
+				gateSeen := make(map[string]*netlist.Gate, len(c.Gates))
+				for _, g := range c.Gates {
+					if g == nil {
+						continue
+					}
+					if first, dup := gateSeen[g.Name]; dup {
+						emit(GateLoc(g), fmt.Sprintf("gate name %q duplicates gate %d", g.Name, first.ID),
+							"rename one of the gates")
+					} else {
+						gateSeen[g.Name] = g
+					}
+				}
+			},
+		},
+		&rule{
+			name: "struct/fanin-arity",
+			sev:  Error,
+			doc:  "every gate's fanin count must match its library cell's input count",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c := ctx.Circuit
+				if c == nil {
+					return
+				}
+				for _, g := range c.Gates {
+					if g == nil {
+						continue
+					}
+					if g.Type == nil {
+						emit(GateLoc(g), fmt.Sprintf("gate %q has no library cell", g.Name),
+							"bind the gate to a cell in the library")
+						continue
+					}
+					if want := g.Type.NumInputs(); len(g.Fanin) != want {
+						emit(GateLoc(g), fmt.Sprintf("gate %q has %d fanins but cell %s expects %d", g.Name, len(g.Fanin), g.Type.Name, want),
+							"match the fanin list to the cell's pins")
+					}
+				}
+			},
+		},
+		&rule{
+			name: "struct/dead-logic",
+			sev:  Warning,
+			doc:  "gates from which no primary output is reachable are invisible to test and waste area",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				c := ctx.Circuit
+				if c == nil {
+					return
+				}
+				// Reverse reachability from the POs over driver edges.
+				reach := make([]bool, len(c.Gates))
+				var stack []*netlist.Gate
+				push := func(g *netlist.Gate) {
+					if liveGate(c, g) && !reach[g.ID] {
+						reach[g.ID] = true
+						stack = append(stack, g)
+					}
+				}
+				for _, po := range c.POs {
+					if po != nil {
+						push(po.Driver)
+					}
+				}
+				for len(stack) > 0 {
+					g := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, in := range g.Fanin {
+						if in != nil {
+							push(in.Driver)
+						}
+					}
+				}
+				for _, g := range c.Gates {
+					if liveGate(c, g) && !reach[g.ID] {
+						emit(GateLoc(g), fmt.Sprintf("gate %q reaches no primary output", g.Name),
+							"remove the dead cone or mark its output as a PO")
+					}
+				}
+			},
+		},
+	}
+}
+
+func netName(n *netlist.Net) string {
+	if n == nil {
+		return "(nil)"
+	}
+	return n.Name
+}
+
+func gateName(g *netlist.Gate) string {
+	if g == nil {
+		return "(nil)"
+	}
+	return g.Name
+}

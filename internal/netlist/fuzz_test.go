@@ -1,0 +1,62 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dfmresyn/internal/library"
+)
+
+// FuzzRead feeds arbitrary text to the netlist parser. Read must never
+// panic: malformed input returns an error, and anything it accepts must be
+// a consistent circuit that survives Check, Levelize and a Write/Read
+// round-trip.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"circuit c\n",
+		"# comment only\n",
+		"circuit c\ninput a b\ngate g1 NAND2X1 x a b\noutput x\n",
+		"circuit c\ninput a\ngate g1 INVX1 x a\ngate g2 INVX1 y x\noutput y\n",
+		"circuit c\ninput a a\n",                                     // duplicate PI
+		"circuit c\ninput a\ngate g1 INVX1 a a\n",                    // gate redeclares a PI net
+		"circuit c\ninput a\ngate g1 INVX1 x a\ngate g2 INVX1 x a\n", // duplicate out net
+		"circuit c\ninput a\ngate g1 NAND2X1 x a\n",                  // arity mismatch
+		"circuit c\ninput a\ngate g1 NOPE x a\n",                     // unknown cell
+		"circuit c\ninput a\ngate g1 INVX1 x ghost\n",                // undeclared fanin
+		"circuit c\noutput ghost\n",                                  // undeclared output
+		"circuit\n",                                                  // missing name
+		"input a\n",                                                  // input before circuit
+		"bogus\n",                                                    // unknown directive
+		"circuit c\ninput a\noutput a\noutput a\n",                   // repeated output
+		"circuit c\ngate\n",                                          // short gate line
+	}
+	lib := library.OSU018Like()
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data), lib)
+		if err != nil {
+			return
+		}
+		if cerr := c.Check(); cerr != nil {
+			t.Fatalf("accepted circuit fails Check: %v\ninput:\n%s", cerr, data)
+		}
+		c.Levelize() // must not panic: Check proved acyclicity
+		var buf bytes.Buffer
+		if werr := Write(&buf, c); werr != nil {
+			t.Fatalf("write failed: %v", werr)
+		}
+		c2, rerr := Read(strings.NewReader(buf.String()), lib)
+		if rerr != nil {
+			t.Fatalf("round-trip re-read failed: %v\nserialized:\n%s", rerr, buf.String())
+		}
+		if len(c2.Gates) != len(c.Gates) || len(c2.Nets) != len(c.Nets) ||
+			len(c2.PIs) != len(c.PIs) || len(c2.POs) != len(c.POs) {
+			t.Fatalf("round-trip changed shape: %d/%d gates, %d/%d nets",
+				len(c2.Gates), len(c.Gates), len(c2.Nets), len(c.Nets))
+		}
+	})
+}

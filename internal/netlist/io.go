@@ -72,6 +72,9 @@ func Read(r io.Reader, lib *library.Library) (*Circuit, error) {
 				return nil, fmt.Errorf("netlist: line %d: input before circuit", lineNo)
 			}
 			for _, name := range fields[1:] {
+				if c.NetByName(name) != nil {
+					return nil, fmt.Errorf("netlist: line %d: duplicate net %q", lineNo, name)
+				}
 				c.AddPI(name)
 			}
 		case "gate":
@@ -85,6 +88,9 @@ func Read(r io.Reader, lib *library.Library) (*Circuit, error) {
 			cell := lib.ByName(cellName)
 			if cell == nil {
 				return nil, fmt.Errorf("netlist: line %d: unknown cell %q", lineNo, cellName)
+			}
+			if c.NetByName(outName) != nil {
+				return nil, fmt.Errorf("netlist: line %d: duplicate net %q", lineNo, outName)
 			}
 			ins := fields[4:]
 			if len(ins) != cell.NumInputs() {

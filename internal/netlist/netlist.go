@@ -112,7 +112,9 @@ func (c *Circuit) AddGate(name string, cell *library.Cell, fanin ...*Net) *Net {
 }
 
 // Levelize returns the gates in topological order (fanin before fanout).
-// It panics if the circuit has a combinational cycle.
+// It panics if the circuit has a combinational cycle; the panic message
+// reports the offending cycle path. Callers that must not panic detect the
+// cycle first with FindCycle.
 func (c *Circuit) Levelize() []*Gate {
 	order := make([]*Gate, 0, len(c.Gates))
 	state := make([]uint8, len(c.Gates)) // 0 unvisited, 1 on stack, 2 done
@@ -120,7 +122,7 @@ func (c *Circuit) Levelize() []*Gate {
 	visit = func(g *Gate) {
 		switch state[g.ID] {
 		case 1:
-			panic("netlist: combinational cycle through gate " + g.Name)
+			panic("netlist: combinational cycle: " + CycleString(c.FindCycle()))
 		case 2:
 			return
 		}
@@ -153,6 +155,76 @@ func (c *Circuit) Levels() []int {
 		lv[g.Out.ID] = max + 1
 	}
 	return lv
+}
+
+// FindCycle returns one combinational cycle as a gate path, or nil when the
+// circuit is acyclic. In the returned path each gate drives the next, and
+// the last gate drives the first. Unlike Levelize it never panics, so it is
+// the entry point for validators (lint, Check) that must report cycles as
+// ordinary findings.
+func (c *Circuit) FindCycle() []*Gate {
+	state := make([]uint8, len(c.Gates)) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		g    *Gate
+		next int // next fanin index to explore
+	}
+	var stack []frame
+	for _, start := range c.Gates {
+		if state[start.ID] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{g: start})
+		state[start.ID] = 1
+		for len(stack) > 0 {
+			top := len(stack) - 1
+			g := stack[top].g
+			if stack[top].next >= len(g.Fanin) {
+				state[g.ID] = 2
+				stack = stack[:top]
+				continue
+			}
+			in := g.Fanin[stack[top].next]
+			stack[top].next++
+			if in == nil || in.Driver == nil {
+				continue
+			}
+			d := in.Driver
+			if d.ID < 0 || d.ID >= len(state) {
+				continue // foreign gate; the lint dangling-fanout rule reports it
+			}
+			switch state[d.ID] {
+			case 0:
+				state[d.ID] = 1
+				stack = append(stack, frame{g: d})
+			case 1:
+				// d is on the stack: the cycle is d followed by the
+				// stack suffix above d in reverse push order, so that
+				// each gate drives its successor.
+				at := top
+				for at >= 0 && stack[at].g != d {
+					at--
+				}
+				cyc := []*Gate{d}
+				for j := top; j > at; j-- {
+					cyc = append(cyc, stack[j].g)
+				}
+				return cyc
+			}
+		}
+	}
+	return nil
+}
+
+// CycleString formats a cycle path from FindCycle as "a -> b -> a".
+func CycleString(path []*Gate) string {
+	if len(path) == 0 {
+		return "(none)"
+	}
+	s := ""
+	for _, g := range path {
+		s += g.Name + " -> "
+	}
+	return s + path[0].Name
 }
 
 // Check validates structural consistency: every net has a driver or is a
@@ -203,17 +275,10 @@ func (c *Circuit) Check() error {
 			return fmt.Errorf("net %q in PO list but not marked", po.Name)
 		}
 	}
-	// Levelize panics on cycles; convert to error.
-	err := func() (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("%v", r)
-			}
-		}()
-		c.Levelize()
-		return nil
-	}()
-	return err
+	if cyc := c.FindCycle(); cyc != nil {
+		return fmt.Errorf("combinational cycle: %s", CycleString(cyc))
+	}
+	return nil
 }
 
 // Stats summarizes a circuit.

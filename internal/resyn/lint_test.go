@@ -1,0 +1,66 @@
+package resyn
+
+import (
+	"testing"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/lint"
+)
+
+// TestStrictLintFullFlow runs the complete flow + resynthesis pipeline with
+// strict lint enforcement: every intermediate circuit, placement, layout and
+// fault universe must satisfy the static-analysis contract, and no candidate
+// may be rejected by the linter. A nonzero LintFailures would mean a rebuild
+// or placement bug that the normal run silently tolerates.
+func TestStrictLintFullFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis run is slow")
+	}
+	for _, name := range []string{"tv80", "sparc_spu"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			env := testEnv()
+			env.Lint = lint.ModeStrict
+			c := bench.MustBuild(name, env.Lib)
+			r, err := Run(env, c, Options{MaxQ: 2, MaxItersPhase: 5})
+			if err != nil {
+				t.Fatalf("strict-lint run failed: %v", err)
+			}
+			if r.LintFailures != 0 {
+				t.Errorf("LintFailures = %d, want 0", r.LintFailures)
+			}
+			// Warnings (dead logic in the generators) are recorded but must
+			// not escalate; errors would have failed the run already.
+			if n := lint.CountAtLeast(r.Final.LintFindings, lint.Error); n != 0 {
+				t.Errorf("final design carries %d lint errors", n)
+			}
+		})
+	}
+}
+
+// TestWarnModeRecordsFindings checks that warn mode annotates designs
+// without failing the pipeline.
+func TestWarnModeRecordsFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow run is slow")
+	}
+	env := testEnv()
+	env.Lint = lint.ModeWarn
+	c := bench.MustBuild("sparc_ffu", env.Lib)
+	r, err := Run(env, c, Options{MaxQ: 1, MaxItersPhase: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sparc_ffu's generator includes dead cones: warn mode must surface
+	// them on the original design while leaving the run untouched. (The
+	// final design may be clean — resynthesis rebuilds can absorb the
+	// dead cone.)
+	if len(r.Orig.LintFindings) == 0 {
+		t.Error("warn mode recorded no findings on a circuit with dead logic")
+	}
+	for _, d := range []int{lint.CountAtLeast(r.Orig.LintFindings, lint.Error), lint.CountAtLeast(r.Final.LintFindings, lint.Error)} {
+		if d != 0 {
+			t.Errorf("unexpected lint errors: %d", d)
+		}
+	}
+}

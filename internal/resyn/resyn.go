@@ -16,6 +16,7 @@
 package resyn
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -24,6 +25,7 @@ import (
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
 	"dfmresyn/internal/library"
+	"dfmresyn/internal/lint"
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/synth"
 )
@@ -118,6 +120,11 @@ type Result struct {
 	// EquivFailures counts candidates rejected by the equivalence safety
 	// check; it must stay zero (a nonzero value indicates a mapper bug).
 	EquivFailures int
+	// LintFailures counts intermediate circuits rejected by the static
+	// analyzer when the environment's lint mode is warn or strict; like
+	// EquivFailures it must stay zero (a nonzero value indicates a
+	// rebuild or placement bug).
+	LintFailures int
 }
 
 // state carries the procedure's working data.
@@ -378,6 +385,7 @@ const (
 	attemptSynthFailed
 	attemptNoUIntGain
 	attemptAreaViolation
+	attemptLintFailed
 )
 
 // attempt synthesizes the region with the allowed cells, screens on
@@ -398,6 +406,20 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 	}
 	s.res.SynthCalls++
 
+	// Debug/strict mode: every intermediate circuit the procedure creates
+	// is linted against the pipeline contract — the rebuilt netlist must
+	// be structurally sound, preserve the PI/PO interface of its parent,
+	// and come from a convex region.
+	if s.env.Lint != lint.ModeOff {
+		fs := lint.Run(&lint.Context{Circuit: newC, Prev: s.cur.C, Region: region})
+		if lint.CountAtLeast(fs, lint.Error) > 0 {
+			s.res.LintFailures++
+			if s.env.Lint == lint.ModeStrict {
+				return nil, attemptLintFailed
+			}
+		}
+	}
+
 	// Safety net: the resynthesized circuit must implement the same
 	// function (exhaustive for small PI counts, sampled otherwise).
 	if !s.opt.NoVerify {
@@ -415,6 +437,14 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 	newD, err := s.env.AnalyzeIncremental(newC, s.cur)
 	s.res.PDCalls++
 	if err != nil {
+		if errors.Is(err, lint.ErrFindings) {
+			// A strict-mode lint failure on the analyzed design (stale
+			// fault sites, illegal placement) is a pipeline bug, not an
+			// area violation — count it separately and do not let it
+			// masquerade as a constraint wall.
+			s.res.LintFailures++
+			return nil, attemptLintFailed
+		}
 		s.constraintBlocked = true
 		return nil, attemptAreaViolation
 	}
