@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test lint bench fuzz
+.PHONY: check fmt vet build test lint bench benchflow fuzz
 
-check: fmt vet build test lint
+check: fmt vet build test lint benchflow
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -29,6 +29,11 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Machine-readable flow performance record: per-circuit Analyze wall time,
+# ATPG time, and the verdict-cache hit rate of a warm re-analysis.
+benchflow:
+	BENCH_FLOW_OUT=BENCH_flow.json $(GO) test -run TestBenchFlowJSON .
 
 # Short fuzz pass over the netlist parser (satellite of the lint work; the
 # full corpus grows under -fuzztime as long as you let it run).

@@ -1,0 +1,83 @@
+// BENCH_flow.json emitter: a machine-readable per-circuit record of the
+// flow's performance — Analyze wall time, the ATPG share of it, and the
+// verdict-cache hit rate of a warm re-analysis. Guarded by BENCH_FLOW_OUT so
+// plain `go test` stays silent; `make benchflow` writes BENCH_flow.json.
+package dfmresyn
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/fcache"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/par"
+)
+
+type benchFlowRow struct {
+	Circuit        string  `json:"circuit"`
+	Gates          int     `json:"gates"`
+	Faults         int     `json:"faults"`
+	Tests          int     `json:"tests"`
+	AnalyzeSeconds float64 `json:"analyze_seconds"`
+	ATPGSeconds    float64 `json:"atpg_seconds"`
+	WarmATPGSecs   float64 `json:"warm_atpg_seconds"`
+	CacheHitRate   float64 `json:"warm_cache_hit_rate"`
+}
+
+type benchFlowReport struct {
+	Workers   int            `json:"workers"`
+	GoMaxProc int            `json:"gomaxprocs"`
+	Rows      []benchFlowRow `json:"rows"`
+}
+
+func TestBenchFlowJSON(t *testing.T) {
+	out := os.Getenv("BENCH_FLOW_OUT")
+	if out == "" {
+		t.Skip("set BENCH_FLOW_OUT=<path> to emit the flow benchmark JSON")
+	}
+	rep := benchFlowReport{Workers: par.Count(0), GoMaxProc: runtime.GOMAXPROCS(0)}
+	for _, name := range bench.Names {
+		env := flow.NewEnv()
+		env.FaultCache = fcache.New()
+		c := bench.MustBuild(name, env.Lib)
+
+		t0 := time.Now()
+		cold, err := env.Analyze(c, geom.Rect{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		analyze := time.Since(t0)
+
+		warm, err := env.Analyze(c, geom.Rect{})
+		if err != nil {
+			t.Fatalf("%s warm: %v", name, err)
+		}
+		hit := 0.0
+		if warm.Result.CacheLookups > 0 {
+			hit = float64(warm.Result.CacheHits) / float64(warm.Result.CacheLookups)
+		}
+		rep.Rows = append(rep.Rows, benchFlowRow{
+			Circuit:        name,
+			Gates:          len(cold.C.Gates),
+			Faults:         cold.Faults.Len(),
+			Tests:          len(cold.Result.Tests),
+			AnalyzeSeconds: analyze.Seconds(),
+			ATPGSeconds:    cold.ATPGTime.Seconds(),
+			WarmATPGSecs:   warm.ATPGTime.Seconds(),
+			CacheHitRate:   hit,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d circuits)", out, len(rep.Rows))
+}

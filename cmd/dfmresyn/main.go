@@ -9,32 +9,40 @@
 //	dfmresyn -table2 -circuit tv80   # Table II rows for one circuit
 //	dfmresyn -table2 -all            # full Table II (slow: full q sweep)
 //	dfmresyn -trace -circuit aes_core
+//	dfmresyn -table2 -all -workers 8 -cpuprofile cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dfmresyn/internal/bench"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
+	"dfmresyn/internal/par"
 	"dfmresyn/internal/report"
 	"dfmresyn/internal/resyn"
 )
 
+var (
+	circuit = flag.String("circuit", "", "benchmark circuit name (see -list)")
+	all     = flag.Bool("all", false, "run every Table II circuit")
+	table1  = flag.Bool("table1", false, "print Table I (clustering before resynthesis)")
+	table2  = flag.Bool("table2", false, "print Table II (resynthesis results)")
+	trace   = flag.Bool("trace", false, "print the Fig. 2 iteration trace")
+	list    = flag.Bool("list", false, "list circuit names")
+	maxQ    = flag.Int("q", 5, "maximum acceptable delay/power increase in percent")
+	seed    = flag.Int64("seed", 1, "random seed for the whole flow")
+	workers = flag.Int("workers", 0, "fault-classification worker pool size (0 = NumCPU); any value gives identical tables")
+	cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
 func main() {
-	var (
-		circuit = flag.String("circuit", "", "benchmark circuit name (see -list)")
-		all     = flag.Bool("all", false, "run every Table II circuit")
-		table1  = flag.Bool("table1", false, "print Table I (clustering before resynthesis)")
-		table2  = flag.Bool("table2", false, "print Table II (resynthesis results)")
-		trace   = flag.Bool("trace", false, "print the Fig. 2 iteration trace")
-		list    = flag.Bool("list", false, "list circuit names")
-		maxQ    = flag.Int("q", 5, "maximum acceptable delay/power increase in percent")
-		seed    = flag.Int64("seed", 1, "random seed for the whole flow")
-	)
 	flag.Parse()
 
 	if *list {
@@ -43,32 +51,75 @@ func main() {
 		}
 		return
 	}
+	// Usage errors exit before any profiling starts.
+	if !*table1 && !*table2 && !*trace {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2 or -trace (see -help)")
+		os.Exit(2)
+	}
+	if (*table2 || *trace) && !*all && *circuit == "" {
+		fmt.Fprintln(os.Stderr, "pass -circuit <name> or -all")
+		os.Exit(2)
+	}
+
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds all the real work so the profile writers, installed as defers,
+// fire on every exit path.
+func run() error {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	env := flow.NewEnv()
 	env.Seed = *seed
 	env.ATPG.Seed = *seed
+	env.Workers = *workers
 
 	if *table1 {
 		fmt.Println("TABLE I. CLUSTERED UNDETECTABLE FAULTS")
 		fmt.Println(report.TableIHeader())
 		for _, name := range bench.TableINames {
-			d := analyze(env, name)
+			c := bench.MustBuild(name, env.Lib)
+			d, err := env.Analyze(c, geom.Rect{})
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
 			fmt.Println(report.TableIRow(name, d.Metrics()))
 		}
-		return
-	}
-
-	if !*table2 && !*trace {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2 or -trace (see -help)")
-		os.Exit(2)
+		if !*table2 && !*trace {
+			return nil
+		}
 	}
 
 	names := []string{*circuit}
 	if *all {
 		names = bench.Names
-	} else if *circuit == "" {
-		fmt.Fprintln(os.Stderr, "pass -circuit <name> or -all")
-		os.Exit(2)
 	}
 
 	if *table2 {
@@ -84,21 +135,22 @@ func main() {
 		t0 := time.Now()
 		orig, err := env.Analyze(c, geom.Rect{})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		baseline := time.Since(t0)
 
 		t1 := time.Now()
 		r, err := resyn.RunFrom(env, orig, resyn.Options{MaxQ: *maxQ})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		rtime := float64(time.Since(t1)) / float64(baseline)
 		if *table2 {
 			fmt.Println(report.TableIIOrigRow(name, r.Orig.Metrics()))
 			fmt.Println(report.TableIIResynRow(r, rtime))
+			fmt.Println(report.PerfRow(name, par.Count(*workers),
+				r.ATPGTime.Seconds(), r.Cache.HitRate(),
+				int(r.Cache.Lookups), r.Cache.Entries))
 			avg.Add(r, rtime)
 		}
 		if *trace {
@@ -109,14 +161,5 @@ func main() {
 	if *table2 && *all {
 		fmt.Println(avg.Row())
 	}
-}
-
-func analyze(env *flow.Env, name string) *flow.Design {
-	c := bench.MustBuild(name, env.Lib)
-	d, err := env.Analyze(c, geom.Rect{})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-		os.Exit(1)
-	}
-	return d
+	return nil
 }

@@ -5,7 +5,10 @@ import (
 
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/faultsim"
+	"dfmresyn/internal/fcache"
+	"dfmresyn/internal/logic"
 	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/par"
 )
 
 // Config controls the test-generation run.
@@ -16,10 +19,22 @@ type Config struct {
 	// RandomBlocks is the number of 64-test random-pair blocks simulated
 	// before the deterministic phase.
 	RandomBlocks int
-	// Seed drives all randomness (pattern fill, random phase).
+	// Seed drives all randomness (pattern fill, random phase). PODEM
+	// searches draw from a per-fault stream derived from (Seed, fault ID),
+	// so a fault's outcome never depends on scheduling.
 	Seed int64
 	// NoCompact disables reverse-order test-set compaction.
 	NoCompact bool
+	// Workers bounds the classification worker pool; 0 selects
+	// runtime.NumCPU(). Any value produces byte-identical results: work is
+	// split into fixed-size batches merged in fault-ID order.
+	Workers int
+	// Cache, when non-nil, is consulted before classification and updated
+	// afterwards. Cached Undetectable verdicts are trusted (the key is a
+	// structural hash of the fault's whole support cone); cached Detected
+	// verdicts only contribute their witness vectors, which are replayed
+	// through fault simulation — so a stale entry degrades to a miss.
+	Cache *fcache.Cache
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -36,25 +51,157 @@ type Result struct {
 	Detected     int
 	Undetectable int
 	Aborted      int
+	// CacheLookups counts fault-verdict cache consultations; CacheHits
+	// counts the faults classified without a PODEM search thanks to the
+	// cache (trusted undetectability proofs plus faults detected while
+	// replaying cached witness vectors).
+	CacheLookups int
+	CacheHits    int
 }
+
+// podemBatch is the number of faults classified concurrently between merge
+// points. It is a fixed constant — independent of the worker count — so that
+// the set of speculative searches, and therefore every result, is identical
+// for Workers=1 and Workers=N.
+const podemBatch = 64
 
 // Run generates a test set T detecting every detectable fault in l and
 // proves the remaining faults undetectable (the set U), mirroring the
 // paper's Section II procedure. Fault statuses in l are updated in place.
+//
+// The per-fault classification work (fault simulation and PODEM searches)
+// is sharded over cfg.Workers workers; all status, credit and test-set
+// bookkeeping runs sequentially in fault-ID order between parallel stages,
+// so the output is a pure function of (circuit, fault list, cfg, cache
+// content) regardless of worker count or scheduling.
 func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	if cfg.BacktrackLimit <= 0 {
 		cfg.BacktrackLimit = 12000
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	eng := faultsim.New(c)
-	order := eng.Circuit().Levelize()
+	workers := par.Count(cfg.Workers)
+	pool := faultsim.NewPool(c, workers)
+	order := pool.Engine(0).Circuit().Levelize()
 	levels := c.Levels()
+	npi := len(c.PIs)
+	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	res := Result{}
 	var tests []faultsim.Test
 
+	// witness[i] is the test that first detected l.Faults[i] (zero Test if
+	// none); it becomes the cached proof obligation for Detected verdicts.
+	// keys[i] is the fault's structural cone key (zero when uncacheable).
+	var witness []faultsim.Test
+	var keys []fcache.Key
+
+	// detectBlock computes detection words for every listed fault against
+	// the block in parallel, then applies statuses, first-detection credit
+	// and witnesses sequentially in fault-ID order. cand are the block's
+	// candidate tests; credited tests are appended to the returned slice.
+	scratch := make([]int, 0, len(l.Faults))
+	activeOf := func(pred func(*fault.Fault) bool) []int {
+		scratch = scratch[:0]
+		for i, f := range l.Faults {
+			if pred(f) {
+				scratch = append(scratch, i)
+			}
+		}
+		return scratch
+	}
+	untried := func(f *fault.Fault) bool { return f.Status == fault.Untried }
+	unclassified := func(f *fault.Fault) bool {
+		return f.Status == fault.Untried || f.Status == fault.Aborted
+	}
+	faultBuf := make([]*fault.Fault, 0, len(l.Faults))
+	detBuf := make([]logic.Word, len(l.Faults))
+	detectBlock := func(cand []faultsim.Test, pred func(*fault.Fault) bool, countHits bool) []faultsim.Test {
+		b := pool.SimBlock(cand)
+		active := activeOf(pred)
+		faults := faultBuf[:0]
+		for _, i := range active {
+			faults = append(faults, l.Faults[i])
+		}
+		det := detBuf[:len(active)]
+		pool.DetectsMany(faults, b, det)
+		credit := make([]bool, len(cand))
+		for j, i := range active {
+			if det[j] == 0 {
+				continue
+			}
+			f := l.Faults[i]
+			f.Status = fault.Detected
+			if countHits {
+				res.CacheHits++
+			}
+			first := 0
+			for det[j]>>uint(first)&1 == 0 {
+				first++
+			}
+			credit[first] = true
+			if witness != nil {
+				witness[i] = cand[first]
+			}
+		}
+		var kept []faultsim.Test
+		for p, ok := range credit {
+			if ok {
+				kept = append(kept, cand[p])
+			}
+		}
+		return kept
+	}
+
+	// Phase 0: consult the verdict cache. Undetectable verdicts are taken
+	// as-is; Detected verdicts contribute their witness vectors, which are
+	// replayed as seed tests with first-detection credit and dropping —
+	// sound even for stale or colliding entries, which simply detect
+	// nothing and fall through to PODEM.
+	if cfg.Cache != nil {
+		hasher := fcache.NewHasher(c)
+		witness = make([]faultsim.Test, len(l.Faults))
+		keys = make([]fcache.Key, len(l.Faults))
+		var seeds []faultsim.Test
+		seen := make(map[string]bool)
+		for i, f := range l.Faults {
+			if f.Status != fault.Untried {
+				continue
+			}
+			keys[i] = hasher.FaultKey(f)
+			if keys[i].Zero() {
+				continue
+			}
+			res.CacheLookups++
+			e, ok := cfg.Cache.Lookup(keys[i])
+			if !ok {
+				continue
+			}
+			switch e.Status {
+			case fault.Undetectable:
+				f.Status = fault.Undetectable
+				res.CacheHits++
+			case fault.Detected:
+				if len(e.Vec) != npi || (e.Init != nil && len(e.Init) != npi) {
+					continue // witness from a different PI interface
+				}
+				sig := string(e.Vec) + "\x00" + string(e.Init)
+				if !seen[sig] {
+					seen[sig] = true
+					seeds = append(seeds, faultsim.Test{Init: e.Init, Vec: e.Vec})
+				}
+			}
+		}
+		for start := 0; start < len(seeds); start += 64 {
+			end := start + 64
+			if end > len(seeds) {
+				end = len(seeds)
+			}
+			tests = append(tests, detectBlock(seeds[start:end], untried, true)...)
+		}
+	}
+
 	// Phase 1: random pattern pairs with fault dropping; keep only tests
-	// that are first to detect at least one fault.
-	npi := len(c.PIs)
+	// that are first to detect at least one fault. The shared rng draws the
+	// same candidate vectors for every worker count and cache state.
 	for blk := 0; blk < cfg.RandomBlocks; blk++ {
 		if npi == 0 {
 			break
@@ -63,57 +210,81 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		for i := range cand {
 			cand[i] = faultsim.Test{Init: randomVec(rng, npi), Vec: randomVec(rng, npi)}
 		}
-		b := eng.SimBlock(cand)
-		credit := make([]bool, len(cand))
-		for _, f := range l.Faults {
-			if f.Status != fault.Untried {
-				continue
-			}
-			det := eng.Detects(f, b)
-			if det == 0 {
-				continue
-			}
-			f.Status = fault.Detected
-			for p := 0; p < len(cand); p++ {
-				if det>>uint(p)&1 == 1 {
-					credit[p] = true
-					break
-				}
-			}
-		}
-		for p, ok := range credit {
-			if ok {
-				tests = append(tests, cand[p])
-			}
-		}
+		tests = append(tests, detectBlock(cand, untried, false)...)
 	}
 
-	// Phase 2: deterministic PODEM per remaining fault, dropping
-	// collaterally-detected faults after each new test.
-	gen := NewGenerator(c, order, levels, cfg.BacktrackLimit)
-	for _, f := range l.Faults {
-		if f.Status != fault.Untried && f.Status != fault.Aborted {
-			continue
-		}
-		outcome, tv := gen.Generate(f, rng)
-		switch outcome {
-		case FoundTest:
-			t := faultsim.Test{Init: tv.Init, Vec: tv.Vec}
-			tests = append(tests, t)
-			f.Status = fault.Detected
-			b := eng.SimBlock([]faultsim.Test{t})
-			for _, g := range l.Faults {
-				if g.Status != fault.Untried && g.Status != fault.Aborted {
-					continue
-				}
-				if eng.Detects(g, b) != 0 {
-					g.Status = fault.Detected
-				}
+	// Phase 2: PODEM per remaining fault, in fixed-size batches. Each batch
+	// is searched in parallel — every fault with its own rng stream seeded
+	// from (cfg.Seed, fault ID) — then merged in fault-ID order: a fault
+	// collaterally detected by a test emitted earlier in the merge discards
+	// its speculative outcome, exactly as if it had never been searched.
+	gens := make([]*Generator, workers)
+	remaining := append([]int(nil), activeOf(unclassified)...)
+	type outcomeRec struct {
+		out SearchOutcome
+		tv  *TestVec
+	}
+	outcomes := make([]outcomeRec, podemBatch)
+	batch := make([]int, 0, podemBatch)
+	cursor := 0
+	for cursor < len(remaining) {
+		batch = batch[:0]
+		for cursor < len(remaining) && len(batch) < podemBatch {
+			i := remaining[cursor]
+			cursor++
+			if unclassified(l.Faults[i]) {
+				batch = append(batch, i)
 			}
-		case ProvenImpossible:
-			f.Status = fault.Undetectable
-		case LimitExceeded:
-			f.Status = fault.Aborted
+		}
+		if len(batch) == 0 {
+			break
+		}
+		par.Each(len(batch), workers, 1, func(w, j int) {
+			if gens[w] == nil {
+				gens[w] = NewGenerator(c, order, levels, cfg.BacktrackLimit)
+			}
+			f := l.Faults[batch[j]]
+			frng := rand.New(rand.NewSource(faultSeed(cfg.Seed, f.ID)))
+			out, tv := gens[w].Generate(f, frng)
+			outcomes[j] = outcomeRec{out, tv}
+		})
+		for j, i := range batch {
+			f := l.Faults[i]
+			if !unclassified(f) {
+				continue // dropped by an earlier test in this merge
+			}
+			switch outcomes[j].out {
+			case FoundTest:
+				tv := outcomes[j].tv
+				t := faultsim.Test{Init: tv.Init, Vec: tv.Vec}
+				tests = append(tests, t)
+				f.Status = fault.Detected
+				if witness != nil {
+					witness[i] = t
+				}
+				// Drop collaterally-detected faults (the new test is
+				// already credited: it detects f).
+				b := pool.SimBlock([]faultsim.Test{t})
+				active := activeOf(unclassified)
+				faults := faultBuf[:0]
+				for _, k := range active {
+					faults = append(faults, l.Faults[k])
+				}
+				det := detBuf[:len(active)]
+				pool.DetectsMany(faults, b, det)
+				for dj, k := range active {
+					if det[dj] != 0 {
+						l.Faults[k].Status = fault.Detected
+						if witness != nil {
+							witness[k] = t
+						}
+					}
+				}
+			case ProvenImpossible:
+				f.Status = fault.Undetectable
+			case LimitExceeded:
+				f.Status = fault.Aborted
+			}
 		}
 	}
 
@@ -124,7 +295,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		for i, t := range tests {
 			rev[len(tests)-1-i] = t
 		}
-		per := eng.DetectedBy(l, rev)
+		per := pool.DetectedBy(l, rev)
 		var kept []faultsim.Test
 		for i := len(rev) - 1; i >= 0; i-- {
 			if per[i] > 0 {
@@ -134,7 +305,30 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		tests = kept
 	}
 
-	res := Result{Tests: tests}
+	// Epilogue: publish verdicts. Stores run sequentially in fault-ID
+	// order with first-write-wins semantics, so the cache content is as
+	// deterministic as the run itself. Aborted verdicts are never cached.
+	if cfg.Cache != nil {
+		for i, f := range l.Faults {
+			if keys[i].Zero() {
+				continue
+			}
+			switch f.Status {
+			case fault.Undetectable:
+				cfg.Cache.Store(keys[i], fcache.Entry{Status: fault.Undetectable})
+			case fault.Detected:
+				if witness[i].Vec != nil {
+					cfg.Cache.Store(keys[i], fcache.Entry{
+						Status: fault.Detected,
+						Init:   witness[i].Init,
+						Vec:    witness[i].Vec,
+					})
+				}
+			}
+		}
+	}
+
+	res.Tests = tests
 	for _, f := range l.Faults {
 		switch f.Status {
 		case fault.Detected:
@@ -146,6 +340,19 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		}
 	}
 	return res
+}
+
+// faultSeed derives the per-fault rng seed: a splitmix64-style mix of the
+// run seed and the fault ID, so each fault's search consumes an independent,
+// scheduling-invariant random stream.
+func faultSeed(seed int64, id int) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }
 
 func randomVec(rng *rand.Rand, n int) []uint8 {

@@ -1,0 +1,159 @@
+package atpg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/faultsim"
+	"dfmresyn/internal/fcache"
+	"dfmresyn/internal/netlist"
+)
+
+// mixedFaults builds a deterministic fault list spanning every model that
+// can be constructed without a layout.
+func mixedFaults(c *netlist.Circuit) *fault.List {
+	l := &fault.List{}
+	for _, n := range c.Nets {
+		for v := uint8(0); v <= 1; v++ {
+			l.Add(&fault.Fault{Model: fault.StuckAt, Net: n, Value: v})
+			if len(n.Fanout) > 1 {
+				p := n.Fanout[0]
+				l.Add(&fault.Fault{Model: fault.StuckAt, Net: n, Value: v,
+					BranchGate: p.Gate, BranchPin: p.Pin})
+			}
+		}
+		l.Add(&fault.Fault{Model: fault.Transition, Net: n, Value: 1})
+	}
+	for i := 0; i+1 < len(c.Gates); i += 3 {
+		a, b := c.Gates[i].Out, c.Gates[i+1].Out
+		l.Add(&fault.Fault{Model: fault.Bridge, Net: a, Other: b})
+		l.Add(&fault.Fault{Model: fault.Bridge, Net: b, Other: a})
+	}
+	return l
+}
+
+func runSnapshot(c *netlist.Circuit, cfg Config) ([]fault.Status, []faultsim.Test, Result) {
+	l := mixedFaults(c)
+	res := Run(c, l, cfg)
+	st := make([]fault.Status, l.Len())
+	for i, f := range l.Faults {
+		st[i] = f.Status
+	}
+	return st, res.Tests, res
+}
+
+// TestRunByteIdenticalAcrossWorkers is the engine's core contract: any
+// worker count yields identical fault statuses, identical test vectors in
+// identical order, and identical result counts.
+func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	circuits := []*netlist.Circuit{randCircuit(rng, 25), randCircuit(rng, 40)}
+	cc, _ := buildConsensus(t)
+	circuits = append(circuits, cc)
+
+	for ci, c := range circuits {
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		refSt, refTests, refRes := runSnapshot(c, cfg)
+		for _, w := range []int{2, 8} {
+			cfg.Workers = w
+			st, tests, res := runSnapshot(c, cfg)
+			if !reflect.DeepEqual(st, refSt) {
+				t.Errorf("circuit %d: statuses differ between Workers=1 and Workers=%d", ci, w)
+			}
+			if !reflect.DeepEqual(tests, refTests) {
+				t.Errorf("circuit %d: test set differs between Workers=1 and Workers=%d (%d vs %d tests)",
+					ci, w, len(refTests), len(tests))
+			}
+			if res.Detected != refRes.Detected || res.Undetectable != refRes.Undetectable ||
+				res.Aborted != refRes.Aborted || res.CacheLookups != refRes.CacheLookups ||
+				res.CacheHits != refRes.CacheHits {
+				t.Errorf("circuit %d Workers=%d: result counts differ: %+v vs %+v", ci, w, res, refRes)
+			}
+		}
+	}
+}
+
+// TestRunCacheSoundness: a second run over a shared cache must produce the
+// same verdict partition as an uncached run (the small circuits here have
+// no aborts, so the partition is exact), and the warm test set must still
+// detect every Detected fault.
+func TestRunCacheSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for ci, c := range []*netlist.Circuit{randCircuit(rng, 30), randCircuit(rng, 50)} {
+		cfg := DefaultConfig()
+		refSt, _, refRes := runSnapshot(c, cfg)
+		if refRes.Aborted != 0 {
+			t.Fatalf("circuit %d: unexpected aborts in reference run", ci)
+		}
+
+		cfg.Cache = fcache.New()
+		coldSt, _, coldRes := runSnapshot(c, cfg)
+		if !reflect.DeepEqual(coldSt, refSt) {
+			t.Errorf("circuit %d: cold cached run changed verdicts", ci)
+		}
+		if coldRes.CacheHits != 0 || coldRes.CacheLookups == 0 {
+			t.Errorf("circuit %d: cold run stats %d/%d, want 0 hits over >0 lookups",
+				ci, coldRes.CacheHits, coldRes.CacheLookups)
+		}
+
+		warmSt, warmTests, warmRes := runSnapshot(c, cfg)
+		if !reflect.DeepEqual(warmSt, refSt) {
+			t.Errorf("circuit %d: warm cached run changed verdicts", ci)
+		}
+		if warmRes.CacheHits == 0 {
+			t.Errorf("circuit %d: warm run had no cache hits", ci)
+		}
+
+		// The warm test set must cover every Detected fault.
+		l := mixedFaults(c)
+		eng := faultsim.New(c)
+		for fi, f := range l.Faults {
+			if warmSt[fi] != fault.Detected {
+				continue
+			}
+			det := false
+			for start := 0; start < len(warmTests) && !det; start += 64 {
+				end := start + 64
+				if end > len(warmTests) {
+					end = len(warmTests)
+				}
+				if eng.Detects(f, eng.SimBlock(warmTests[start:end])) != 0 {
+					det = true
+				}
+			}
+			if !det {
+				t.Errorf("circuit %d: warm T misses detected fault %v", ci, f)
+			}
+		}
+	}
+}
+
+// TestRunCacheDeterministicWithWorkers: cached runs must also be worker-
+// count invariant, including the cache content they produce.
+func TestRunCacheDeterministicWithWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := randCircuit(rng, 35)
+
+	snapshot := func(workers int) ([]fault.Status, []faultsim.Test, fcache.Stats) {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Cache = fcache.New()
+		runSnapshot(c, cfg)                 // cold
+		st, tests, _ := runSnapshot(c, cfg) // warm
+		return st, tests, cfg.Cache.Stats()
+	}
+	st1, tests1, stats1 := snapshot(1)
+	st8, tests8, stats8 := snapshot(8)
+	if !reflect.DeepEqual(st1, st8) {
+		t.Error("cached verdicts differ between Workers=1 and Workers=8")
+	}
+	if !reflect.DeepEqual(tests1, tests8) {
+		t.Error("cached test sets differ between Workers=1 and Workers=8")
+	}
+	if stats1.Entries != stats8.Entries || stats1.Stores != stats8.Stores {
+		t.Errorf("cache content diverged: %+v vs %+v", stats1, stats8)
+	}
+}

@@ -1,0 +1,128 @@
+package faultsim
+
+import (
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/logic"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/par"
+)
+
+// Pool shards fault simulation over per-worker engines. An Engine's scratch
+// buffers make it single-threaded; the Pool keeps one Engine per worker and
+// hands each worker its own, while good-circuit Blocks — which are immutable
+// once built — are shared by all workers. Every Pool method is deterministic:
+// detection words land in per-fault slots and all status/credit bookkeeping
+// runs sequentially in fault-list order, so results are byte-identical for
+// any worker count.
+type Pool struct {
+	c       *netlist.Circuit
+	workers int
+	engines []*Engine
+}
+
+// NewPool builds a pool of the given width (0 = runtime.NumCPU()). Engines
+// are created lazily: a sequential caller never pays for more than one.
+func NewPool(c *netlist.Circuit, workers int) *Pool {
+	w := par.Count(workers)
+	return &Pool{c: c, workers: w, engines: make([]*Engine, w)}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Engine returns worker w's engine, creating it on first use. Each worker
+// index is owned by one goroutine at a time, so lazy creation is race-free
+// under the par.Each contract.
+func (p *Pool) Engine(w int) *Engine {
+	if p.engines[w] == nil {
+		p.engines[w] = New(p.c)
+	}
+	return p.engines[w]
+}
+
+// SimBlock good-simulates up to 64 tests on worker 0's engine. The returned
+// Block is immutable and may be read by every worker concurrently.
+func (p *Pool) SimBlock(tests []Test) *Block { return p.Engine(0).SimBlock(tests) }
+
+// DetectsMany computes the detection word of every fault against the block,
+// sharding the fault list over the workers. det must have len(faults) slots.
+func (p *Pool) DetectsMany(faults []*fault.Fault, b *Block, det []logic.Word) {
+	par.Each(len(faults), p.workers, 16, func(w, i int) {
+		det[i] = p.Engine(w).Detects(faults[i], b)
+	})
+}
+
+// RunAll is Engine.RunAll with the per-fault detection sharded over the
+// workers: it simulates the whole test sequence against every fault not
+// already Detected or Undetectable, marks newly detected faults, and returns
+// how many. Statuses are written sequentially in fault-list order between
+// blocks (deterministic drop accounting).
+func (p *Pool) RunAll(l *fault.List, tests []Test) int {
+	newly := 0
+	var active []*fault.Fault
+	for _, f := range l.Faults {
+		if f.Status != fault.Detected && f.Status != fault.Undetectable {
+			active = append(active, f)
+		}
+	}
+	det := make([]logic.Word, len(active))
+	for start := 0; start < len(tests) && len(active) > 0; start += 64 {
+		end := start + 64
+		if end > len(tests) {
+			end = len(tests)
+		}
+		b := p.SimBlock(tests[start:end])
+		p.DetectsMany(active, b, det[:len(active)])
+		next := active[:0]
+		for i, f := range active {
+			if det[i] != 0 {
+				f.Status = fault.Detected
+				newly++
+			} else {
+				next = append(next, f)
+			}
+		}
+		active = next
+	}
+	return newly
+}
+
+// DetectedBy is Engine.DetectedBy with the per-fault detection sharded over
+// the workers: for each test, how many currently-undetected faults it is the
+// first to detect, simulating in order with dropping. Credit assignment runs
+// sequentially in fault-list order, so the per-test counts — and therefore
+// reverse-order compaction — are independent of the worker count.
+func (p *Pool) DetectedBy(l *fault.List, tests []Test) []int {
+	per := make([]int, len(tests))
+	var active []*fault.Fault
+	for _, f := range l.Faults {
+		if f.Status != fault.Undetectable {
+			active = append(active, f)
+		}
+	}
+	det := make([]logic.Word, len(active))
+	for start := 0; start < len(tests) && len(active) > 0; start += 64 {
+		end := start + 64
+		if end > len(tests) {
+			end = len(tests)
+		}
+		b := p.SimBlock(tests[start:end])
+		p.DetectsMany(active, b, det[:len(active)])
+		next := active[:0]
+		for i, f := range active {
+			d := det[i]
+			if d == 0 {
+				next = append(next, f)
+				continue
+			}
+			for q := 0; q < b.N; q++ {
+				if d>>uint(q)&1 == 1 {
+					per[start+q]++
+					break
+				}
+			}
+		}
+		active = next
+	}
+	return per
+}

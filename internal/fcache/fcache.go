@@ -1,0 +1,153 @@
+// Package fcache caches fault-classification verdicts across resynthesis
+// iterations. A verdict for a fault is a function of the fault's support
+// cone only: the transitive fanin of the site (activation), the transitive
+// fanout of the site, and the transitive fanins of every side input along
+// that fanout (propagation). The cache keys each fault by a 128-bit
+// structural hash of exactly that cone, so a rebuild that leaves a fault's
+// cone untouched produces the same key and the cached verdict is reused —
+// only cone-dirty faults re-enter PODEM.
+//
+// Reuse policy (what keeps the cache sound):
+//
+//   - Undetectable entries are trusted directly. Undetectability is a
+//     semantic property of the labeled cone structure, not of any search
+//     order, so an isomorphic cone has the same verdict (modulo a 128-bit
+//     hash collision).
+//   - Detected entries are never trusted by status. They carry the witness
+//     vector that detected the fault, and the consumer replays that vector
+//     through fault simulation on the *current* circuit. A stale or
+//     colliding entry then simply fails to detect and the fault falls back
+//     to PODEM — reuse of Detected verdicts is unconditionally sound.
+//   - Aborted verdicts are never stored: they reflect a search budget, not
+//     a property of the circuit.
+package fcache
+
+import (
+	"sync"
+
+	"dfmresyn/internal/fault"
+)
+
+// Key is a 128-bit structural cone hash. The zero Key is never produced by
+// the hasher and acts as "no key".
+type Key [2]uint64
+
+// Zero reports whether the key is the reserved no-key value.
+func (k Key) Zero() bool { return k[0] == 0 && k[1] == 0 }
+
+// Entry is one cached verdict. For Detected entries, Vec (and Init for
+// two-pattern tests) hold the witness vector over the circuit's primary
+// inputs in PI order; Undetectable entries carry no vector.
+type Entry struct {
+	Status fault.Status
+	Init   []uint8
+	Vec    []uint8
+}
+
+// DefaultLimit bounds the number of cached entries. When the cache is full
+// new stores are dropped (rather than evicting), which keeps the cache's
+// content — and therefore every downstream table — a deterministic function
+// of the store sequence.
+const DefaultLimit = 1 << 20
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Lookups uint64
+	Hits    uint64
+	Stores  uint64
+	Entries int
+}
+
+// HitRate returns Hits/Lookups, or 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Cache is a concurrency-safe fault-verdict cache. A single Cache is meant
+// to live for a whole resynthesis run and be shared by every ATPG invocation
+// in the q-sweep (including the pre-physical-design screens).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]Entry
+	limit   int
+
+	lookups uint64
+	hits    uint64
+	stores  uint64
+}
+
+// New creates an empty cache with DefaultLimit capacity.
+func New() *Cache {
+	return &Cache{entries: make(map[Key]Entry), limit: DefaultLimit}
+}
+
+// NewWithLimit creates an empty cache holding at most limit entries
+// (limit <= 0 selects DefaultLimit).
+func NewWithLimit(limit int) *Cache {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Cache{entries: make(map[Key]Entry), limit: limit}
+}
+
+// Lookup returns the entry for k, if present. Zero keys never match.
+func (c *Cache) Lookup(k Key) (Entry, bool) {
+	if k.Zero() {
+		return Entry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lookups++
+	e, ok := c.entries[k]
+	if ok {
+		c.hits++
+	}
+	return e, ok
+}
+
+// Store records a verdict for k. The first store for a key wins — later
+// stores for the same key are ignored, so the cache content is independent
+// of which of several structurally identical faults stores first. Zero keys,
+// Aborted/Untried statuses, and stores into a full cache are dropped.
+// Witness slices are copied; the caller keeps ownership of its buffers.
+func (c *Cache) Store(k Key, e Entry) {
+	if k.Zero() {
+		return
+	}
+	if e.Status != fault.Detected && e.Status != fault.Undetectable {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[k]; dup {
+		return
+	}
+	if len(c.entries) >= c.limit {
+		return
+	}
+	if e.Init != nil {
+		e.Init = append([]uint8(nil), e.Init...)
+	}
+	if e.Vec != nil {
+		e.Vec = append([]uint8(nil), e.Vec...)
+	}
+	c.entries[k] = e
+	c.stores++
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Lookups: c.lookups, Hits: c.hits, Stores: c.stores, Entries: len(c.entries)}
+}

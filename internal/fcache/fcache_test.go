@@ -1,0 +1,204 @@
+package fcache
+
+import (
+	"testing"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+func TestCacheStoreLookup(t *testing.T) {
+	c := New()
+	k := Key{1, 2}
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	c.Store(k, Entry{Status: fault.Detected, Vec: []uint8{1, 0}})
+	e, ok := c.Lookup(k)
+	if !ok || e.Status != fault.Detected || len(e.Vec) != 2 {
+		t.Fatalf("lookup = %+v, %v", e, ok)
+	}
+	st := c.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Stores != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheFirstStoreWins(t *testing.T) {
+	c := New()
+	k := Key{3, 4}
+	c.Store(k, Entry{Status: fault.Undetectable})
+	c.Store(k, Entry{Status: fault.Detected, Vec: []uint8{1}})
+	e, _ := c.Lookup(k)
+	if e.Status != fault.Undetectable {
+		t.Errorf("second store overwrote the first: %+v", e)
+	}
+}
+
+func TestCacheRejectsAbortedAndZeroKey(t *testing.T) {
+	c := New()
+	c.Store(Key{5, 6}, Entry{Status: fault.Aborted})
+	c.Store(Key{5, 6}, Entry{Status: fault.Untried})
+	c.Store(Key{}, Entry{Status: fault.Undetectable})
+	if c.Len() != 0 {
+		t.Errorf("cache accepted aborted/untried/zero-key entries: %d", c.Len())
+	}
+	if _, ok := c.Lookup(Key{}); ok {
+		t.Error("zero key matched")
+	}
+}
+
+func TestCacheLimitDropsNotEvicts(t *testing.T) {
+	c := NewWithLimit(2)
+	c.Store(Key{1, 1}, Entry{Status: fault.Undetectable})
+	c.Store(Key{2, 2}, Entry{Status: fault.Undetectable})
+	c.Store(Key{3, 3}, Entry{Status: fault.Undetectable})
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Lookup(Key{1, 1}); !ok {
+		t.Error("early entry evicted; full cache must drop new stores instead")
+	}
+	if _, ok := c.Lookup(Key{3, 3}); ok {
+		t.Error("store into full cache was accepted")
+	}
+}
+
+func TestCacheCopiesWitness(t *testing.T) {
+	c := New()
+	vec := []uint8{1, 0, 1}
+	c.Store(Key{7, 7}, Entry{Status: fault.Detected, Vec: vec})
+	vec[0] = 0
+	e, _ := c.Lookup(Key{7, 7})
+	if e.Vec[0] != 1 {
+		t.Error("cache aliased the caller's witness buffer")
+	}
+}
+
+// twoCone builds:  a,b -> NAND2(g1) -> NOR2(g3) <- INV(g2) <- ci ; g3 -> PO.
+// With pad=true an unrelated INV chain is inserted first so every ID shifts.
+func twoCone(lib *library.Library, pad bool) *netlist.Circuit {
+	c := netlist.New("t", lib)
+	if pad {
+		p := c.AddPI("pad_in")
+		q := c.AddGate("pad_g", lib.ByName("INVX1"), p)
+		c.MarkPO(q)
+	}
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	ci := c.AddPI("ci")
+	n1 := c.AddGate("g1", lib.ByName("NAND2X1"), a, b)
+	n2 := c.AddGate("g2", lib.ByName("INVX1"), ci)
+	y := c.AddGate("g3", lib.ByName("NOR2X1"), n1, n2)
+	c.MarkPO(y)
+	return c
+}
+
+func saFault(c *netlist.Circuit, net string, v uint8) *fault.Fault {
+	n := c.NetByName(net)
+	if n == nil {
+		panic("no net " + net)
+	}
+	return &fault.Fault{Model: fault.StuckAt, Net: n, Value: v}
+}
+
+func TestFaultKeyStableAcrossRenumbering(t *testing.T) {
+	lib := library.OSU018Like()
+	plain := twoCone(lib, false)
+	padded := twoCone(lib, true)
+	// In the padded circuit every net/gate ID is shifted, but the g1_o
+	// cone is untouched... except that PI indices shift too (pad_in is PI
+	// 0). The key must depend on PI identity, so compare circuits where
+	// the shared cone sees the same PI indices: pad AFTER the cone.
+	if NewHasher(plain).FaultKey(saFault(plain, "g1_o", 0)) ==
+		NewHasher(padded).FaultKey(saFault(padded, "g1_o", 0)) {
+		t.Error("key ignored PI identity: shifted-PI cone hashed equal")
+	}
+
+	tail := twoCone(lib, false)
+	p := tail.AddPI("pad_in")
+	tail.MarkPO(tail.AddGate("pad_g", lib.ByName("INVX1"), p))
+	k1 := NewHasher(plain).FaultKey(saFault(plain, "g1_o", 0))
+	k2 := NewHasher(tail).FaultKey(saFault(tail, "g1_o", 0))
+	if k1 != k2 {
+		t.Error("key changed for a fault whose cone is untouched by unrelated logic")
+	}
+	if k1.Zero() {
+		t.Error("hasher produced the reserved zero key")
+	}
+}
+
+func TestFaultKeyDistinguishes(t *testing.T) {
+	lib := library.OSU018Like()
+	c := twoCone(lib, false)
+	h := NewHasher(c)
+	k00 := h.FaultKey(saFault(c, "g1_o", 0))
+	k01 := h.FaultKey(saFault(c, "g1_o", 1))
+	if k00 == k01 {
+		t.Error("stuck-at value not in key")
+	}
+	tr := &fault.Fault{Model: fault.Transition, Net: c.NetByName("g1_o"), Value: 0}
+	if h.FaultKey(tr) == k00 {
+		t.Error("model not in key")
+	}
+
+	// Changing a gate inside the cone must change the key.
+	c2 := netlist.New("t", lib)
+	a := c2.AddPI("a")
+	b := c2.AddPI("b")
+	ci := c2.AddPI("ci")
+	n1 := c2.AddGate("g1", lib.ByName("NAND2X1"), a, b)
+	n2 := c2.AddGate("g2", lib.ByName("INVX1"), ci)
+	y := c2.AddGate("g3", lib.ByName("NAND2X1"), n1, n2) // NOR2 -> NAND2
+	c2.MarkPO(y)
+	if NewHasher(c2).FaultKey(saFault(c2, "g1_o", 0)) == k00 {
+		t.Error("downstream cone gate type not in key")
+	}
+}
+
+func TestFaultKeyFanoutOrderInvariant(t *testing.T) {
+	lib := library.OSU018Like()
+	build := func(swap bool) *netlist.Circuit {
+		c := netlist.New("t", lib)
+		a := c.AddPI("a")
+		b := c.AddPI("b")
+		s := c.AddGate("stem", lib.ByName("NAND2X1"), a, b)
+		// Two sinks on the stem, attached in either order.
+		if swap {
+			c.MarkPO(c.AddGate("s2", lib.ByName("BUFX2"), s))
+			c.MarkPO(c.AddGate("s1", lib.ByName("INVX1"), s))
+		} else {
+			c.MarkPO(c.AddGate("s1", lib.ByName("INVX1"), s))
+			c.MarkPO(c.AddGate("s2", lib.ByName("BUFX2"), s))
+		}
+		return c
+	}
+	c1, c2 := build(false), build(true)
+	k1 := NewHasher(c1).FaultKey(saFault(c1, "stem_o", 1))
+	k2 := NewHasher(c2).FaultKey(saFault(c2, "stem_o", 1))
+	if k1 != k2 {
+		t.Error("fanout enumeration order leaked into the key")
+	}
+}
+
+func TestFaultKeyStaleSiteIsZero(t *testing.T) {
+	lib := library.OSU018Like()
+	c := twoCone(lib, false)
+	other := twoCone(lib, false)
+	h := NewHasher(c)
+	// Fault whose site lives in another circuit generation.
+	if k := h.FaultKey(saFault(other, "g1_o", 0)); !k.Zero() {
+		t.Error("stale net keyed non-zero")
+	}
+	stale := &fault.Fault{Model: fault.CellAware, Gate: other.Gates[0]}
+	if k := h.FaultKey(stale); !k.Zero() {
+		t.Error("stale gate keyed non-zero")
+	}
+	if k := h.FaultKey(nil); !k.Zero() {
+		t.Error("nil fault keyed non-zero")
+	}
+}

@@ -8,11 +8,13 @@ package flow
 
 import (
 	"fmt"
+	"time"
 
 	"dfmresyn/internal/atpg"
 	"dfmresyn/internal/cluster"
 	"dfmresyn/internal/dfm"
 	"dfmresyn/internal/fault"
+	"dfmresyn/internal/fcache"
 	"dfmresyn/internal/geom"
 	"dfmresyn/internal/library"
 	"dfmresyn/internal/lint"
@@ -40,6 +42,23 @@ type Env struct {
 	// pipeline produces: off (default), warn (record findings on the
 	// Design), or strict (Error findings abort the analysis).
 	Lint lint.Mode
+	// Workers bounds the fault-classification worker pool (0 = NumCPU).
+	// Any value yields byte-identical analysis results.
+	Workers int
+	// FaultCache, when non-nil, carries fault verdicts across analyses:
+	// faults whose support cone is untouched by a rebuild reuse their
+	// verdict instead of re-entering PODEM. resyn installs one per run so
+	// the whole q-sweep shares it.
+	FaultCache *fcache.Cache
+}
+
+// atpgConfig resolves the effective test-generation configuration: the
+// environment's ATPG settings plus the worker-pool and cache plumbing.
+func (e *Env) atpgConfig() atpg.Config {
+	cfg := e.ATPG
+	cfg.Workers = e.Workers
+	cfg.Cache = e.FaultCache
+	return cfg
 }
 
 // NewEnv builds the default environment over the OSU-like library.
@@ -67,6 +86,9 @@ type Design struct {
 	Clusters *cluster.Result
 	Timing   sta.Report
 	Power    power.Report
+	// ATPGTime is the wall time of the test-generation stage (the Rtime
+	// numerator the paper's Table II tracks is dominated by it).
+	ATPGTime time.Duration
 	// LintFindings holds the static-analysis findings recorded when the
 	// environment's lint mode is warn or strict (nil when off).
 	LintFindings []lint.Finding
@@ -92,6 +114,22 @@ func (e *Env) lintDesign(d *Design) error {
 	return nil
 }
 
+// analyzeFaults is the analysis tail shared by Analyze and
+// AnalyzeIncremental: build the DFM fault universe from the layout, run
+// test generation (through the worker pool and verdict cache, when
+// configured), cluster the undetectable faults, and lint the result.
+func (e *Env) analyzeFaults(d *Design) error {
+	d.Faults, d.DFMRep = dfm.BuildFaults(d.C, d.Lay, e.Prof)
+	t0 := time.Now()
+	d.Result = atpg.Run(d.C, d.Faults, e.atpgConfig())
+	d.ATPGTime = time.Since(t0)
+	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
+	if err := e.lintDesign(d); err != nil {
+		return fmt.Errorf("flow: %w", err)
+	}
+	return nil
+}
+
 // Analyze runs the full pipeline on a netlist. A zero die means "size a
 // fresh floorplan at 70% utilization"; otherwise the circuit is placed into
 // the given (original) die and an error reports an area violation.
@@ -100,11 +138,8 @@ func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.Faults, d.DFMRep = dfm.BuildFaults(c, d.Lay, e.Prof)
-	d.Result = atpg.Run(c, d.Faults, e.ATPG)
-	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
-	if err := e.lintDesign(d); err != nil {
-		return nil, fmt.Errorf("flow: %w", err)
+	if err := e.analyzeFaults(d); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
@@ -122,11 +157,8 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 	d := &Design{Env: e, C: c, Die: p.Die, P: p, Lay: lay}
 	d.Timing = sta.Analyze(c, sta.LoadFromLayout(lay))
 	d.Power = power.Estimate(c, sta.LoadFromLayout(lay), 4, e.Seed)
-	d.Faults, d.DFMRep = dfm.BuildFaults(c, lay, e.Prof)
-	d.Result = atpg.Run(c, d.Faults, e.ATPG)
-	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
-	if err := e.lintDesign(d); err != nil {
-		return nil, fmt.Errorf("flow: %w", err)
+	if err := e.analyzeFaults(d); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
@@ -179,7 +211,7 @@ func (e *Env) InternalFaultList(c *netlist.Circuit) *fault.List {
 // PDesign() is worth calling.
 func (e *Env) UndetectableInternal(c *netlist.Circuit) int {
 	l := e.InternalFaultList(c)
-	atpg.Run(c, l, e.ATPG)
+	atpg.Run(c, l, e.atpgConfig())
 	return l.Count().Undetectable
 }
 
@@ -197,6 +229,10 @@ type Metrics struct {
 	PctSmaxI     float64
 	Delay, Power float64
 	Area         float64
+	// Perf columns (the Rtime-style reporting of the parallel engine):
+	// ATPG wall seconds and the verdict-cache hit rate of this analysis.
+	ATPGSeconds  float64
+	CacheHitRate float64
 }
 
 // Metrics extracts the table numbers from an analyzed design.
@@ -230,5 +266,9 @@ func (d *Design) Metrics() Metrics {
 	m.Delay = d.Timing.CriticalDelay
 	m.Power = d.Power.Total
 	m.Area = d.C.Stats().Area
+	m.ATPGSeconds = d.ATPGTime.Seconds()
+	if d.Result.CacheLookups > 0 {
+		m.CacheHitRate = float64(d.Result.CacheHits) / float64(d.Result.CacheLookups)
+	}
 	return m
 }

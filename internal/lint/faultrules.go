@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dfmresyn/internal/fault"
+	"dfmresyn/internal/netlist"
 )
 
 // faultRules check the fault universe against the circuit it was extracted
@@ -78,6 +79,62 @@ func faultRules() []Rule {
 						if f.BranchGate != nil && !liveGate(c, f.BranchGate) {
 							emit(loc, fmt.Sprintf("%s fault %d branch gate %q is not in the circuit", f.Model, f.ID, f.BranchGate.Name),
 								"rebuild the fault universe after netlist edits")
+						}
+					}
+				}
+			},
+		},
+		&rule{
+			name: "fault/stale-generation",
+			sev:  Error,
+			doc: "a dead fault-site pointer whose name resolves to a live gate/net means the fault list was carried " +
+				"across a rebuild instead of being rebuilt — the stale-generation hazard verdict caching makes more likely",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				l, c := ctx.Faults, ctx.Circuit
+				if l == nil || c == nil {
+					return
+				}
+				var gateByName map[string]bool
+				liveGateName := func(name string) bool {
+					if gateByName == nil {
+						gateByName = make(map[string]bool, len(c.Gates))
+						for _, g := range c.Gates {
+							if g != nil {
+								gateByName[g.Name] = true
+							}
+						}
+					}
+					return gateByName[name]
+				}
+				staleNet := func(n *netlist.Net) bool {
+					return n != nil && !liveNet(c, n) && c.NetByName(n.Name) != nil
+				}
+				staleGate := func(g *netlist.Gate) bool {
+					return g != nil && !liveGate(c, g) && liveGateName(g.Name)
+				}
+				for _, f := range l.Faults {
+					if f == nil {
+						continue
+					}
+					loc := FaultLoc(f)
+					hint := "key verdicts structurally (fcache) and rebuild the fault universe against the current circuit"
+					switch f.Model {
+					case fault.CellAware:
+						if staleGate(f.Gate) {
+							emit(loc, fmt.Sprintf("cell-aware fault %d hosts gate %q from a previous circuit generation", f.ID, gateName(f.Gate)), hint)
+						}
+					case fault.Bridge:
+						for _, n := range []*netlist.Net{f.Net, f.Other} {
+							if staleNet(n) {
+								emit(loc, fmt.Sprintf("bridge fault %d references net %q from a previous circuit generation", f.ID, netName(n)), hint)
+							}
+						}
+					default: // StuckAt, Transition
+						if staleNet(f.Net) {
+							emit(loc, fmt.Sprintf("%s fault %d site net %q is from a previous circuit generation", f.Model, f.ID, faultNetName(f)), hint)
+						}
+						if staleGate(f.BranchGate) {
+							emit(loc, fmt.Sprintf("%s fault %d branch gate %q is from a previous circuit generation", f.Model, f.ID, f.BranchGate.Name), hint)
 						}
 					}
 				}

@@ -256,6 +256,41 @@ func TestFaultRules(t *testing.T) {
 	if got := ruleNames(fs)["fault/live-site"]; got < 3 {
 		t.Errorf("expected >=3 fault/live-site findings, got %d", got)
 	}
+	// Foreign names (no live counterpart) are a live-site problem but NOT
+	// the stale-generation signature.
+	if got := ruleNames(fs)["fault/stale-generation"]; got != 0 {
+		t.Errorf("foreign sites should not trigger fault/stale-generation, got %d", got)
+	}
+}
+
+// TestStaleGeneration: a fault list built against one circuit generation and
+// linted against a rebuilt clone (same names, different pointers) carries the
+// stale-generation signature on every site kind.
+func TestStaleGeneration(t *testing.T) {
+	lib := library.OSU018Like()
+	prev := cleanCircuit(lib)
+	l := &fault.List{}
+	l.Add(&fault.Fault{Model: fault.StuckAt, Net: prev.Nets[0]})
+	l.Add(&fault.Fault{Model: fault.StuckAt, Net: prev.Gates[0].Out,
+		BranchGate: prev.Gates[2], BranchPin: 0})
+	l.Add(&fault.Fault{Model: fault.Transition, Net: prev.Nets[1], Value: 1})
+	l.Add(&fault.Fault{Model: fault.Bridge, Net: prev.Nets[0], Other: prev.Nets[1]})
+	l.Add(&fault.Fault{Model: fault.CellAware, Gate: prev.Gates[0]})
+
+	// Against its own generation the list is clean.
+	wantClean(t, Run(&Context{Circuit: prev, Faults: l}))
+
+	// Against a rebuilt clone every site is stale-by-pointer yet resolves
+	// by name: each fault must produce a stale-generation finding.
+	c := prev.Clone()
+	fs := Run(&Context{Circuit: c, Faults: l})
+	if got := ruleNames(fs)["fault/stale-generation"]; got < l.Len() {
+		t.Errorf("expected >=%d fault/stale-generation findings, got %d (%v)",
+			l.Len(), got, ruleNames(fs))
+	}
+	// live-site fires too: the two rules diagnose the same pointers with
+	// different specificity.
+	wantRule(t, fs, "fault/live-site")
 }
 
 func TestClusterMembership(t *testing.T) {

@@ -1,0 +1,72 @@
+// Package par is the deterministic worker-pool substrate of the parallel
+// fault-classification engine. It deliberately exposes only order-free
+// primitives: work items are identified by index, every item is processed
+// exactly once, and results must be written to per-index slots so that the
+// merge order — and therefore every table the pipeline prints — is identical
+// for one worker and for N workers. Scheduling is dynamic (an atomic cursor
+// with chunked grabs) because per-fault PODEM cost varies by orders of
+// magnitude, but scheduling never leaks into results.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Count resolves a requested worker count: values <= 0 select
+// runtime.NumCPU() (the "as fast as the hardware allows" default), anything
+// positive is honored as-is so tests can oversubscribe a small machine.
+func Count(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Each runs fn(worker, i) for every i in [0, n), distributing indices over
+// the given number of workers in chunks. The worker argument is a dense ID
+// in [0, workers) so callers can hand each worker its own scratch state
+// (fault-simulation engines, PODEM frames). fn must confine its side effects
+// to per-index slots; under that contract the overall result is independent
+// of the worker count and of scheduling.
+//
+// With workers <= 1, or when the whole range fits in one chunk, fn runs
+// inline on the calling goroutine as worker 0 — the sequential and parallel
+// paths execute the same code.
+func Each(n, workers, chunk int, fn func(worker, i int)) {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if workers <= 1 || n <= chunk {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := atomic.AddInt64(&next, int64(chunk)) - int64(chunk)
+				if start >= int64(n) {
+					return
+				}
+				end := start + int64(chunk)
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					fn(worker, int(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,76 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCount(t *testing.T) {
+	if got := Count(0); got != runtime.NumCPU() {
+		t.Errorf("Count(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Count(-3); got != runtime.NumCPU() {
+		t.Errorf("Count(-3) = %d, want NumCPU", got)
+	}
+	if got := Count(7); got != 7 {
+		t.Errorf("Count(7) = %d, want 7", got)
+	}
+}
+
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, chunk := range []int{1, 3, 64} {
+			const n = 257
+			hits := make([]int32, n)
+			Each(n, workers, chunk, func(_, i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d chunk=%d: index %d processed %d times", workers, chunk, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestEachWorkerIDsInRange(t *testing.T) {
+	// Worker IDs must be dense in [0, workers) so callers can index
+	// per-worker scratch. Which workers actually grab items is up to the
+	// scheduler (on one CPU a single worker may drain the whole queue).
+	var bad int32
+	Each(1024, 8, 1, func(w, _ int) {
+		if w < 0 || w >= 8 {
+			atomic.StoreInt32(&bad, int32(w)+1)
+		}
+	})
+	if bad != 0 {
+		t.Errorf("worker ID %d out of range [0,8)", bad-1)
+	}
+}
+
+func TestEachDeterministicResultSlots(t *testing.T) {
+	// The canonical usage pattern: per-index result slots must come out
+	// identical regardless of worker count.
+	const n = 500
+	ref := make([]int, n)
+	Each(n, 1, 1, func(_, i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 4, 16} {
+		got := make([]int, n)
+		Each(n, workers, 5, func(_, i int) { got[i] = i * i })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestEachZeroItems(t *testing.T) {
+	called := false
+	Each(0, 4, 8, func(_, _ int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}

@@ -53,6 +53,7 @@ func TestTablesGolden(t *testing.T) {
 	b.WriteString(TableIRow("aes_core", m) + "\n")
 	b.WriteString(TableIIHeader() + "\n")
 	b.WriteString(TableIIOrigRow("aes_core", m) + "\n")
+	b.WriteString(PerfRow("aes_core", 4, 12.345, 0.873, 1545, 1312) + "\n")
 	var a Averages
 	b.WriteString(a.Row() + "\n")
 	checkGolden(t, "tables.golden", []byte(b.String()))

@@ -51,6 +51,16 @@ func TableIIResynRow(r *resyn.Result, rtime float64) string {
 		100*mf.Delay/mo.Delay, 100*mf.Power/mo.Power, rtime)
 }
 
+// PerfRow formats the engine-performance line printed under a circuit's
+// Table II rows: the worker count, the resynthesis sweep's cumulative ATPG
+// wall time, and the verdict-cache behaviour across the q sweep (hit rate
+// over lookups, and the entries the sweep populated). Plain parameters keep
+// the formatting decoupled from the cache implementation.
+func PerfRow(name string, workers int, atpgSeconds, hitRate float64, lookups, entries int) string {
+	return fmt.Sprintf("%-12s perf  workers=%-3d atpg=%8.3fs  cache %5.1f%% of %d lookups, %d entries",
+		name, workers, atpgSeconds, 100*hitRate, lookups, entries)
+}
+
 // Fig2Trace renders the per-iteration cluster evolution (the series behind
 // Fig. 2): for each accepted iteration, the phase, the excluded cell, and
 // the resulting U and S_max.

@@ -19,9 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"dfmresyn/internal/equiv"
 	"dfmresyn/internal/fault"
+	"dfmresyn/internal/fcache"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
 	"dfmresyn/internal/library"
@@ -125,6 +127,14 @@ type Result struct {
 	// EquivFailures it must stay zero (a nonzero value indicates a
 	// rebuild or placement bug).
 	LintFailures int
+	// ATPGTime totals the test-generation wall time across the sweep's
+	// accepted and rejected PDesign() calls.
+	ATPGTime time.Duration
+	// Cache snapshots the fault-verdict cache activity of this run: every
+	// ATPG invocation of the q-sweep — including the pre-physical-design
+	// undetectable-internal screens — shares one cache, so the hit rate
+	// here is the cross-iteration reuse the resynthesis loop achieves.
+	Cache fcache.Stats
 }
 
 // state carries the procedure's working data.
@@ -174,6 +184,18 @@ func Run(env *flow.Env, c *netlist.Circuit, opt Options) (*Result, error) {
 // design.
 func RunFrom(env *flow.Env, orig *flow.Design, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	// The whole q-sweep shares one fault-verdict cache: faults whose
+	// support cone a rebuild leaves untouched keep their verdicts instead
+	// of re-entering PODEM. A caller-installed cache is reused; otherwise
+	// a fresh one lives for exactly this run (so a later baseline Analyze
+	// on the same Env stays uncached).
+	cacheStart := fcache.Stats{}
+	if env.FaultCache == nil {
+		env.FaultCache = fcache.New()
+		defer func() { env.FaultCache = nil }()
+	} else {
+		cacheStart = env.FaultCache.Stats()
+	}
 	s := &state{
 		env:  env,
 		opt:  opt,
@@ -204,6 +226,13 @@ func RunFrom(env *flow.Env, orig *flow.Design, opt Options) (*Result, error) {
 		}
 	}
 	s.res.Final = s.cur
+	end := env.FaultCache.Stats()
+	s.res.Cache = fcache.Stats{
+		Lookups: end.Lookups - cacheStart.Lookups,
+		Hits:    end.Hits - cacheStart.Hits,
+		Stores:  end.Stores - cacheStart.Stores,
+		Entries: end.Entries,
+	}
 	return s.res, nil
 }
 
@@ -436,6 +465,9 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 	}
 	newD, err := s.env.AnalyzeIncremental(newC, s.cur)
 	s.res.PDCalls++
+	if newD != nil {
+		s.res.ATPGTime += newD.ATPGTime
+	}
 	if err != nil {
 		if errors.Is(err, lint.ErrFindings) {
 			// A strict-mode lint failure on the analyzed design (stale
