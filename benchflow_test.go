@@ -1,7 +1,9 @@
 // BENCH_flow.json emitter: a machine-readable per-circuit record of the
-// flow's performance — Analyze wall time, the ATPG share of it, and the
-// verdict-cache hit rate of a warm re-analysis. Guarded by BENCH_FLOW_OUT so
-// plain `go test` stays silent; `make benchflow` writes BENCH_flow.json.
+// flow's performance — Analyze wall time, the ATPG share of it, the
+// verdict-cache hit rate of a warm re-analysis, and the speedup of an
+// incremental physical re-analysis over a warm full one. Guarded by
+// BENCH_FLOW_OUT so plain `go test` stays silent; `make benchflow` writes
+// BENCH_flow.json.
 package dfmresyn
 
 import (
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"dfmresyn/internal/bench"
+	"dfmresyn/internal/dfm"
 	"dfmresyn/internal/fcache"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
@@ -25,13 +28,32 @@ type benchFlowRow struct {
 	Tests          int     `json:"tests"`
 	AnalyzeSeconds float64 `json:"analyze_seconds"`
 	ATPGSeconds    float64 `json:"atpg_seconds"`
+	WarmAnalyzeSec float64 `json:"warm_analyze_seconds"`
 	WarmATPGSecs   float64 `json:"warm_atpg_seconds"`
 	CacheHitRate   float64 `json:"warm_cache_hit_rate"`
+	// Incremental re-analysis of the same netlist against the cold
+	// design, with the same warm verdict cache as the warm row.
+	IncrAnalyzeSec float64 `json:"incr_analyze_seconds"`
+	IncrATPGSecs   float64 `json:"incr_atpg_seconds"`
+	IncrSpeedup    float64 `json:"incr_speedup"`
+	// The physical columns subtract the ATPG share from each side: ATPG
+	// runs against the same warm cache in both rows, so this ratio
+	// isolates what the dirty-region pipeline actually saves on
+	// place/route/DFM.
+	PhysFullSecs int64   `json:"warm_phys_micros"`
+	PhysIncrSecs int64   `json:"incr_phys_micros"`
+	PhysSpeedup  float64 `json:"phys_speedup"`
+	NetsReused   int     `json:"incr_nets_reused"`
+	NetsRerouted int     `json:"incr_nets_rerouted"`
 }
 
 type benchFlowReport struct {
+	// Workers and GoMaxProc are the effective values the run used (the
+	// worker pool defaults to NumCPU); CPUs records the machine size so a
+	// row can't silently under-report available parallelism.
 	Workers   int            `json:"workers"`
 	GoMaxProc int            `json:"gomaxprocs"`
+	CPUs      int            `json:"cpus"`
 	Rows      []benchFlowRow `json:"rows"`
 }
 
@@ -40,7 +62,11 @@ func TestBenchFlowJSON(t *testing.T) {
 	if out == "" {
 		t.Skip("set BENCH_FLOW_OUT=<path> to emit the flow benchmark JSON")
 	}
-	rep := benchFlowReport{Workers: par.Count(0), GoMaxProc: runtime.GOMAXPROCS(0)}
+	rep := benchFlowReport{
+		Workers:   par.Count(0),
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		CPUs:      runtime.NumCPU(),
+	}
 	for _, name := range bench.Names {
 		env := flow.NewEnv()
 		env.FaultCache = fcache.New()
@@ -53,24 +79,56 @@ func TestBenchFlowJSON(t *testing.T) {
 		}
 		analyze := time.Since(t0)
 
+		t1 := time.Now()
 		warm, err := env.Analyze(c, geom.Rect{})
 		if err != nil {
 			t.Fatalf("%s warm: %v", name, err)
 		}
+		warmAnalyze := time.Since(t1)
 		hit := 0.0
 		if warm.Result.CacheLookups > 0 {
 			hit = float64(warm.Result.CacheHits) / float64(warm.Result.CacheLookups)
 		}
-		rep.Rows = append(rep.Rows, benchFlowRow{
+
+		t2 := time.Now()
+		incr, err := env.AnalyzeIncremental(c, cold)
+		if err != nil {
+			t.Fatalf("%s incremental: %v", name, err)
+		}
+		incrAnalyze := time.Since(t2)
+		// The incremental pipeline must reproduce the full pipeline's
+		// fault universe exactly (ATPG metric rows can differ across
+		// cache states, the universe cannot).
+		if msg := dfm.DiffUniverse(warm.Faults, warm.DFMRep, incr.Faults, incr.DFMRep); msg != "" {
+			t.Fatalf("%s: incremental fault universe diverges: %s", name, msg)
+		}
+
+		row := benchFlowRow{
 			Circuit:        name,
 			Gates:          len(cold.C.Gates),
 			Faults:         cold.Faults.Len(),
 			Tests:          len(cold.Result.Tests),
 			AnalyzeSeconds: analyze.Seconds(),
 			ATPGSeconds:    cold.ATPGTime.Seconds(),
+			WarmAnalyzeSec: warmAnalyze.Seconds(),
 			WarmATPGSecs:   warm.ATPGTime.Seconds(),
 			CacheHitRate:   hit,
-		})
+			IncrAnalyzeSec: incrAnalyze.Seconds(),
+			IncrATPGSecs:   incr.ATPGTime.Seconds(),
+			NetsReused:     incr.Incr.RouteReused,
+			NetsRerouted:   incr.Incr.RouteRerouted,
+		}
+		if s := incrAnalyze.Seconds(); s > 0 {
+			row.IncrSpeedup = warmAnalyze.Seconds() / s
+		}
+		physFull := warmAnalyze - warm.ATPGTime
+		physIncr := incrAnalyze - incr.ATPGTime
+		row.PhysFullSecs = physFull.Microseconds()
+		row.PhysIncrSecs = physIncr.Microseconds()
+		if physIncr > 0 {
+			row.PhysSpeedup = float64(physFull) / float64(physIncr)
+		}
+		rep.Rows = append(rep.Rows, row)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -29,17 +29,18 @@ import (
 )
 
 var (
-	circuit = flag.String("circuit", "", "benchmark circuit name (see -list)")
-	all     = flag.Bool("all", false, "run every Table II circuit")
-	table1  = flag.Bool("table1", false, "print Table I (clustering before resynthesis)")
-	table2  = flag.Bool("table2", false, "print Table II (resynthesis results)")
-	trace   = flag.Bool("trace", false, "print the Fig. 2 iteration trace")
-	list    = flag.Bool("list", false, "list circuit names")
-	maxQ    = flag.Int("q", 5, "maximum acceptable delay/power increase in percent")
-	seed    = flag.Int64("seed", 1, "random seed for the whole flow")
-	workers = flag.Int("workers", 0, "fault-classification worker pool size (0 = NumCPU); any value gives identical tables")
-	cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	circuit   = flag.String("circuit", "", "benchmark circuit name (see -list)")
+	all       = flag.Bool("all", false, "run every Table II circuit")
+	table1    = flag.Bool("table1", false, "print Table I (clustering before resynthesis)")
+	table2    = flag.Bool("table2", false, "print Table II (resynthesis results)")
+	trace     = flag.Bool("trace", false, "print the Fig. 2 iteration trace")
+	list      = flag.Bool("list", false, "list circuit names")
+	maxQ      = flag.Int("q", 5, "maximum acceptable delay/power increase in percent")
+	seed      = flag.Int64("seed", 1, "random seed for the whole flow")
+	workers   = flag.Int("workers", 0, "fault-classification worker pool size (0 = NumCPU); any value gives identical tables")
+	diffCheck = flag.Bool("diffcheck", false, "verify every incremental physical re-analysis against a from-scratch recompute (slow; debugging aid)")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func main() {
@@ -68,30 +69,25 @@ func main() {
 }
 
 // run holds all the real work so the profile writers, installed as defers,
-// fire on every exit path.
-func run() error {
+// fire on every exit path — including error returns, so a CPU profile is
+// always stopped and flushed, and a heap-profile failure surfaces in the
+// exit code instead of only on stderr.
+func run() (err error) {
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+		f, cerr := os.Create(*cpuProf)
+		if cerr != nil {
+			return fmt.Errorf("cpuprofile: %w", cerr)
 		}
 		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			return fmt.Errorf("cpuprofile: %w", cerr)
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProf != "" {
 		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // materialize the final live set
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			if werr := writeHeapProfile(*memProf); werr != nil && err == nil {
+				err = werr
 			}
 		}()
 	}
@@ -100,6 +96,7 @@ func run() error {
 	env.Seed = *seed
 	env.ATPG.Seed = *seed
 	env.Workers = *workers
+	env.DiffCheck = *diffCheck
 
 	if *table1 {
 		fmt.Println("TABLE I. CLUSTERED UNDETECTABLE FAULTS")
@@ -151,6 +148,8 @@ func run() error {
 			fmt.Println(report.PerfRow(name, par.Count(*workers),
 				r.ATPGTime.Seconds(), r.Cache.HitRate(),
 				int(r.Cache.Lookups), r.Cache.Entries))
+			fmt.Println(report.IncrRow(name, r.Incr.Analyses,
+				r.Incr.NetsReused, r.Incr.NetsRerouted))
 			avg.Add(r, rtime)
 		}
 		if *trace {
@@ -160,6 +159,23 @@ func run() error {
 	}
 	if *table2 && *all {
 		fmt.Println(avg.Row())
+	}
+	return nil
+}
+
+// writeHeapProfile snapshots the final live heap into path. The explicit
+// GC matters for accuracy: heap profiles are recorded at the previous
+// collection, so without one the profile misses everything allocated since
+// and over-reports freed memory.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
 	}
 	return nil
 }

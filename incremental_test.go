@@ -1,0 +1,141 @@
+// Differential harness for the dirty-region incremental physical pipeline:
+// an AnalyzeIncremental must be byte-identical — layout, DFM report, fault
+// universe, and Table I/II metrics — to a from-scratch analysis of the same
+// rebuilt netlist (Env.FullPhysical), in the same contract style as the
+// Workers=1/N determinism gates.
+package dfmresyn
+
+import (
+	"reflect"
+	"testing"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/dfm"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/report"
+	"dfmresyn/internal/resyn"
+	"dfmresyn/internal/route"
+	"dfmresyn/internal/synth"
+)
+
+// rebuildRegion resynthesizes a small convex region with the same mapper,
+// as resyn's attempt loop would, returning the rebuilt circuit.
+func rebuildRegion(t *testing.T, env *flow.Env, c *netlist.Circuit, gates int) *netlist.Circuit {
+	t.Helper()
+	region := netlist.ExtractRegion(netlist.ConvexClosure(c, c.Gates[:gates]))
+	rs, err := synth.SynthesizeRegion(c, region, env.Mapper,
+		func(*library.Cell) bool { return true }, synth.Delay, nil, "rb_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := rs.Rebuild(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+// TestIncrementalMatchesFull: one region rebuild per benchmark circuit,
+// re-analyzed twice from the same previous design — once incrementally
+// (with the built-in diffcheck armed) and once with FullPhysical forcing a
+// from-scratch route and DFM scan. Everything observable must match.
+func TestIncrementalMatchesFull(t *testing.T) {
+	for _, name := range []string{"sparc_spu", "sparc_tlu"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			env := flow.NewEnv()
+			c := bench.MustBuild(name, env.Lib)
+			orig, err := env.Analyze(c, geom.Rect{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nc := rebuildRegion(t, env, c, 4)
+
+			incrEnv := flow.NewEnv()
+			incrEnv.DiffCheck = true
+			incrD, err := incrEnv.AnalyzeIncremental(nc, orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullEnv := flow.NewEnv()
+			fullEnv.FullPhysical = true
+			fullD, err := fullEnv.AnalyzeIncremental(nc, orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if incrD.Incr.RouteReused == 0 {
+				t.Error("incremental analysis replayed no nets — nothing was incremental")
+			}
+			if !incrD.Incr.DFMIncremental {
+				t.Error("incremental analysis fell back to a full DFM scan")
+			}
+			if msg := route.DiffLayouts(fullD.Lay, incrD.Lay); msg != "" {
+				t.Errorf("layouts differ: %s", msg)
+			}
+			if msg := dfm.DiffUniverse(fullD.Faults, fullD.DFMRep, incrD.Faults, incrD.DFMRep); msg != "" {
+				t.Errorf("fault universes differ: %s", msg)
+			}
+			if !reflect.DeepEqual(fullD.DFMRep, incrD.DFMRep) {
+				t.Error("DFM reports differ")
+			}
+			if !reflect.DeepEqual(statuses(fullD), statuses(incrD)) {
+				t.Error("fault statuses differ between incremental and full analysis")
+			}
+			if !reflect.DeepEqual(fullD.Result.Tests, incrD.Result.Tests) {
+				t.Errorf("test vectors differ (%d vs %d tests)",
+					len(fullD.Result.Tests), len(incrD.Result.Tests))
+			}
+			if rf, ri := report.TableIRow(name, fullD.Metrics()), report.TableIRow(name, incrD.Metrics()); rf != ri {
+				t.Errorf("Table I rows differ:\n  full: %s\n  incr: %s", rf, ri)
+			}
+			if rf, ri := report.TableIIOrigRow(name, fullD.Metrics()), report.TableIIOrigRow(name, incrD.Metrics()); rf != ri {
+				t.Errorf("Table II rows differ:\n  full: %s\n  incr: %s", rf, ri)
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesFullSweep runs the whole resynthesis q-sweep in
+// both modes. Each side gets its own fresh verdict cache and performs the
+// identical sweep sequence, so the rendered Table II row and the Fig. 2
+// trace must match exactly.
+func TestIncrementalMatchesFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis sweep is slow under -short")
+	}
+	for _, name := range []string{"sparc_spu", "sparc_tlu"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func(full bool) (string, string, *resyn.Result) {
+				env := flow.NewEnv()
+				env.FullPhysical = full
+				env.DiffCheck = !full
+				c := bench.MustBuild(name, env.Lib)
+				orig, err := env.Analyze(c, geom.Rect{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := resyn.RunFrom(env, orig, resyn.Options{MaxQ: 5, MaxItersPhase: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return report.TableIIResynRow(r, 1.0), report.Fig2Trace(r), r
+			}
+			rowF, traceF, _ := run(true)
+			rowI, traceI, ri := run(false)
+			if rowF != rowI {
+				t.Errorf("resyn Table II rows differ:\n  full: %s\n  incr: %s", rowF, rowI)
+			}
+			if traceF != traceI {
+				t.Errorf("iteration traces differ:\n  full:\n%s  incr:\n%s", traceF, traceI)
+			}
+			if ri.Incr.Analyses > 0 && ri.Incr.NetsReused == 0 {
+				t.Error("sweep's incremental analyses replayed no nets")
+			}
+		})
+	}
+}

@@ -29,19 +29,82 @@ func (r *Report) hit(g *Guideline) {
 // library profile, and external stuck-at / transition / bridging faults
 // from the routed layout. The result is deterministic for a given layout.
 func BuildFaults(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*fault.List, *Report) {
-	l := &fault.List{}
-	rep := newReport()
-	gs := Guidelines()
+	l, rep, _ := BuildFaultsScan(c, lay, prof)
+	return l, rep
+}
 
-	// ---- Internal faults: every instance introduces its type's defects.
+// BuildFaultsScan is BuildFaults plus the geometry-scan log: the raw
+// pre-deduplication bridge and density triggers in scan order, which
+// BuildFaultsIncremental replays outside a dirty region instead of
+// re-scanning the whole die.
+func BuildFaultsScan(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*fault.List, *Report, *Scan) {
+	b := newBuilder(c, lay)
+	b.internal(prof)
+	b.vias()
+	b.bridges(nil, nil, nil)
+	b.segments()
+	b.densities(nil, nil, nil)
+	return b.list, b.rep, b.scan
+}
+
+// netRule / pinRule / pairRule key the per-phase deduplication maps. The
+// maps are rebuilt fresh on every (full or incremental) build, so splicing
+// replayed triggers with re-scanned ones cannot double-report a violation.
+type netRule struct {
+	net int
+	gid string
+}
+type pinRule struct {
+	net, gate, pin int
+	gid            string
+}
+type pairRule struct {
+	a, b int
+	gid  string
+}
+
+// builder assembles the fault list and report from per-phase violation
+// triggers, logging the grid-scan phases into a Scan for later replay.
+type builder struct {
+	c    *netlist.Circuit
+	lay  *route.Layout
+	gs   []*Guideline
+	list *fault.List
+	rep  *Report
+	scan *Scan
+
+	bridgeHits map[pairRule]bool
+	densHits   map[netRule]bool
+
+	// ok drops to false when an incremental replay hits a trigger it
+	// cannot remap (the caller then falls back to a full build).
+	ok bool
+}
+
+func newBuilder(c *netlist.Circuit, lay *route.Layout) *builder {
+	return &builder{
+		c:          c,
+		lay:        lay,
+		gs:         Guidelines(),
+		list:       &fault.List{},
+		rep:        newReport(),
+		scan:       &Scan{},
+		bridgeHits: map[pairRule]bool{},
+		densHits:   map[netRule]bool{},
+		ok:         true,
+	}
+}
+
+// internal adds every instance's cell-aware defects (layout-independent).
+func (b *builder) internal(prof *LibraryProfile) {
 	byID := map[string]*Guideline{}
-	for _, g := range gs {
+	for _, g := range b.gs {
 		byID[g.ID] = g
 	}
-	for _, g := range c.Gates {
+	for _, g := range b.c.Gates {
 		for i := range prof.PerCell[g.Type.Index] {
 			cd := &prof.PerCell[g.Type.Index][i]
-			l.Add(&fault.Fault{
+			b.list.Add(&fault.Fault{
 				Model:     fault.CellAware,
 				Internal:  true,
 				Gate:      g,
@@ -49,42 +112,37 @@ func BuildFaults(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*
 				Behavior:  cd.Behavior,
 				Guideline: cd.Guideline,
 			})
-			rep.hit(byID[cd.Guideline])
+			b.rep.hit(byID[cd.Guideline])
 		}
 	}
+}
 
-	// ---- External via opens -> transition faults on the net. An open
-	// at a *pin* via (M1 stack) disconnects a single sink, so it becomes
-	// a branch fault at that gate input; other vias break the stem.
-	type netRule struct {
-		net int
-		gid string
-	}
-	type pinRule struct {
-		net, gate, pin int
-		gid            string
-	}
+// vias adds external via opens -> transition faults on the net. An open at
+// a *pin* via (M1 stack) disconnects a single sink, so it becomes a branch
+// fault at that gate input; other vias break the stem. Cheap (O(vias)), so
+// both full and incremental builds recompute it from the current layout.
+func (b *builder) vias() {
 	viaHits := map[netRule]bool{}
 	pinHits := map[pinRule]bool{}
-	for _, n := range c.Nets {
-		r := &lay.Routes[n.ID]
+	for _, n := range b.c.Nets {
+		r := &b.lay.Routes[n.ID]
 		netLen := r.Length()
 		for _, v := range r.Vias {
-			for _, g := range gs {
+			for _, g := range b.gs {
 				if g.CheckVia == nil || !g.CheckVia(v, netLen) {
 					continue
 				}
-				rep.hit(g)
+				b.rep.hit(g)
 				// Pin vias at a sink location: branch faults.
 				if v.From == route.M1 {
-					if bg, bp, ok := sinkAt(lay, n, v.At); ok {
+					if bg, bp, ok := sinkAt(b.lay, n, v.At); ok {
 						key := pinRule{n.ID, bg.ID, bp, g.ID}
 						if pinHits[key] {
 							continue
 						}
 						pinHits[key] = true
 						for val := uint8(0); val <= 1; val++ {
-							l.Add(&fault.Fault{
+							b.list.Add(&fault.Fault{
 								Model:      fault.Transition,
 								Net:        n,
 								Value:      val,
@@ -102,7 +160,7 @@ func BuildFaults(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*
 				}
 				viaHits[key] = true
 				for val := uint8(0); val <= 1; val++ {
-					l.Add(&fault.Fault{
+					b.list.Add(&fault.Fault{
 						Model:     fault.Transition,
 						Net:       n,
 						Value:     val,
@@ -112,68 +170,113 @@ func BuildFaults(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*
 			}
 		}
 	}
+}
 
-	// ---- External metal spacing -> bridge faults between net pairs.
-	type pairRule struct {
-		a, b int
-		gid  string
+// applyBridge deduplicates one bridge trigger and adds its fault pair.
+func (b *builder) applyBridge(g *Guideline, aID, bID int) {
+	if aID == bID {
+		return
 	}
-	bridgeHits := map[pairRule]bool{}
-	addBridge := func(g *Guideline, aID, bID int) {
-		if aID == bID {
-			return
-		}
-		if aID > bID {
-			aID, bID = bID, aID
-		}
-		key := pairRule{aID, bID, g.ID}
-		if bridgeHits[key] {
-			return
-		}
-		bridgeHits[key] = true
-		rep.hit(g)
-		na, nb := c.Nets[aID], c.Nets[bID]
-		l.Add(&fault.Fault{Model: fault.Bridge, Net: na, Other: nb, Guideline: g.ID})
-		l.Add(&fault.Fault{Model: fault.Bridge, Net: nb, Other: na, Guideline: g.ID})
+	if aID > bID {
+		aID, bID = bID, aID
 	}
-	for li := 0; li < 2; li++ {
-		layer := route.Layer(li) + route.M2
-		for y := range lay.Occ[li] {
-			rowCells := lay.Occ[li][y]
-			for x := range rowCells {
-				occ := rowCells[x]
-				// Same-cell crowding.
-				if len(occ) >= 2 {
-					a, b, ok := firstDistinct(occ)
-					if ok {
-						for _, g := range gs {
-							if g.CheckSpacing != nil && g.CheckSpacing(layer, len(occ), false) {
-								addBridge(g, a, b)
-							}
-						}
-					}
-				}
-				// Adjacent-cell (minimum pitch) neighbours.
-				if len(occ) >= 1 {
-					nb := neighborOcc(lay, li, x, y)
-					if nb >= 0 && nb != int(occ[0]) {
-						for _, g := range gs {
-							if g.CheckSpacing != nil && g.CheckSpacing(layer, len(occ), true) {
-								addBridge(g, int(occ[0]), nb)
-							}
-						}
-					}
+	key := pairRule{aID, bID, g.ID}
+	if b.bridgeHits[key] {
+		return
+	}
+	b.bridgeHits[key] = true
+	b.rep.hit(g)
+	na, nb := b.c.Nets[aID], b.c.Nets[bID]
+	b.list.Add(&fault.Fault{Model: fault.Bridge, Net: na, Other: nb, Guideline: g.ID})
+	b.list.Add(&fault.Fault{Model: fault.Bridge, Net: nb, Other: na, Guideline: g.ID})
+}
+
+// emitBridge logs one raw bridge trigger and applies it.
+func (b *builder) emitBridge(li, x, y, gi, aID, bID int) {
+	b.scan.Bridges = append(b.scan.Bridges, BridgeEvent{
+		Layer: uint8(li), X: int32(x), Y: int32(y),
+		G: uint16(gi), A: int32(aID), B: int32(bID),
+	})
+	b.applyBridge(b.gs[gi], aID, bID)
+}
+
+// scanBridgeCell produces the raw bridge triggers of one grid cell from the
+// current layout: same-cell crowding first, then the adjacent-cell minimum
+// pitch, each over the guidelines in deck order.
+func (b *builder) scanBridgeCell(li int, layer route.Layer, x, y int, occ []int32) {
+	if len(occ) >= 2 {
+		if a, bid, ok := firstDistinct(occ); ok {
+			for gi, g := range b.gs {
+				if g.CheckSpacing != nil && g.CheckSpacing(layer, len(occ), false) {
+					b.emitBridge(li, x, y, gi, a, bid)
 				}
 			}
 		}
 	}
+	if len(occ) >= 1 {
+		if nb := neighborOcc(b.lay, li, x, y); nb >= 0 && nb != int(occ[0]) {
+			for gi, g := range b.gs {
+				if g.CheckSpacing != nil && g.CheckSpacing(layer, len(occ), true) {
+					b.emitBridge(li, x, y, gi, int(occ[0]), nb)
+				}
+			}
+		}
+	}
+}
 
-	// ---- External long segments -> transition faults (opens).
+// bridges walks the occupancy grid in scan order. In a full build (prev ==
+// nil) every cell is scanned. In an incremental build, cells for which
+// dirty() is false replay the previous build's triggers (with net IDs
+// remapped) and dirty cells are re-scanned, their stale logged triggers
+// skipped; the merge preserves exact scan order. Note the pitch check of
+// cell (x,y) reads (x+1,y), so callers must treat a cell as dirty when its
+// right neighbor is.
+func (b *builder) bridges(prev []BridgeEvent, dirty func(li, x, y int) bool, remap []int32) {
+	pi := 0
+	atCell := func(li, x, y int) bool {
+		e := &prev[pi]
+		return int(e.Layer) == li && int(e.X) == x && int(e.Y) == y
+	}
+	for li := 0; li < 2; li++ {
+		layer := route.Layer(li) + route.M2
+		for y := range b.lay.Occ[li] {
+			rowCells := b.lay.Occ[li][y]
+			for x := range rowCells {
+				if prev == nil || dirty(li, x, y) {
+					if prev != nil {
+						for pi < len(prev) && atCell(li, x, y) {
+							pi++ // stale: superseded by the re-scan
+						}
+					}
+					b.scanBridgeCell(li, layer, x, y, rowCells[x])
+					continue
+				}
+				for pi < len(prev) && atCell(li, x, y) {
+					e := &prev[pi]
+					pi++
+					a, bid := remapID(remap, e.A), remapID(remap, e.B)
+					if a < 0 || bid < 0 {
+						b.ok = false
+						return
+					}
+					b.scan.Bridges = append(b.scan.Bridges, BridgeEvent{
+						Layer: e.Layer, X: e.X, Y: e.Y, G: e.G, A: a, B: bid,
+					})
+					b.applyBridge(b.gs[e.G], int(a), int(bid))
+				}
+			}
+		}
+	}
+}
+
+// segments adds external long-segment opens -> transition faults. Like
+// vias, cheap enough to recompute from the current layout on every build.
+func (b *builder) segments() {
 	segHits := map[netRule]bool{}
-	for _, n := range c.Nets {
-		r := &lay.Routes[n.ID]
+	for _, n := range b.c.Nets {
+		r := &b.lay.Routes[n.ID]
 		for _, s := range r.Segs {
-			for _, g := range gs {
+			for _, g := range b.gs {
 				if g.CheckSegment == nil || !g.CheckSegment(s) {
 					continue
 				}
@@ -182,9 +285,9 @@ func BuildFaults(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*
 					continue
 				}
 				segHits[key] = true
-				rep.hit(g)
+				b.rep.hit(g)
 				for val := uint8(0); val <= 1; val++ {
-					l.Add(&fault.Fault{
+					b.list.Add(&fault.Fault{
 						Model:     fault.Transition,
 						Net:       n,
 						Value:     val,
@@ -194,57 +297,112 @@ func BuildFaults(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*
 			}
 		}
 	}
+}
 
-	// ---- Density windows -> stuck-at faults on the dominant net.
-	densHits := map[netRule]bool{}
-	for _, g := range gs {
+// applyDensity deduplicates one density trigger and adds its fault pair.
+func (b *builder) applyDensity(g *Guideline, dom int) {
+	key := netRule{dom, g.ID}
+	if b.densHits[key] {
+		return
+	}
+	b.densHits[key] = true
+	b.rep.hit(g)
+	n := b.c.Nets[dom]
+	for val := uint8(0); val <= 1; val++ {
+		b.list.Add(&fault.Fault{
+			Model:     fault.StuckAt,
+			Net:       n,
+			Value:     val,
+			Guideline: g.ID,
+		})
+	}
+}
+
+// emitDensity logs one raw density trigger and applies it.
+func (b *builder) emitDensity(gi, li int, w geom.Rect, dom int) {
+	b.scan.Densities = append(b.scan.Densities, DensityEvent{
+		G: uint16(gi), Layer: uint8(li), X: int32(w.X0), Y: int32(w.Y0),
+		Dom: int32(dom),
+	})
+	b.applyDensity(b.gs[gi], dom)
+}
+
+// scanDensityWindow evaluates one window from the current layout and emits
+// its trigger when the density guideline fires.
+func (b *builder) scanDensityWindow(gi, li int, layer route.Layer, w geom.Rect) {
+	g := b.gs[gi]
+	used := 0
+	counts := map[int32]int{}
+	for y := w.Y0; y < w.Y1; y++ {
+		for x := w.X0; x < w.X1; x++ {
+			occ := b.lay.Occ[li][y][x]
+			if len(occ) > 0 {
+				used++
+			}
+			for _, id := range occ {
+				counts[id]++
+			}
+		}
+	}
+	d := float64(used) / float64(w.Area())
+	if !g.CheckDensity(layer, d) {
+		return
+	}
+	dom := dominantNet(counts)
+	if dom < 0 {
+		return
+	}
+	b.emitDensity(gi, li, w, dom)
+}
+
+// densities walks every density guideline's window grid in deck order. In
+// an incremental build, windows not overlapping the dirty region replay
+// their previous trigger (remapped); overlapping windows are recomputed,
+// their stale triggers skipped.
+func (b *builder) densities(prev []DensityEvent, dirtyRect func(geom.Rect) bool, remap []int32) {
+	pi := 0
+	for gi, g := range b.gs {
 		if g.CheckDensity == nil {
 			continue
 		}
 		for li := 0; li < 2; li++ {
 			layer := route.Layer(li) + route.M2
-			geom.Windows(lay.P.Die, g.Window, g.Window, func(w geom.Rect) {
-				used := 0
-				counts := map[int32]int{}
-				for y := w.Y0; y < w.Y1; y++ {
-					for x := w.X0; x < w.X1; x++ {
-						occ := lay.Occ[li][y][x]
-						if len(occ) > 0 {
-							used++
-						}
-						for _, id := range occ {
-							counts[id]++
-						}
+			geom.Windows(b.lay.P.Die, g.Window, g.Window, func(w geom.Rect) {
+				if !b.ok {
+					return
+				}
+				if prev == nil {
+					b.scanDensityWindow(gi, li, layer, w)
+					return
+				}
+				atWindow := func() bool {
+					e := &prev[pi]
+					return int(e.G) == gi && int(e.Layer) == li &&
+						int(e.X) == w.X0 && int(e.Y) == w.Y0
+				}
+				if dirtyRect(w) {
+					for pi < len(prev) && atWindow() {
+						pi++ // stale: superseded by the re-scan
 					}
-				}
-				d := float64(used) / float64(w.Area())
-				if !g.CheckDensity(layer, d) {
+					b.scanDensityWindow(gi, li, layer, w)
 					return
 				}
-				dom := dominantNet(counts)
-				if dom < 0 {
-					return
-				}
-				key := netRule{dom, g.ID}
-				if densHits[key] {
-					return
-				}
-				densHits[key] = true
-				rep.hit(g)
-				n := c.Nets[dom]
-				for val := uint8(0); val <= 1; val++ {
-					l.Add(&fault.Fault{
-						Model:     fault.StuckAt,
-						Net:       n,
-						Value:     val,
-						Guideline: g.ID,
+				for pi < len(prev) && atWindow() {
+					e := &prev[pi]
+					pi++
+					dom := remapID(remap, e.Dom)
+					if dom < 0 {
+						b.ok = false
+						return
+					}
+					b.scan.Densities = append(b.scan.Densities, DensityEvent{
+						G: e.G, Layer: e.Layer, X: e.X, Y: e.Y, Dom: dom,
 					})
+					b.applyDensity(b.gs[e.G], int(dom))
 				}
 			})
 		}
 	}
-
-	return l, rep
 }
 
 // sinkAt finds the sink pin of net n placed at point pt (the pin the via

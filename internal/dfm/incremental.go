@@ -1,0 +1,126 @@
+package dfm
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/route"
+)
+
+// BridgeEvent is one raw bridge trigger as produced by the occupancy-grid
+// scan, before deduplication: the grid cell, the guideline deck index, and
+// the two net IDs involved. Events are logged in scan order (layer, then
+// row, then column), which is what lets an incremental build splice a
+// replayed prefix/suffix around re-scanned dirty cells.
+type BridgeEvent struct {
+	Layer uint8
+	X, Y  int32
+	G     uint16
+	A, B  int32
+}
+
+// DensityEvent is one raw density trigger: the guideline deck index, the
+// layer, the window origin, and the dominant net the stuck-at faults land
+// on. Logged in deck order (guideline, then layer, then window).
+type DensityEvent struct {
+	G     uint16
+	Layer uint8
+	X, Y  int32
+	Dom   int32
+}
+
+// Scan is the replayable log of the two O(die-area) phases of a fault
+// build. The cheap O(geometry) phases (vias, segments, internal faults)
+// are recomputed on every build and need no log.
+type Scan struct {
+	Bridges   []BridgeEvent
+	Densities []DensityEvent
+}
+
+// remapID translates a previous-build net ID through the remap table
+// produced by route.RouteIncremental; -1 means the net no longer exists.
+func remapID(remap []int32, id int32) int32 {
+	if int(id) >= len(remap) {
+		return -1
+	}
+	return remap[id]
+}
+
+// BuildFaultsIncremental rebuilds the fault list after an incremental
+// re-route, re-scanning only the dirty region of the occupancy grid.
+// Outside the region the grid is byte-identical to the previous layout
+// (RouteIncremental's contract), so the previous scan's bridge triggers
+// are replayed per clean cell and its density triggers per clean window,
+// with net IDs translated through remap. Dirty cells and overlapping
+// windows are recomputed from the new layout; the per-build deduplication
+// runs over the merged trigger stream, so the result — fault list, report
+// and fresh Scan — is identical to a full BuildFaultsScan.
+//
+// ok is false when a replayed trigger references a removed net (which
+// cannot happen when dirty covers that net's previous geometry, but is
+// kept as a safety valve) — the caller must fall back to a full build.
+func BuildFaultsIncremental(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile, prevScan *Scan, remap []int32, dirty geom.Region) (*fault.List, *Report, *Scan, bool) {
+	if prevScan == nil {
+		return nil, nil, nil, false
+	}
+	die := lay.P.Die
+	mask := dirty.Mask(die)
+	w := die.W()
+	cellDirty := func(li, x, y int) bool {
+		// The pitch check of (x,y) reads the right neighbor, so a cell
+		// is dirty when either itself or (x+1,y) changed.
+		i := (y-die.Y0)*w + (x - die.X0)
+		if mask[i] {
+			return true
+		}
+		return x+1 < die.X1 && mask[i+1]
+	}
+	b := newBuilder(c, lay)
+	b.internal(prof)
+	b.vias()
+	b.bridges(prevScan.Bridges, cellDirty, remap)
+	if b.ok {
+		b.segments()
+		b.densities(prevScan.Densities, dirty.Intersects, remap)
+	}
+	if !b.ok {
+		return nil, nil, nil, false
+	}
+	return b.list, b.rep, b.scan, true
+}
+
+// DiffUniverse compares two fault universes (list + report) fault by fault
+// and counter by counter, returning an empty string when identical or a
+// description of the first divergence. The differential harness
+// (flow.DiffCheck) uses it to pin the incremental DFM check to the full
+// check's output.
+func DiffUniverse(wantL *fault.List, wantR *Report, gotL *fault.List, gotR *Report) string {
+	if wantL.Len() != gotL.Len() {
+		return fmt.Sprintf("fault count %d != %d", gotL.Len(), wantL.Len())
+	}
+	for i := range wantL.Faults {
+		wf, gf := wantL.Faults[i], gotL.Faults[i]
+		if wf.String() != gf.String() || wf.Internal != gf.Internal {
+			return fmt.Sprintf("fault %d: %q != %q", i, gf.String(), wf.String())
+		}
+	}
+	if len(wantR.PerGuideline) != len(gotR.PerGuideline) {
+		return fmt.Sprintf("report guideline count %d != %d", len(gotR.PerGuideline), len(wantR.PerGuideline))
+	}
+	for id, n := range wantR.PerGuideline {
+		if gotR.PerGuideline[id] != n {
+			return fmt.Sprintf("report %s: %d != %d", id, gotR.PerGuideline[id], n)
+		}
+	}
+	if len(wantR.PerCategory) != len(gotR.PerCategory) {
+		return fmt.Sprintf("report category count %d != %d", len(gotR.PerCategory), len(wantR.PerCategory))
+	}
+	for cat, n := range wantR.PerCategory {
+		if gotR.PerCategory[cat] != n {
+			return fmt.Sprintf("report category %v: %d != %d", cat, gotR.PerCategory[cat], n)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,92 @@
+package dfm
+
+import (
+	"testing"
+
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/route"
+)
+
+func identityRemap(n int) []int32 {
+	r := make([]int32, n)
+	for i := range r {
+		r[i] = int32(i)
+	}
+	return r
+}
+
+// TestIncrementalIdentityReplay: with an empty dirty region every trigger
+// replays from the previous scan and the universe is byte-identical.
+func TestIncrementalIdentityReplay(t *testing.T) {
+	c, lay := buildTestLayout(t, 11, 120)
+	prof := ProfileLibrary(lib)
+	fl, rep, scan := BuildFaultsScan(c, lay, prof)
+	if len(scan.Bridges) == 0 || len(scan.Densities) == 0 {
+		t.Fatalf("scan log looks empty: %d bridges, %d densities", len(scan.Bridges), len(scan.Densities))
+	}
+	il, irep, iscan, ok := BuildFaultsIncremental(c, lay, prof, scan, identityRemap(len(c.Nets)), geom.Region{})
+	if !ok {
+		t.Fatal("identity replay fell back")
+	}
+	if msg := DiffUniverse(fl, rep, il, irep); msg != "" {
+		t.Fatalf("replayed universe diverges: %s", msg)
+	}
+	if len(iscan.Bridges) != len(scan.Bridges) || len(iscan.Densities) != len(scan.Densities) {
+		t.Errorf("re-emitted scan log differs: %d/%d bridges, %d/%d densities",
+			len(iscan.Bridges), len(scan.Bridges), len(iscan.Densities), len(scan.Densities))
+	}
+}
+
+// TestIncrementalFullDirtyEqualsFull: with the whole die dirty everything
+// is re-scanned — still identical to a full build.
+func TestIncrementalFullDirtyEqualsFull(t *testing.T) {
+	c, lay := buildTestLayout(t, 12, 120)
+	prof := ProfileLibrary(lib)
+	fl, rep, scan := BuildFaultsScan(c, lay, prof)
+	var dirty geom.Region
+	dirty.Add(lay.P.Die)
+	il, irep, _, ok := BuildFaultsIncremental(c, lay, prof, scan, identityRemap(len(c.Nets)), dirty)
+	if !ok {
+		t.Fatal("full-dirty build fell back")
+	}
+	if msg := DiffUniverse(fl, rep, il, irep); msg != "" {
+		t.Fatalf("full-dirty universe diverges: %s", msg)
+	}
+}
+
+// TestIncrementalAfterReroute: the real pipeline shape — move a gate,
+// re-route incrementally, then rebuild the universe incrementally from the
+// previous scan and the router's dirty region and remap table. Must equal
+// a from-scratch build over the new layout.
+func TestIncrementalAfterReroute(t *testing.T) {
+	c, lay := buildTestLayout(t, 13, 140)
+	prof := ProfileLibrary(lib)
+	_, _, scan := BuildFaultsScan(c, lay, prof)
+
+	p := lay.P
+	moved := *p
+	moved.Loc = append([]geom.Pt(nil), p.Loc...)
+	g := c.Gates[len(c.Gates)/3]
+	oldLoc := moved.Loc[g.ID]
+	newLoc := geom.Pt{X: p.Die.X1 - 1 - p.W[g.ID], Y: p.Die.Y1 - 1}
+	if newLoc == oldLoc {
+		newLoc = geom.Pt{X: p.Die.X0, Y: p.Die.Y0}
+	}
+	moved.Loc[g.ID] = newLoc
+	var dirty geom.Region
+	dirty.Add(geom.Rect{X0: oldLoc.X, Y0: oldLoc.Y, X1: oldLoc.X + p.W[g.ID], Y1: oldLoc.Y + 1})
+	dirty.Add(geom.Rect{X0: newLoc.X, Y0: newLoc.Y, X1: newLoc.X + p.W[g.ID], Y1: newLoc.Y + 1})
+
+	nlay, st := route.RouteIncremental(&moved, lay, dirty)
+	if !st.OrderStable {
+		t.Fatal("same circuit must be order-stable")
+	}
+	wantL, wantR, _ := BuildFaultsScan(c, nlay, prof)
+	gotL, gotR, _, ok := BuildFaultsIncremental(c, nlay, prof, scan, st.Remap, st.Dirty)
+	if !ok {
+		t.Fatal("incremental universe build fell back")
+	}
+	if msg := DiffUniverse(wantL, wantR, gotL, gotR); msg != "" {
+		t.Fatalf("incremental universe diverges from full: %s", msg)
+	}
+}

@@ -50,6 +50,28 @@ type Env struct {
 	// verdict instead of re-entering PODEM. resyn installs one per run so
 	// the whole q-sweep shares it.
 	FaultCache *fcache.Cache
+	// FullPhysical forces AnalyzeIncremental to re-route and re-check the
+	// whole die from scratch instead of splicing the previous layout. It
+	// exists as the baseline side of the differential harness: a
+	// FullPhysical analysis and an incremental one must produce
+	// byte-identical designs.
+	FullPhysical bool
+	// DiffCheck verifies every incremental route and DFM result against a
+	// from-scratch recompute (route.DiffLayouts / dfm.DiffUniverse) and
+	// fails the analysis on any divergence. Expensive — it negates the
+	// incremental speedup — so it is a debugging/CI mode.
+	DiffCheck bool
+}
+
+// IncrStats summarizes what an AnalyzeIncremental call reused from the
+// previous design.
+type IncrStats struct {
+	// RouteReused / RouteRerouted count nets replayed verbatim from the
+	// previous layout vs. routed fresh.
+	RouteReused, RouteRerouted int
+	// DFMIncremental is true when the fault universe was spliced from the
+	// previous scan log rather than rebuilt by a full die scan.
+	DFMIncremental bool
 }
 
 // atpgConfig resolves the effective test-generation configuration: the
@@ -92,6 +114,11 @@ type Design struct {
 	// LintFindings holds the static-analysis findings recorded when the
 	// environment's lint mode is warn or strict (nil when off).
 	LintFindings []lint.Finding
+	// DFMScan is the replayable geometry-scan log of the DFM check; the
+	// next AnalyzeIncremental splices it instead of re-scanning the die.
+	DFMScan *dfm.Scan
+	// Incr reports what AnalyzeIncremental reused (nil for full analyses).
+	Incr *IncrStats
 }
 
 // lintDesign runs the static analyzer over whatever artifacts the design
@@ -115,11 +142,17 @@ func (e *Env) lintDesign(d *Design) error {
 }
 
 // analyzeFaults is the analysis tail shared by Analyze and
-// AnalyzeIncremental: build the DFM fault universe from the layout, run
-// test generation (through the worker pool and verdict cache, when
-// configured), cluster the undetectable faults, and lint the result.
+// AnalyzeIncremental: build the DFM fault universe from the layout, then
+// classify it.
 func (e *Env) analyzeFaults(d *Design) error {
-	d.Faults, d.DFMRep = dfm.BuildFaults(d.C, d.Lay, e.Prof)
+	d.Faults, d.DFMRep, d.DFMScan = dfm.BuildFaultsScan(d.C, d.Lay, e.Prof)
+	return e.classifyFaults(d)
+}
+
+// classifyFaults runs test generation over an already-built fault universe
+// (through the worker pool and verdict cache, when configured), clusters
+// the undetectable faults, and lints the result.
+func (e *Env) classifyFaults(d *Design) error {
 	t0 := time.Now()
 	d.Result = atpg.Run(d.C, d.Faults, e.atpgConfig())
 	d.ATPGTime = time.Since(t0)
@@ -144,20 +177,63 @@ func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	return d, nil
 }
 
-// AnalyzeIncremental is Analyze with ECO-style placement: gates shared with
-// the previous design keep their locations; only new gates are placed. This
-// is how the resynthesis procedure re-runs PDesign() so that the unchanged
-// portion of the layout — and its timing — stays put.
+// AnalyzeIncremental is Analyze with ECO-style physical re-analysis: gates
+// shared with the previous design keep their locations and only new gates
+// are placed, the router replays every net the placement diff provably did
+// not disturb, and the DFM check replays its previous scan log outside the
+// router's dirty region. This is how the resynthesis procedure re-runs
+// PDesign() so that the unchanged portion of the layout — and its timing —
+// stays put, at a cost proportional to the edit rather than the die.
+//
+// The incremental path is pinned to the full pipeline: with Env.DiffCheck
+// it is verified byte-identical against a from-scratch recompute, and with
+// Env.FullPhysical it *is* the from-scratch recompute (the differential
+// harness runs both and compares).
 func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, error) {
-	p, err := place.PlaceIncremental(c, prev.P, e.Seed)
+	// Canonicalize the rebuilt circuit's net/gate order against the
+	// previous one: kept nets keep their relative order, which is the
+	// incremental router's reuse precondition. FullPhysical applies the
+	// same reorder so both harness sides analyze the same circuit.
+	c = netlist.ReorderLike(c, prev.C)
+	p, diff, err := place.PlaceIncremental(c, prev.P, e.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("flow: %w", err)
 	}
-	lay := route.Route(p)
-	d := &Design{Env: e, C: c, Die: p.Die, P: p, Lay: lay}
-	d.Timing = sta.Analyze(c, sta.LoadFromLayout(lay))
-	d.Power = power.Estimate(c, sta.LoadFromLayout(lay), 4, e.Seed)
-	if err := e.analyzeFaults(d); err != nil {
+	d := &Design{Env: e, C: c, Die: p.Die, P: p, Incr: &IncrStats{}}
+	var rst *route.IncrStats
+	if e.FullPhysical {
+		d.Lay = route.Route(p)
+		d.Incr.RouteRerouted = len(d.Lay.Routes)
+	} else {
+		d.Lay, rst = route.RouteIncremental(p, prev.Lay, diff.Region)
+		d.Incr.RouteReused = rst.Reused
+		d.Incr.RouteRerouted = rst.Rerouted
+		if e.DiffCheck {
+			if msg := route.DiffLayouts(route.Route(p), d.Lay); msg != "" {
+				return nil, fmt.Errorf("flow: diffcheck: incremental route diverges from full route: %s", msg)
+			}
+		}
+	}
+	loads := sta.LoadFromLayout(d.Lay)
+	d.Timing = sta.Analyze(c, loads)
+	d.Power = power.Estimate(c, loads, 4, e.Seed)
+	if rst != nil && rst.OrderStable && prev.DFMScan != nil {
+		fl, rep, scan, ok := dfm.BuildFaultsIncremental(c, d.Lay, e.Prof, prev.DFMScan, rst.Remap, rst.Dirty)
+		if ok {
+			if e.DiffCheck {
+				wl, wr, _ := dfm.BuildFaultsScan(c, d.Lay, e.Prof)
+				if msg := dfm.DiffUniverse(wl, wr, fl, rep); msg != "" {
+					return nil, fmt.Errorf("flow: diffcheck: incremental fault universe diverges from full build: %s", msg)
+				}
+			}
+			d.Faults, d.DFMRep, d.DFMScan = fl, rep, scan
+			d.Incr.DFMIncremental = true
+		}
+	}
+	if d.Faults == nil {
+		d.Faults, d.DFMRep, d.DFMScan = dfm.BuildFaultsScan(c, d.Lay, e.Prof)
+	}
+	if err := e.classifyFaults(d); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -178,8 +254,9 @@ func (e *Env) PhysicalOnly(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	}
 	lay := route.Route(p)
 	d := &Design{Env: e, C: c, Die: p.Die, P: p, Lay: lay}
-	d.Timing = sta.Analyze(c, sta.LoadFromLayout(lay))
-	d.Power = power.Estimate(c, sta.LoadFromLayout(lay), 4, e.Seed)
+	loads := sta.LoadFromLayout(lay)
+	d.Timing = sta.Analyze(c, loads)
+	d.Power = power.Estimate(c, loads, 4, e.Seed)
 	if err := e.lintDesign(d); err != nil {
 		return nil, fmt.Errorf("flow: %w", err)
 	}
@@ -235,18 +312,22 @@ type Metrics struct {
 	CacheHitRate float64
 }
 
-// Metrics extracts the table numbers from an analyzed design.
+// Metrics extracts the table numbers from an analyzed design. It also
+// works on a PhysicalOnly design (no fault analysis): the fault, coverage
+// and cluster columns stay zero while area, delay and power are reported.
 func (d *Design) Metrics() Metrics {
 	m := Metrics{}
-	counts := d.Faults.Count()
-	m.F = counts.Total
-	m.U = counts.Undetectable
-	m.FIn = counts.Internal
-	m.FEx = counts.External
-	m.UIn = counts.UndetectableInt
-	m.UEx = counts.UndetectableExt
+	if d.Faults != nil {
+		counts := d.Faults.Count()
+		m.F = counts.Total
+		m.U = counts.Undetectable
+		m.FIn = counts.Internal
+		m.FEx = counts.External
+		m.UIn = counts.UndetectableInt
+		m.UEx = counts.UndetectableExt
+		m.Cov = d.Faults.Coverage()
+	}
 	m.T = len(d.Result.Tests)
-	m.Cov = d.Faults.Coverage()
 	if d.Clusters != nil {
 		smax := d.Clusters.Smax()
 		m.Smax = len(smax)

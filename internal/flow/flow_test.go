@@ -7,6 +7,11 @@ import (
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/faultsim"
 	"dfmresyn/internal/geom"
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/lint"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/route"
+	"dfmresyn/internal/synth"
 )
 
 func testEnv() *Env {
@@ -163,4 +168,77 @@ func TestInternalFaultListShape(t *testing.T) {
 			t.Fatalf("non-internal fault in internal list: %v", f)
 		}
 	}
+}
+
+// TestMetricsPhysicalOnly: Metrics() on a design without fault analysis
+// must not panic (regression: it dereferenced d.Faults unconditionally) and
+// must report the physical numbers while the fault columns stay zero.
+func TestMetricsPhysicalOnly(t *testing.T) {
+	env := testEnv()
+	c := bench.MustBuild("sparc_tlu", env.Lib)
+	d, err := env.PhysicalOnly(c, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metrics()
+	if m.F != 0 || m.U != 0 || m.T != 0 || m.Cov != 0 {
+		t.Errorf("physical-only design reports fault metrics: %+v", m)
+	}
+	if m.Area <= 0 || m.Delay <= 0 || m.Power <= 0 {
+		t.Errorf("physical-only design misses physical metrics: area=%v delay=%v power=%v",
+			m.Area, m.Delay, m.Power)
+	}
+}
+
+// TestLintIncrementalSpliceCorruption: the pipe/placement-bounds and
+// pipe/route-layers rules must hold on an incrementally produced layout —
+// and must catch a corrupted splice when we break one by hand.
+func TestLintIncrementalSpliceCorruption(t *testing.T) {
+	env := testEnv()
+	c := bench.MustBuild("sparc_tlu", env.Lib)
+	orig, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := netlist.ExtractRegion(netlist.ConvexClosure(c, c.Gates[:4]))
+	rs, err := synth.SynthesizeRegion(c, region, env.Mapper,
+		func(*library.Cell) bool { return true }, synth.Delay, nil, "rb_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := rs.Rebuild(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := env.AnalyzeIncremental(nc, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Incr == nil || d.Incr.RouteReused == 0 {
+		t.Fatal("analysis was not incremental; the lint check would be vacuous")
+	}
+	ctx := &lint.Context{Circuit: d.C, Placement: d.P, Layout: d.Lay}
+	if fs := lint.Run(ctx); lint.CountAtLeast(fs, lint.Error) > 0 {
+		t.Fatalf("clean incremental layout has lint errors: %v", fs)
+	}
+	wantRule := func(fs []lint.Finding, rule string) {
+		t.Helper()
+		for _, f := range fs {
+			if f.Rule == rule {
+				return
+			}
+		}
+		t.Errorf("expected a %s finding, got %v", rule, fs)
+	}
+	// Splice corruption 1: a replayed segment lands on an undeclared layer.
+	for i := range d.Lay.Routes {
+		if len(d.Lay.Routes[i].Segs) > 0 {
+			d.Lay.Routes[i].Segs[0].Layer = route.M1
+			break
+		}
+	}
+	wantRule(lint.Run(ctx), "pipe/route-layers")
+	// Splice corruption 2: a kept gate's location escapes the die.
+	d.P.Loc[d.C.Gates[0].ID] = geom.Pt{X: d.P.Die.X1 + 3, Y: d.P.Die.Y0}
+	wantRule(lint.Run(ctx), "pipe/placement-bounds")
 }

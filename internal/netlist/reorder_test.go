@@ -1,0 +1,133 @@
+package netlist
+
+import "testing"
+
+// shuffled builds a structural copy of c with gates and nets created in a
+// different order (gates reversed in topo-legal chunks is hard to fabricate
+// generically, so we emulate a rebuild: clone, then move one gate block).
+func reorderFixture(t *testing.T) (prev, cur *Circuit) {
+	t.Helper()
+	prev, _ = buildSmall(t)
+	// cur has the same logic but its kept elements appear in a different
+	// relative order, the way RebuildReplacing splits C_dont around a
+	// region: u_xor (and its net) now precedes u_and.
+	cur = New("small", lib)
+	a := cur.AddPI("a")
+	b := cur.AddPI("b")
+	ci := cur.AddPI("c")
+	xor := cur.AddGate("u_xor", lib.ByName("XOR2X1"), b, ci)
+	and := cur.AddGate("u_and", lib.ByName("AND2X2"), a, b)
+	nw := cur.AddGate("r1_buf", lib.ByName("INVX1"), and)
+	nw2 := cur.AddGate("r1_buf2", lib.ByName("INVX1"), nw)
+	y := cur.AddGate("u_nand", lib.ByName("NAND2X1"), nw2, xor)
+	z := cur.AddGate("u_inv", lib.ByName("INVX1"), y)
+	cur.MarkPO(y)
+	cur.MarkPO(z)
+	if err := cur.Check(); err != nil {
+		t.Fatalf("fixture Check: %v", err)
+	}
+	return prev, cur
+}
+
+func TestReorderLike(t *testing.T) {
+	prev, cur := reorderFixture(t)
+	out := ReorderLike(cur, prev)
+	if err := out.Check(); err != nil {
+		t.Fatalf("reordered circuit fails Check: %v", err)
+	}
+	if out == cur {
+		t.Fatal("ReorderLike must not return its argument")
+	}
+	if len(out.Gates) != len(cur.Gates) || len(out.Nets) != len(cur.Nets) {
+		t.Fatalf("shape changed: %d/%d gates, %d/%d nets",
+			len(out.Gates), len(cur.Gates), len(out.Nets), len(cur.Nets))
+	}
+
+	// Kept elements follow prev's relative order; new ones come after all
+	// kept ones they can follow, in cur order.
+	prevGatePos := map[string]int{}
+	for i, g := range prev.Gates {
+		prevGatePos[g.Name] = i
+	}
+	last := -1
+	for _, g := range out.Gates {
+		if p, ok := prevGatePos[g.Name]; ok {
+			if p < last {
+				t.Errorf("kept gate %s out of prev order", g.Name)
+			}
+			last = p
+		}
+	}
+	prevNetPos := map[string]int{}
+	for i, n := range prev.Nets {
+		prevNetPos[n.Name] = i
+	}
+	last = -1
+	newSeen := false
+	for _, n := range out.Nets {
+		if p, ok := prevNetPos[n.Name]; ok {
+			if p < last {
+				t.Errorf("kept net %s out of prev order", n.Name)
+			}
+			last = p
+		} else {
+			newSeen = true
+		}
+	}
+	if !newSeen {
+		t.Fatal("fixture should contain new nets")
+	}
+
+	// Interface order preserved from cur.
+	for i, pi := range cur.PIs {
+		if out.PIs[i].Name != pi.Name {
+			t.Errorf("PI %d: %s != %s", i, out.PIs[i].Name, pi.Name)
+		}
+	}
+	for i, po := range cur.POs {
+		if out.POs[i].Name != po.Name {
+			t.Errorf("PO %d: %s != %s", i, out.POs[i].Name, po.Name)
+		}
+	}
+
+	// Connectivity preserved: same driver type and fanin names per gate.
+	for _, g := range cur.Gates {
+		var og *Gate
+		for _, cand := range out.Gates {
+			if cand.Name == g.Name {
+				og = cand
+				break
+			}
+		}
+		if og == nil {
+			t.Fatalf("gate %s missing after reorder", g.Name)
+		}
+		if og.Type != g.Type || og.Out.Name != g.Out.Name {
+			t.Fatalf("gate %s changed type or output", g.Name)
+		}
+		for i, in := range g.Fanin {
+			if og.Fanin[i].Name != in.Name {
+				t.Fatalf("gate %s fanin %d: %s != %s", g.Name, i, og.Fanin[i].Name, in.Name)
+			}
+		}
+	}
+}
+
+func TestReorderLikeIdentity(t *testing.T) {
+	// Reordering a circuit against itself is a plain clone: same order.
+	c, _ := buildSmall(t)
+	out := ReorderLike(c, c)
+	if err := out.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Nets {
+		if out.Nets[i].Name != c.Nets[i].Name {
+			t.Fatalf("net %d reordered on identity: %s != %s", i, out.Nets[i].Name, c.Nets[i].Name)
+		}
+	}
+	for i := range c.Gates {
+		if out.Gates[i].Name != c.Gates[i].Name {
+			t.Fatalf("gate %d reordered on identity: %s != %s", i, out.Gates[i].Name, c.Gates[i].Name)
+		}
+	}
+}

@@ -135,6 +135,22 @@ type Result struct {
 	// undetectable-internal screens — shares one cache, so the hit rate
 	// here is the cross-iteration reuse the resynthesis loop achieves.
 	Cache fcache.Stats
+	// Incr totals the incremental physical re-analysis activity across
+	// the sweep's PDesign() calls.
+	Incr IncrTotals
+}
+
+// IncrTotals accumulates flow.IncrStats over every AnalyzeIncremental of a
+// resynthesis run.
+type IncrTotals struct {
+	// Analyses counts the incremental analyses that reported stats.
+	Analyses int
+	// NetsReused / NetsRerouted total the router's per-analysis counts.
+	NetsReused   int
+	NetsRerouted int
+	// DFMIncremental counts analyses whose fault universe was spliced
+	// from the previous scan log instead of a full die scan.
+	DFMIncremental int
 }
 
 // state carries the procedure's working data.
@@ -467,6 +483,14 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 	s.res.PDCalls++
 	if newD != nil {
 		s.res.ATPGTime += newD.ATPGTime
+		if newD.Incr != nil {
+			s.res.Incr.Analyses++
+			s.res.Incr.NetsReused += newD.Incr.RouteReused
+			s.res.Incr.NetsRerouted += newD.Incr.RouteRerouted
+			if newD.Incr.DFMIncremental {
+				s.res.Incr.DFMIncremental++
+			}
+		}
 	}
 	if err != nil {
 		if errors.Is(err, lint.ErrFindings) {

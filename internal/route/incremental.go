@@ -1,0 +1,249 @@
+package route
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/place"
+)
+
+// IncrStats reports what RouteIncremental reused and what the next pipeline
+// stage (the incremental DFM check) needs to splice its own results.
+type IncrStats struct {
+	// OrderStable is true when every net shared with the previous layout
+	// (matched by name) appears in the same relative order, the
+	// precondition for exact geometry reuse. When false the whole die was
+	// re-routed from scratch.
+	OrderStable bool
+	// Reused / Rerouted count nets whose previous geometry was replayed
+	// verbatim vs. nets ripped up and routed fresh.
+	Reused, Rerouted int
+	// Dirty is the expanded dirty region after the in-order rip-up pass:
+	// every grid cell whose occupancy may differ from the previous layout
+	// lies inside it.
+	Dirty geom.Region
+	// Remap maps previous net IDs to new net IDs (-1: net removed).
+	Remap []int32
+}
+
+// RouteIncremental routes the placement reusing the previous layout outside
+// the dirty region, producing a layout byte-identical to Route(p)
+// (flow.DiffCheck enforces exactly that contract).
+//
+// The router's only cross-net coupling is congestion: net i reads the
+// occupancy that nets with ID < i committed, and only inside the bounding
+// box of its own terminals. So nets are processed in ID order against a
+// changed-cell region W, seeded with the caller's dirty region (the
+// placement diff) and the previous segment cells of removed nets:
+//
+//   - a kept net with unchanged terminals whose bbox misses W replays its
+//     previous segments, vias and occupancy verbatim — nothing it can read
+//     has changed;
+//   - any other net is routed fresh against the current occupancy, which
+//     by induction equals the full route's. If its fresh segments differ
+//     from its previous ones, both geometries' cells are added to W
+//     (occupancy differs exactly there); a net re-routed to identical
+//     geometry adds nothing, which is what keeps a local edit from
+//     cascading die-wide.
+//
+// When the order-stability precondition fails (prev is nil, the die
+// changed, or kept nets were renumbered out of order), it falls back to a
+// full Route.
+func RouteIncremental(p *place.Placement, prev *Layout, dirty geom.Region) (*Layout, *IncrStats) {
+	st := &IncrStats{}
+	full := func() (*Layout, *IncrStats) {
+		st.OrderStable = false
+		st.Dirty = geom.Region{}
+		st.Dirty.Add(p.Die)
+		lay := Route(p)
+		st.Rerouted = len(lay.Routes)
+		st.Reused = 0
+		return lay, st
+	}
+	if prev == nil || prev.P == nil || prev.P.Die != p.Die {
+		return full()
+	}
+	newC, prevC := p.C, prev.P.C
+
+	// Match nets by name and check kept-net order stability.
+	prevByName := make(map[string]*netlist.Net, len(prevC.Nets))
+	for _, n := range prevC.Nets {
+		prevByName[n.Name] = n
+	}
+	st.Remap = make([]int32, len(prevC.Nets))
+	for i := range st.Remap {
+		st.Remap[i] = -1
+	}
+	kept := make([]*netlist.Net, len(newC.Nets))
+	last := -1
+	for _, n := range newC.Nets {
+		pn, ok := prevByName[n.Name]
+		if !ok {
+			continue
+		}
+		if pn.ID <= last {
+			return full()
+		}
+		last = pn.ID
+		kept[n.ID] = pn
+		st.Remap[pn.ID] = int32(n.ID)
+	}
+	st.OrderStable = true
+
+	// Seed the changed-cell region: the placement diff plus the previous
+	// segment cells of removed nets (their occupancy disappears).
+	W := geom.Region{}
+	W.Rects = append(W.Rects, dirty.Rects...)
+	for pid, nid := range st.Remap {
+		if nid < 0 {
+			addSegRects(&W, prev.Routes[pid].Segs)
+		}
+	}
+
+	// Single in-order pass: replay provably clean nets, route the rest
+	// fresh, growing W only where occupancy actually changed.
+	lay := &Layout{P: p, Routes: make([]NetRoute, len(newC.Nets))}
+	w, h := p.Die.W(), p.Die.H()
+	for li := 0; li < 2; li++ {
+		lay.Occ[li] = make([][]([]int32), h)
+		for y := 0; y < h; y++ {
+			lay.Occ[li][y] = make([][]int32, w)
+		}
+	}
+	for _, n := range newC.Nets {
+		terms := dedupPts(p.NetTerminals(n))
+		bbox := geom.BBox(terms)
+		pn := kept[n.ID]
+		clean := pn != nil &&
+			samePts(terms, dedupPts(prev.P.NetTerminals(pn))) &&
+			!W.Intersects(bbox)
+		if clean {
+			lay.replay(n, &prev.Routes[pn.ID])
+			st.Reused++
+			continue
+		}
+		lay.routeNet(n)
+		st.Rerouted++
+		var prevSegs []Seg
+		if pn != nil {
+			prevSegs = prev.Routes[pn.ID].Segs
+		}
+		if !sameSegs(lay.Routes[n.ID].Segs, prevSegs) {
+			addSegRects(&W, prevSegs)
+			addSegRects(&W, lay.Routes[n.ID].Segs)
+		}
+	}
+	st.Dirty = W
+	return lay, st
+}
+
+// addSegRects adds each segment's cell span (a thin rectangle) to the
+// region. Vias contribute no occupancy, so segments alone describe where a
+// route's congestion footprint lives.
+func addSegRects(W *geom.Region, segs []Seg) {
+	for _, s := range segs {
+		W.Add(geom.Rect{X0: s.A.X, Y0: s.A.Y, X1: s.B.X + 1, Y1: s.B.Y + 1})
+	}
+}
+
+func sameSegs(a, b []Seg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// replay copies a previous net route verbatim — segments, vias and the
+// occupancy commits of every segment cell — under the new net identity.
+func (lay *Layout) replay(n *netlist.Net, pr *NetRoute) {
+	nr := NetRoute{Net: n}
+	if len(pr.Segs) > 0 {
+		nr.Segs = append([]Seg(nil), pr.Segs...)
+	}
+	if len(pr.Vias) > 0 {
+		nr.Vias = append([]Via(nil), pr.Vias...)
+	}
+	id := int32(n.ID)
+	for _, s := range nr.Segs {
+		li := int(s.Layer - M2)
+		dx, dy := sign(s.B.X-s.A.X), sign(s.B.Y-s.A.Y)
+		for pt := s.A; ; pt = pt.Add(dx, dy) {
+			if lay.P.Die.Contains(pt) {
+				lay.Occ[li][pt.Y][pt.X] = append(lay.Occ[li][pt.Y][pt.X], id)
+			}
+			if pt == s.B {
+				break
+			}
+		}
+	}
+	lay.Routes[n.ID] = nr
+}
+
+func samePts(a, b []geom.Pt) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffLayouts compares two layouts cell by cell and net by net, returning
+// an empty string when they are byte-identical, or a description of the
+// first divergence. The differential harness (flow.DiffCheck) uses it to
+// pin the incremental router to the full router's output.
+func DiffLayouts(want, got *Layout) string {
+	if len(want.Routes) != len(got.Routes) {
+		return fmt.Sprintf("route count %d != %d", len(got.Routes), len(want.Routes))
+	}
+	for i := range want.Routes {
+		wr, gr := &want.Routes[i], &got.Routes[i]
+		if len(wr.Segs) != len(gr.Segs) {
+			return fmt.Sprintf("net %d: %d segs != %d", i, len(gr.Segs), len(wr.Segs))
+		}
+		for j := range wr.Segs {
+			if wr.Segs[j] != gr.Segs[j] {
+				return fmt.Sprintf("net %d seg %d: %+v != %+v", i, j, gr.Segs[j], wr.Segs[j])
+			}
+		}
+		if len(wr.Vias) != len(gr.Vias) {
+			return fmt.Sprintf("net %d: %d vias != %d", i, len(gr.Vias), len(wr.Vias))
+		}
+		for j := range wr.Vias {
+			if wr.Vias[j] != gr.Vias[j] {
+				return fmt.Sprintf("net %d via %d: %+v != %+v", i, j, gr.Vias[j], wr.Vias[j])
+			}
+		}
+	}
+	for li := 0; li < 2; li++ {
+		if len(want.Occ[li]) != len(got.Occ[li]) {
+			return fmt.Sprintf("layer %d: row count %d != %d", li, len(got.Occ[li]), len(want.Occ[li]))
+		}
+		for y := range want.Occ[li] {
+			if len(want.Occ[li][y]) != len(got.Occ[li][y]) {
+				return fmt.Sprintf("layer %d row %d: width differs", li, y)
+			}
+			for x := range want.Occ[li][y] {
+				wo, go_ := want.Occ[li][y][x], got.Occ[li][y][x]
+				if len(wo) != len(go_) {
+					return fmt.Sprintf("occupancy (%d,%d) layer %d: %v != %v", x, y, li, go_, wo)
+				}
+				for k := range wo {
+					if wo[k] != go_[k] {
+						return fmt.Sprintf("occupancy (%d,%d) layer %d: %v != %v", x, y, li, go_, wo)
+					}
+				}
+			}
+		}
+	}
+	return ""
+}

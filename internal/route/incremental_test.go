@@ -1,0 +1,101 @@
+package route
+
+import (
+	"testing"
+
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/place"
+)
+
+// TestIncrementalIdenticalPlacement: with no dirty region and the same
+// placement, every net is reused and the layout is byte-identical.
+func TestIncrementalIdenticalPlacement(t *testing.T) {
+	c := randomCircuit(t, 7, 100)
+	p, err := place.Place(c, 0.70, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Route(p)
+	lay, st := RouteIncremental(p, prev, geom.Region{})
+	if !st.OrderStable {
+		t.Fatal("identical placement must be order-stable")
+	}
+	if st.Rerouted != 0 || st.Reused != len(c.Nets) {
+		t.Errorf("reused %d rerouted %d, want all %d reused", st.Reused, st.Rerouted, len(c.Nets))
+	}
+	if msg := DiffLayouts(Route(p), lay); msg != "" {
+		t.Fatalf("replayed layout diverges from full route: %s", msg)
+	}
+}
+
+// TestIncrementalAfterMove: moving one gate and marking its old and new
+// footprints dirty must reproduce the full route of the new placement
+// exactly, while reusing most nets.
+func TestIncrementalAfterMove(t *testing.T) {
+	c := randomCircuit(t, 8, 120)
+	p, err := place.Place(c, 0.70, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Route(p)
+
+	// Displace one mid-circuit gate a couple of cells sideways (the moved
+	// placement may overlap other cells — the router does not care). A
+	// short move keeps the dirty fixpoint local; a corner-to-corner move
+	// would legitimately dirty nearly every net via its nets' bboxes.
+	moved := *p
+	moved.Loc = append([]geom.Pt(nil), p.Loc...)
+	g := c.Gates[len(c.Gates)/2]
+	oldLoc := moved.Loc[g.ID]
+	newLoc := geom.Pt{X: oldLoc.X + 2, Y: oldLoc.Y}
+	if newLoc.X+p.W[g.ID] > p.Die.X1 {
+		newLoc = geom.Pt{X: p.Die.X0, Y: oldLoc.Y}
+	}
+	moved.Loc[g.ID] = newLoc
+
+	var dirty geom.Region
+	dirty.Add(geom.Rect{X0: oldLoc.X, Y0: oldLoc.Y, X1: oldLoc.X + p.W[g.ID], Y1: oldLoc.Y + 1})
+	dirty.Add(geom.Rect{X0: newLoc.X, Y0: newLoc.Y, X1: newLoc.X + p.W[g.ID], Y1: newLoc.Y + 1})
+
+	lay, st := RouteIncremental(&moved, prev, dirty)
+	if !st.OrderStable {
+		t.Fatal("same circuit must be order-stable")
+	}
+	if msg := DiffLayouts(Route(&moved), lay); msg != "" {
+		t.Fatalf("incremental layout diverges from full route: %s", msg)
+	}
+	if st.Reused == 0 {
+		t.Error("moving one gate should leave some nets reusable")
+	}
+	if st.Rerouted == 0 {
+		t.Error("moving a connected gate must dirty at least its nets")
+	}
+}
+
+// TestIncrementalUnstableOrderFallsBack: a renumbered circuit (kept nets
+// out of order) cannot reuse geometry and must fall back to a full route.
+func TestIncrementalUnstableOrderFallsBack(t *testing.T) {
+	c := randomCircuit(t, 9, 40)
+	p, err := place.Place(c, 0.70, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Route(p)
+
+	// Same logic, two nets renumbered out of order: clone the circuit and
+	// swap the first two net slots (the router only reads names and IDs).
+	rc := c.Clone()
+	rc.Nets[0], rc.Nets[1] = rc.Nets[1], rc.Nets[0]
+	rc.Nets[0].ID, rc.Nets[1].ID = 0, 1
+	p2, err := place.PlaceInDie(rc, p.Die, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, st := RouteIncremental(p2, prev, geom.Region{})
+	if st.OrderStable {
+		t.Fatal("swapped net order must not count as stable")
+	}
+	if msg := DiffLayouts(Route(p2), lay); msg != "" {
+		t.Fatalf("fallback layout diverges from full route: %s", msg)
+	}
+}
