@@ -4,16 +4,19 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test lint bench benchflow fuzz
+.PHONY: check fmt vet build test lint bench benchflow fuzz obs-smoke
 
-check: fmt vet build test lint benchflow
+check: fmt vet build test lint benchflow obs-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# The explicit ./internal/obs vet keeps the observability layer in the gate
+# even if a future package filter narrows the ./... run.
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./internal/obs
 
 build:
 	$(GO) build ./...
@@ -22,10 +25,17 @@ test:
 	$(GO) test -race ./...
 
 # netlint must pass (exit 0) on every shipped circuit: the examples and the
-# twelve paper benchmarks.
+# twelve paper benchmarks. The last step rejects committed span-trace dumps:
+# -tracefile output belongs next to a run, not in the tree (golden trace
+# fixtures under testdata/ are exempt).
 lint:
 	$(GO) run ./cmd/netlint examples/circuits/*.ckt
 	$(GO) run ./cmd/netlint -bench=all
+	@bad="$$(git ls-files '*.json' | grep -v '/testdata/' | \
+		xargs -r grep -l '"traceEvents"' 2>/dev/null || true)"; \
+	if [ -n "$$bad" ]; then \
+		echo "committed Chrome trace dumps (delete them, they are run artifacts):"; \
+		echo "$$bad"; exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -34,6 +44,16 @@ bench:
 # ATPG time, and the verdict-cache hit rate of a warm re-analysis.
 benchflow:
 	BENCH_FLOW_OUT=BENCH_flow.json $(GO) test -run TestBenchFlowJSON .
+
+# End-to-end smoke test of the observability exports: run the CLI on the
+# fastest benchmark with tracing on, then validate both files with obscheck
+# (trace_event JSON with spans; metrics snapshot with all four sections).
+obs-smoke:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/dfmresyn -table2 -circuit wb_conmax -q 0 \
+		-tracefile "$$dir/run.trace.json" -metricsfile "$$dir/run.metrics.json" \
+		>/dev/null && \
+	$(GO) run ./cmd/obscheck -trace "$$dir/run.trace.json" -metrics "$$dir/run.metrics.json"
 
 # Short fuzz pass over the netlist parser (satellite of the lint work; the
 # full corpus grows under -fuzztime as long as you let it run).

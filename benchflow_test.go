@@ -18,6 +18,7 @@ import (
 	"dfmresyn/internal/fcache"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
+	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
 )
 
@@ -45,6 +46,11 @@ type benchFlowRow struct {
 	PhysSpeedup  float64 `json:"phys_speedup"`
 	NetsReused   int     `json:"incr_nets_reused"`
 	NetsRerouted int     `json:"incr_nets_rerouted"`
+	// Metrics embeds the circuit's obs-registry snapshot (counters,
+	// gauges, histograms, series) covering all three analyses, so each
+	// perf row is self-describing: the engine activity behind the wall
+	// times travels with them.
+	Metrics json.RawMessage `json:"metrics"`
 }
 
 type benchFlowReport struct {
@@ -70,6 +76,7 @@ func TestBenchFlowJSON(t *testing.T) {
 	for _, name := range bench.Names {
 		env := flow.NewEnv()
 		env.FaultCache = fcache.New()
+		env.Obs = obs.New()
 		c := bench.MustBuild(name, env.Lib)
 
 		t0 := time.Now()
@@ -128,6 +135,11 @@ func TestBenchFlowJSON(t *testing.T) {
 		if physIncr > 0 {
 			row.PhysSpeedup = float64(physFull) / float64(physIncr)
 		}
+		snap, err := json.Marshal(env.Obs.Registry().Snapshot())
+		if err != nil {
+			t.Fatalf("%s metrics snapshot: %v", name, err)
+		}
+		row.Metrics = snap
 		rep.Rows = append(rep.Rows, row)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

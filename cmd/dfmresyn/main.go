@@ -23,6 +23,7 @@ import (
 	"dfmresyn/internal/bench"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
+	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
 	"dfmresyn/internal/report"
 	"dfmresyn/internal/resyn"
@@ -33,7 +34,7 @@ var (
 	all       = flag.Bool("all", false, "run every Table II circuit")
 	table1    = flag.Bool("table1", false, "print Table I (clustering before resynthesis)")
 	table2    = flag.Bool("table2", false, "print Table II (resynthesis results)")
-	trace     = flag.Bool("trace", false, "print the Fig. 2 iteration trace")
+	trace     = flag.Bool("trace", false, "print the Fig. 2 iteration trace (the paper's algorithm-level series; for span tracing see -tracefile)")
 	list      = flag.Bool("list", false, "list circuit names")
 	maxQ      = flag.Int("q", 5, "maximum acceptable delay/power increase in percent")
 	seed      = flag.Int64("seed", 1, "random seed for the whole flow")
@@ -41,6 +42,9 @@ var (
 	diffCheck = flag.Bool("diffcheck", false, "verify every incremental physical re-analysis against a from-scratch recompute (slow; debugging aid)")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile = flag.String("tracefile", "", "write a Chrome trace_event JSON of every pipeline span to this file (open in chrome://tracing or Perfetto)")
+	metrics   = flag.String("metricsfile", "", "write the metrics-registry snapshot (counters, gauges, histograms, series) as JSON to this file")
+	httpAddr  = flag.String("httpaddr", "", "serve live introspection on this address (/metrics, /spans, /debug/pprof); empty = off")
 )
 
 func main() {
@@ -92,11 +96,35 @@ func run() (err error) {
 		}()
 	}
 
+	// Observability is opt-in: any of the three flags creates the tracer.
+	// Exports run as defers so a failing run still dumps what it traced;
+	// everything obs-related prints to stderr so table output stays
+	// byte-identical with tracing on or off.
+	var tracer *obs.Tracer
+	if *traceFile != "" || *metrics != "" || *httpAddr != "" {
+		tracer = obs.New()
+		if *httpAddr != "" {
+			_, addr, serr := obs.ServeDebug(tracer, *httpAddr)
+			if serr != nil {
+				return fmt.Errorf("httpaddr: %w", serr)
+			}
+			fmt.Fprintf(os.Stderr, "obs: debug server on http://%s (/metrics /spans /debug/pprof)\n", addr)
+		}
+		root := obs.Start(tracer, "dfmresyn/run")
+		defer func() {
+			root.End()
+			if werr := writeObsExports(tracer); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+
 	env := flow.NewEnv()
 	env.Seed = *seed
 	env.ATPG.Seed = *seed
 	env.Workers = *workers
 	env.DiffCheck = *diffCheck
+	env.Obs = tracer
 
 	if *table1 {
 		fmt.Println("TABLE I. CLUSTERED UNDETECTABLE FAULTS")
@@ -125,6 +153,7 @@ func run() (err error) {
 	}
 	avg := &report.Averages{}
 	for _, name := range names {
+		spCircuit := obs.Start(tracer, "dfmresyn/circuit", obs.String("circuit", name))
 		c := bench.MustBuild(name, env.Lib)
 
 		// Rtime baseline: one synthesis + physical design + test
@@ -142,6 +171,8 @@ func run() (err error) {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		rtime := float64(time.Since(t1)) / float64(baseline)
+		spCircuit.Annotate(obs.Float("rtime", rtime))
+		spCircuit.End()
 		if *table2 {
 			fmt.Println(report.TableIIOrigRow(name, r.Orig.Metrics()))
 			fmt.Println(report.TableIIResynRow(r, rtime))
@@ -159,6 +190,32 @@ func run() (err error) {
 	}
 	if *table2 && *all {
 		fmt.Println(avg.Row())
+	}
+	return nil
+}
+
+// writeObsExports dumps the tracer's Chrome trace and metrics snapshot to
+// the files requested by -tracefile / -metricsfile.
+func writeObsExports(tracer *obs.Tracer) error {
+	write := func(path string, fn func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(*traceFile, func(f *os.File) error { return tracer.WriteChromeTrace(f) }); err != nil {
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	if err := write(*metrics, func(f *os.File) error { return tracer.WriteMetricsJSON(f) }); err != nil {
+		return fmt.Errorf("metricsfile: %w", err)
 	}
 	return nil
 }

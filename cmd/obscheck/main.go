@@ -1,0 +1,110 @@
+// Command obscheck validates observability exports — the files written by
+// dfmresyn's -tracefile and -metricsfile flags. It is the verifier behind
+// `make obs-smoke`: a trace file must be Chrome trace_event JSON with at
+// least one event, and a metrics file must be a registry snapshot with all
+// four instrument sections present.
+//
+// Usage:
+//
+//	obscheck -trace run.trace.json -metrics run.metrics.json
+//
+// Exit codes: 0 all named files valid, 1 a file failed validation, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+var (
+	traceFile   = flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	metricsFile = flag.String("metrics", "", "metrics snapshot JSON file to validate")
+)
+
+func main() {
+	flag.Parse()
+	if *traceFile == "" && *metricsFile == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -trace and/or -metrics")
+		os.Exit(2)
+	}
+	ok := true
+	if *traceFile != "" {
+		ok = report(*traceFile, checkTrace(*traceFile)) && ok
+	}
+	if *metricsFile != "" {
+		ok = report(*metricsFile, checkMetrics(*metricsFile)) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func report(path string, err error) bool {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
+		return false
+	}
+	fmt.Printf("obscheck: %s: ok\n", path)
+	return true
+}
+
+// checkTrace requires valid trace_event JSON with a non-empty traceEvents
+// array whose events all carry a name and the "X" (complete) phase the
+// exporter emits.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("not trace_event JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty — the traced run recorded no spans")
+	}
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		if ev.Ph != "X" {
+			return fmt.Errorf("event %d (%s) has phase %q, want \"X\"", i, ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			return fmt.Errorf("event %d (%s) has negative ts/dur", i, ev.Name)
+		}
+	}
+	return nil
+}
+
+// checkMetrics requires a snapshot whose four sections all unmarshal and are
+// present (an empty registry exports empty maps, not nulls — obscheck pins
+// that too).
+func checkMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Counters   map[string]int64           `json:"counters"`
+		Gauges     map[string]float64         `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+		Series     map[string][]float64       `json:"series"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("not a metrics snapshot: %w", err)
+	}
+	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil || snap.Series == nil {
+		return fmt.Errorf("snapshot is missing a section (counters/gauges/histograms/series)")
+	}
+	return nil
+}

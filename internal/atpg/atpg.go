@@ -8,6 +8,7 @@ import (
 	"dfmresyn/internal/fcache"
 	"dfmresyn/internal/logic"
 	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
 )
 
@@ -35,6 +36,11 @@ type Config struct {
 	// verdicts only contribute their witness vectors, which are replayed
 	// through fault simulation — so a stale entry degrades to a miss.
 	Cache *fcache.Cache
+	// Obs, when non-nil, receives per-phase spans and engine counters
+	// (PODEM searches and backtracks, cache replays, collateral drops).
+	// Tracing never alters classification: results are byte-identical with
+	// Obs nil or set, and the nil path costs no allocations.
+	Obs *obs.Tracer
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -80,6 +86,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	}
 	workers := par.Count(cfg.Workers)
 	pool := faultsim.NewPool(c, workers)
+	pool.Instrument(cfg.Obs)
 	order := pool.Engine(0).Circuit().Levelize()
 	levels := c.Levels()
 	npi := len(c.PIs)
@@ -157,6 +164,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	// sound even for stale or colliding entries, which simply detect
 	// nothing and fall through to PODEM.
 	if cfg.Cache != nil {
+		spCache := obs.Start(cfg.Obs, "atpg/cache", obs.Int("faults", len(l.Faults)))
 		hasher := fcache.NewHasher(c)
 		witness = make([]faultsim.Test, len(l.Faults))
 		keys = make([]fcache.Key, len(l.Faults))
@@ -197,11 +205,15 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 			}
 			tests = append(tests, detectBlock(seeds[start:end], untried, true)...)
 		}
+		cfg.Obs.Counter("atpg/cache_replayed_witnesses").Add(int64(len(seeds)))
+		spCache.Annotate(obs.Int("replayed_witnesses", len(seeds)))
+		spCache.End()
 	}
 
 	// Phase 1: random pattern pairs with fault dropping; keep only tests
 	// that are first to detect at least one fault. The shared rng draws the
 	// same candidate vectors for every worker count and cache state.
+	spRandom := obs.Start(cfg.Obs, "atpg/random", obs.Int("blocks", cfg.RandomBlocks))
 	for blk := 0; blk < cfg.RandomBlocks; blk++ {
 		if npi == 0 {
 			break
@@ -212,17 +224,27 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		}
 		tests = append(tests, detectBlock(cand, untried, false)...)
 	}
+	spRandom.End()
 
 	// Phase 2: PODEM per remaining fault, in fixed-size batches. Each batch
 	// is searched in parallel — every fault with its own rng stream seeded
 	// from (cfg.Seed, fault ID) — then merged in fault-ID order: a fault
 	// collaterally detected by a test emitted earlier in the merge discards
 	// its speculative outcome, exactly as if it had never been searched.
+	// Counter handles are resolved once; on a nil tracer they are nil and
+	// every Add below is a free no-op.
+	cSearches := cfg.Obs.Counter("atpg/podem_searches")
+	cBacktracks := cfg.Obs.Counter("atpg/podem_backtracks")
+	cCollateral := cfg.Obs.Counter("atpg/collateral_drops")
+	hBacktracks := cfg.Obs.Histogram("atpg/podem_backtracks_per_search",
+		0, 1, 4, 16, 64, 256, 1024, 4096, 12000)
 	gens := make([]*Generator, workers)
 	remaining := append([]int(nil), activeOf(unclassified)...)
+	spPodem := obs.Start(cfg.Obs, "atpg/podem", obs.Int("remaining", len(remaining)))
 	type outcomeRec struct {
 		out SearchOutcome
 		tv  *TestVec
+		bt  int // PODEM backtracks spent on this fault's searches
 	}
 	outcomes := make([]outcomeRec, podemBatch)
 	batch := make([]int, 0, podemBatch)
@@ -245,12 +267,21 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 			}
 			f := l.Faults[batch[j]]
 			frng := rand.New(rand.NewSource(faultSeed(cfg.Seed, f.ID)))
+			bt0 := gens[w].Backtracks()
 			out, tv := gens[w].Generate(f, frng)
-			outcomes[j] = outcomeRec{out, tv}
+			outcomes[j] = outcomeRec{out, tv, gens[w].Backtracks() - bt0}
 		})
 		for j, i := range batch {
+			// Engine-cost telemetry is recorded for every search run, even
+			// ones whose outcome a collateral drop discards — the cost was
+			// paid either way. The sequential merge keeps counter values
+			// deterministic, not just totals.
+			cSearches.Inc()
+			cBacktracks.Add(int64(outcomes[j].bt))
+			hBacktracks.Observe(float64(outcomes[j].bt))
 			f := l.Faults[i]
 			if !unclassified(f) {
+				cCollateral.Inc()
 				continue // dropped by an earlier test in this merge
 			}
 			switch outcomes[j].out {
@@ -275,6 +306,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 				for dj, k := range active {
 					if det[dj] != 0 {
 						l.Faults[k].Status = fault.Detected
+						cCollateral.Inc()
 						if witness != nil {
 							witness[k] = t
 						}
@@ -288,9 +320,12 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		}
 	}
 
+	spPodem.End()
+
 	// Phase 3: reverse-order compaction — keep only tests that are first
 	// to detect some fault when simulating in reverse order.
 	if !cfg.NoCompact && len(tests) > 0 {
+		spCompact := obs.Start(cfg.Obs, "atpg/compact", obs.Int("tests", len(tests)))
 		rev := make([]faultsim.Test, len(tests))
 		for i, t := range tests {
 			rev[len(tests)-1-i] = t
@@ -303,6 +338,8 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 			}
 		}
 		tests = kept
+		spCompact.Annotate(obs.Int("kept", len(kept)))
+		spCompact.End()
 	}
 
 	// Epilogue: publish verdicts. Stores run sequentially in fault-ID
@@ -338,6 +375,15 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		case fault.Aborted:
 			res.Aborted++
 		}
+	}
+	if reg := cfg.Obs.Registry(); reg != nil {
+		reg.Counter("atpg/faults_classified").Add(int64(len(l.Faults)))
+		reg.Counter("atpg/detected").Add(int64(res.Detected))
+		reg.Counter("atpg/undetectable").Add(int64(res.Undetectable))
+		reg.Counter("atpg/aborted").Add(int64(res.Aborted))
+		reg.Counter("atpg/tests_kept").Add(int64(len(res.Tests)))
+		reg.Counter("fcache/lookups").Add(int64(res.CacheLookups))
+		reg.Counter("fcache/hits").Add(int64(res.CacheHits))
 	}
 	return res
 }

@@ -74,6 +74,7 @@ type podem struct {
 	conds      []condition
 	extra      []condition // externally-imposed conditions on detection searches
 	backtracks int
+	btTotal    int // cumulative backtracks across every search (telemetry)
 	limit      int
 
 	// reusable scratch
@@ -165,6 +166,7 @@ func (p *podem) search(rng *rand.Rand) (SearchOutcome, []uint8) {
 				top.val ^= 1
 				p.piVal[top.pi] = int8(top.val)
 				p.backtracks++
+				p.btTotal++
 				if p.backtracks > p.limit {
 					return LimitExceeded, nil
 				}
@@ -784,6 +786,12 @@ func (p *podem) fillVector(rng *rand.Rand) []uint8 {
 type Generator struct {
 	p *podem
 }
+
+// Backtracks returns the cumulative backtrack count across every search
+// this generator has run — the engine-cost telemetry behind the
+// atpg/podem_backtracks metric (a fault's cost is the delta across its
+// Generate call).
+func (gen *Generator) Backtracks() int { return gen.p.btTotal }
 
 // NewGenerator prepares a generator. levels must be the circuit's net
 // levels and order its levelized gates.

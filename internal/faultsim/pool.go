@@ -4,6 +4,7 @@ import (
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/logic"
 	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
 )
 
@@ -18,6 +19,19 @@ type Pool struct {
 	c       *netlist.Circuit
 	workers int
 	engines []*Engine
+
+	// Simulation-volume counters (nil when uninstrumented; nil Counters
+	// no-op, so the hot path pays one pointer check).
+	cBlocks  *obs.Counter
+	cDetects *obs.Counter
+}
+
+// Instrument routes the pool's simulation-volume telemetry — good-circuit
+// blocks simulated and per-fault detection words computed — into the
+// tracer's registry. A nil tracer leaves the pool uninstrumented.
+func (p *Pool) Instrument(tr *obs.Tracer) {
+	p.cBlocks = tr.Counter("faultsim/sim_blocks")
+	p.cDetects = tr.Counter("faultsim/detect_words")
 }
 
 // NewPool builds a pool of the given width (0 = runtime.NumCPU()). Engines
@@ -42,11 +56,15 @@ func (p *Pool) Engine(w int) *Engine {
 
 // SimBlock good-simulates up to 64 tests on worker 0's engine. The returned
 // Block is immutable and may be read by every worker concurrently.
-func (p *Pool) SimBlock(tests []Test) *Block { return p.Engine(0).SimBlock(tests) }
+func (p *Pool) SimBlock(tests []Test) *Block {
+	p.cBlocks.Inc()
+	return p.Engine(0).SimBlock(tests)
+}
 
 // DetectsMany computes the detection word of every fault against the block,
 // sharding the fault list over the workers. det must have len(faults) slots.
 func (p *Pool) DetectsMany(faults []*fault.Fault, b *Block, det []logic.Word) {
+	p.cDetects.Add(int64(len(faults)))
 	par.Each(len(faults), p.workers, 16, func(w, i int) {
 		det[i] = p.Engine(w).Detects(faults[i], b)
 	})

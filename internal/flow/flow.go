@@ -19,6 +19,7 @@ import (
 	"dfmresyn/internal/library"
 	"dfmresyn/internal/lint"
 	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/obs"
 	"dfmresyn/internal/place"
 	"dfmresyn/internal/power"
 	"dfmresyn/internal/route"
@@ -61,6 +62,12 @@ type Env struct {
 	// fails the analysis on any divergence. Expensive — it negates the
 	// incremental speedup — so it is a debugging/CI mode.
 	DiffCheck bool
+	// Obs, when non-nil, receives a span per pipeline stage (place, route,
+	// dfm, atpg, cluster — and their incremental variants) plus stage
+	// counters, giving every analysis per-phase wall-time and allocation
+	// attribution. nil is a zero-overhead no-op; tracing never changes any
+	// analysis result.
+	Obs *obs.Tracer
 }
 
 // IncrStats summarizes what an AnalyzeIncremental call reused from the
@@ -80,6 +87,7 @@ func (e *Env) atpgConfig() atpg.Config {
 	cfg := e.ATPG
 	cfg.Workers = e.Workers
 	cfg.Cache = e.FaultCache
+	cfg.Obs = e.Obs
 	return cfg
 }
 
@@ -145,7 +153,11 @@ func (e *Env) lintDesign(d *Design) error {
 // AnalyzeIncremental: build the DFM fault universe from the layout, then
 // classify it.
 func (e *Env) analyzeFaults(d *Design) error {
+	sp := obs.Start(e.Obs, "flow/dfm")
 	d.Faults, d.DFMRep, d.DFMScan = dfm.BuildFaultsScan(d.C, d.Lay, e.Prof)
+	sp.Annotate(obs.Int("faults", d.Faults.Len()))
+	sp.End()
+	e.Obs.Counter("dfm/full_builds").Inc()
 	return e.classifyFaults(d)
 }
 
@@ -153,10 +165,16 @@ func (e *Env) analyzeFaults(d *Design) error {
 // (through the worker pool and verdict cache, when configured), clusters
 // the undetectable faults, and lints the result.
 func (e *Env) classifyFaults(d *Design) error {
+	sp := obs.Start(e.Obs, "flow/atpg", obs.Int("faults", d.Faults.Len()))
 	t0 := time.Now()
 	d.Result = atpg.Run(d.C, d.Faults, e.atpgConfig())
 	d.ATPGTime = time.Since(t0)
+	sp.Annotate(obs.Int("tests", len(d.Result.Tests)),
+		obs.Int("undetectable", d.Result.Undetectable))
+	sp.End()
+	spc := obs.Start(e.Obs, "flow/cluster")
 	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
+	spc.End()
 	if err := e.lintDesign(d); err != nil {
 		return fmt.Errorf("flow: %w", err)
 	}
@@ -167,6 +185,9 @@ func (e *Env) classifyFaults(d *Design) error {
 // fresh floorplan at 70% utilization"; otherwise the circuit is placed into
 // the given (original) die and an error reports an area violation.
 func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
+	sp := obs.Start(e.Obs, "flow/analyze", obs.Int("gates", len(c.Gates)))
+	defer sp.End()
+	e.Obs.Counter("flow/analyses").Inc()
 	d, err := e.PhysicalOnly(c, die)
 	if err != nil {
 		return nil, err
@@ -190,17 +211,23 @@ func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 // Env.FullPhysical it *is* the from-scratch recompute (the differential
 // harness runs both and compares).
 func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, error) {
+	spAll := obs.Start(e.Obs, "flow/analyze_incr", obs.Int("gates", len(c.Gates)))
+	defer spAll.End()
+	e.Obs.Counter("flow/incremental_analyses").Inc()
 	// Canonicalize the rebuilt circuit's net/gate order against the
 	// previous one: kept nets keep their relative order, which is the
 	// incremental router's reuse precondition. FullPhysical applies the
 	// same reorder so both harness sides analyze the same circuit.
 	c = netlist.ReorderLike(c, prev.C)
+	spPlace := obs.Start(e.Obs, "flow/place_incr")
 	p, diff, err := place.PlaceIncremental(c, prev.P, e.Seed)
+	spPlace.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: %w", err)
 	}
 	d := &Design{Env: e, C: c, Die: p.Die, P: p, Incr: &IncrStats{}}
 	var rst *route.IncrStats
+	spRoute := obs.Start(e.Obs, "flow/route_incr")
 	if e.FullPhysical {
 		d.Lay = route.Route(p)
 		d.Incr.RouteRerouted = len(d.Lay.Routes)
@@ -208,17 +235,28 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 		d.Lay, rst = route.RouteIncremental(p, prev.Lay, diff.Region)
 		d.Incr.RouteReused = rst.Reused
 		d.Incr.RouteRerouted = rst.Rerouted
-		if e.DiffCheck {
-			if msg := route.DiffLayouts(route.Route(p), d.Lay); msg != "" {
-				return nil, fmt.Errorf("flow: diffcheck: incremental route diverges from full route: %s", msg)
-			}
+	}
+	// The dirty-region net counts: how much of the die each re-analysis
+	// actually touched.
+	e.Obs.Counter("route/nets_reused").Add(int64(d.Incr.RouteReused))
+	e.Obs.Counter("route/nets_rerouted").Add(int64(d.Incr.RouteRerouted))
+	spRoute.Annotate(obs.Int("reused", d.Incr.RouteReused),
+		obs.Int("rerouted", d.Incr.RouteRerouted))
+	spRoute.End()
+	if rst != nil && e.DiffCheck {
+		if msg := route.DiffLayouts(route.Route(p), d.Lay); msg != "" {
+			return nil, fmt.Errorf("flow: diffcheck: incremental route diverges from full route: %s", msg)
 		}
 	}
+	spSTA := obs.Start(e.Obs, "flow/sta_power")
 	loads := sta.LoadFromLayout(d.Lay)
 	d.Timing = sta.Analyze(c, loads)
 	d.Power = power.Estimate(c, loads, 4, e.Seed)
+	spSTA.End()
 	if rst != nil && rst.OrderStable && prev.DFMScan != nil {
+		spDFM := obs.Start(e.Obs, "flow/dfm_incr")
 		fl, rep, scan, ok := dfm.BuildFaultsIncremental(c, d.Lay, e.Prof, prev.DFMScan, rst.Remap, rst.Dirty)
+		spDFM.End()
 		if ok {
 			if e.DiffCheck {
 				wl, wr, _ := dfm.BuildFaultsScan(c, d.Lay, e.Prof)
@@ -228,10 +266,14 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 			}
 			d.Faults, d.DFMRep, d.DFMScan = fl, rep, scan
 			d.Incr.DFMIncremental = true
+			e.Obs.Counter("dfm/incremental_builds").Inc()
 		}
 	}
 	if d.Faults == nil {
+		spDFM := obs.Start(e.Obs, "flow/dfm")
 		d.Faults, d.DFMRep, d.DFMScan = dfm.BuildFaultsScan(c, d.Lay, e.Prof)
+		spDFM.End()
+		e.Obs.Counter("dfm/full_builds").Inc()
 	}
 	if err := e.classifyFaults(d); err != nil {
 		return nil, err
@@ -242,6 +284,7 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 // PhysicalOnly performs placement, routing, timing and power analysis
 // without fault analysis (used for constraint checks during backtracking).
 func (e *Env) PhysicalOnly(c *netlist.Circuit, die geom.Rect) (*Design, error) {
+	spPlace := obs.Start(e.Obs, "flow/place", obs.Int("gates", len(c.Gates)))
 	var p *place.Placement
 	var err error
 	if die.Area() == 0 {
@@ -249,14 +292,19 @@ func (e *Env) PhysicalOnly(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	} else {
 		p, err = place.PlaceInDie(c, die, e.Seed)
 	}
+	spPlace.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: %w", err)
 	}
+	spRoute := obs.Start(e.Obs, "flow/route", obs.Int("nets", len(c.Nets)))
 	lay := route.Route(p)
+	spRoute.End()
 	d := &Design{Env: e, C: c, Die: p.Die, P: p, Lay: lay}
+	spSTA := obs.Start(e.Obs, "flow/sta_power")
 	loads := sta.LoadFromLayout(lay)
 	d.Timing = sta.Analyze(c, loads)
 	d.Power = power.Estimate(c, loads, 4, e.Seed)
+	spSTA.End()
 	if err := e.lintDesign(d); err != nil {
 		return nil, fmt.Errorf("flow: %w", err)
 	}
@@ -287,6 +335,8 @@ func (e *Env) InternalFaultList(c *netlist.Circuit) *fault.List {
 // netlist — the pre-physical-design screen the paper uses to decide whether
 // PDesign() is worth calling.
 func (e *Env) UndetectableInternal(c *netlist.Circuit) int {
+	sp := obs.Start(e.Obs, "flow/uint_screen")
+	defer sp.End()
 	l := e.InternalFaultList(c)
 	atpg.Run(c, l, e.atpgConfig())
 	return l.Count().Undetectable

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts the live-introspection HTTP server on addr and returns
+// the server plus the bound address (useful with a ":0" addr in tests).
+// Endpoints:
+//
+//	/metrics      the registry snapshot as JSON
+//	/spans        the in-flight span stack — the pipeline's live call
+//	              stack, so a stuck q-sweep is diagnosable from outside
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// The server runs until the process exits or the caller calls Close; it
+// serves snapshots only and never blocks the traced run.
+func ServeDebug(t *Tracer, addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: debugMux(t)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}
+
+// debugMux builds the debug server's handler (exposed for in-process
+// tests).
+func debugMux(t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteMetricsJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type spanRow struct {
+			Name      string   `json:"name"`
+			Depth     int      `json:"depth"`
+			ElapsedMS float64  `json:"elapsed_ms"`
+			Attrs     []string `json:"attrs,omitempty"`
+		}
+		rows := []spanRow{}
+		for _, s := range t.InFlight() {
+			rows = append(rows, spanRow{
+				Name:      s.Name,
+				Depth:     s.Depth,
+				ElapsedMS: float64(s.Elapsed) / float64(time.Millisecond),
+				Attrs:     s.Attrs,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(rows)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,233 @@
+// Package obs is the zero-dependency observability layer of the pipeline:
+// hierarchical span tracing (wall time and heap allocation per stage), a
+// registry of named counters, gauges, histograms and series, and a debug
+// HTTP endpoint exposing both plus net/http/pprof.
+//
+// The central contract is "nil means off, and off is free": every entry
+// point — obs.Start, (*Span).End, (*Tracer).Counter, (*Counter).Add — is
+// safe on a nil receiver and performs zero heap allocations on the nil
+// path, so the ATPG hot loop can be instrumented unconditionally and a run
+// without -tracefile pays only a nil check (pinned by TestNoopZeroAllocs
+// and BenchmarkNoopTracer). Tables are byte-identical with tracing on or
+// off because the layer only observes; it never feeds back into control
+// flow.
+//
+// Span nesting follows the tracer's logical call stack: Start pushes, End
+// pops, and a span started while another is open becomes its child. The
+// pipeline's coordinating goroutine owns that stack (analyze →
+// place/route/dfm/atpg; resyn → phase → iteration → backtrack); worker
+// goroutines report through the registry's atomic counters instead of
+// opening spans.
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value span attribute. Values are held unformatted (no
+// strconv on the caller's path) so constructing an Attr never allocates.
+type Attr struct {
+	Key  string
+	str  string
+	num  int64
+	fnum float64
+	kind attrKind
+}
+
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+)
+
+// String builds a string-valued attribute.
+func String(key, v string) Attr { return Attr{Key: key, str: v, kind: attrString} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, num: int64(v), kind: attrInt} }
+
+// Int64 builds an integer-valued attribute from an int64.
+func Int64(key string, v int64) Attr { return Attr{Key: key, num: v, kind: attrInt} }
+
+// Float builds a float-valued attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, fnum: v, kind: attrFloat} }
+
+// Tracer records a run's spans and owns its metrics registry. The zero
+// value is not usable; call New. A nil *Tracer is the no-op tracer.
+type Tracer struct {
+	reg *Registry
+
+	// now and allocBytes are the clock and allocation probes; tests swap
+	// them for deterministic golden files.
+	now        func() time.Time
+	allocBytes func() uint64
+
+	mu    sync.Mutex
+	t0    time.Time
+	stack []*Span // in-flight spans, open order
+	spans []*Span // every started span, start order (ID = index)
+}
+
+// New builds a Tracer with a fresh Registry, wall clock, and heap probe.
+func New() *Tracer {
+	return &Tracer{
+		reg:        NewRegistry(),
+		now:        time.Now,
+		allocBytes: readHeapAllocBytes,
+		t0:         time.Now(),
+	}
+}
+
+// Registry returns the tracer's metrics registry (nil for a nil tracer, so
+// registry methods chain nil-safely).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Counter returns the named counter of the tracer's registry (nil no-op
+// counter for a nil tracer).
+func (t *Tracer) Counter(name string) *Counter { return t.Registry().Counter(name) }
+
+// Gauge returns the named gauge (nil no-op gauge for a nil tracer).
+func (t *Tracer) Gauge(name string) *Gauge { return t.Registry().Gauge(name) }
+
+// Histogram returns the named fixed-bucket histogram (nil for a nil
+// tracer). Bounds are only consulted on first creation.
+func (t *Tracer) Histogram(name string, bounds ...float64) *Histogram {
+	return t.Registry().Histogram(name, bounds...)
+}
+
+// Series returns the named append-only series (nil for a nil tracer).
+func (t *Tracer) Series(name string) *Series { return t.Registry().Series(name) }
+
+// Span is one traced interval. A nil *Span (from a nil tracer) accepts
+// every method as a no-op.
+type Span struct {
+	tr     *Tracer
+	id     int
+	parent int // parent span ID, -1 at top level
+	name   string
+	attrs  []Attr
+
+	start      time.Duration // offset from the tracer's t0
+	dur        time.Duration
+	startAlloc uint64
+	alloc      uint64 // heap bytes allocated while the span was open
+	ended      bool
+}
+
+// Start opens a span named name under the innermost open span and returns
+// it; the caller must End it. On a nil tracer it returns nil immediately —
+// the attrs slice is not retained on any path (active spans copy it), so
+// the variadic call does not allocate when the tracer is off.
+func Start(t *Tracer, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, parent: -1}
+	if len(attrs) > 0 {
+		s.attrs = append([]Attr(nil), attrs...)
+	}
+	s.startAlloc = t.allocBytes()
+	t.mu.Lock()
+	s.id = len(t.spans)
+	if n := len(t.stack); n > 0 {
+		s.parent = t.stack[n-1].id
+	}
+	s.start = t.now().Sub(t.t0)
+	t.spans = append(t.spans, s)
+	t.stack = append(t.stack, s)
+	t.mu.Unlock()
+	return s
+}
+
+// End closes the span, recording its duration and allocation delta. Ending
+// a span twice, or a nil span, is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	alloc := t.allocBytes()
+	t.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = t.now().Sub(t.t0) - s.start
+		if alloc >= s.startAlloc {
+			s.alloc = alloc - s.startAlloc
+		}
+		// Pop from the open stack; search from the top so an out-of-order
+		// End (a bug, but not one worth corrupting the trace over) only
+		// removes its own entry.
+		for i := len(t.stack) - 1; i >= 0; i-- {
+			if t.stack[i] == s {
+				t.stack = append(t.stack[:i], t.stack[i+1:]...)
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Annotate appends attributes to an open or ended span — typically results
+// only known at the end of a stage (nets reused, faults classified).
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.tr.mu.Unlock()
+}
+
+// InFlightSpan is a snapshot of one open span, innermost last — the live
+// call stack of the pipeline, served by the /spans debug endpoint so a
+// stuck q-sweep shows exactly which stage it is sitting in.
+type InFlightSpan struct {
+	Name    string        `json:"name"`
+	Depth   int           `json:"depth"`
+	Elapsed time.Duration `json:"elapsed"`
+	Attrs   []string      `json:"attrs,omitempty"`
+}
+
+// InFlight snapshots the open span stack (nil tracer: nil).
+func (t *Tracer) InFlight() []InFlightSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now().Sub(t.t0)
+	out := make([]InFlightSpan, len(t.stack))
+	for i, s := range t.stack {
+		out[i] = InFlightSpan{
+			Name:    s.name,
+			Depth:   i,
+			Elapsed: now - s.start,
+			Attrs:   formatAttrs(s.attrs),
+		}
+	}
+	return out
+}
+
+// readHeapAllocBytes reads the cumulative heap allocation counter via
+// runtime/metrics — cheap enough for span granularity (unlike
+// runtime.ReadMemStats, it does not stop the world). The value is
+// process-wide, so concurrent stages attribute their workers' allocations
+// to whichever span is open; for the pipeline's coordinator-owned spans
+// that is exactly the cost of the stage.
+func readHeapAllocBytes() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}

@@ -54,6 +54,9 @@ func TestTablesGolden(t *testing.T) {
 	b.WriteString(TableIIHeader() + "\n")
 	b.WriteString(TableIIOrigRow("aes_core", m) + "\n")
 	b.WriteString(PerfRow("aes_core", 4, 12.345, 0.873, 1545, 1312) + "\n")
+	// Zero lookups (verdict cache disabled): the cache column must read
+	// n/a, not a fake 0.0% hit rate.
+	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0) + "\n")
 	b.WriteString(IncrRow("aes_core", 17, 4210, 390) + "\n")
 	b.WriteString(IncrRow("empty", 0, 0, 0) + "\n")
 	var a Averages

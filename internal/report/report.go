@@ -54,11 +54,17 @@ func TableIIResynRow(r *resyn.Result, rtime float64) string {
 // PerfRow formats the engine-performance line printed under a circuit's
 // Table II rows: the worker count, the resynthesis sweep's cumulative ATPG
 // wall time, and the verdict-cache behaviour across the q sweep (hit rate
-// over lookups, and the entries the sweep populated). Plain parameters keep
-// the formatting decoupled from the cache implementation.
+// over lookups, and the entries the sweep populated). With zero lookups —
+// the verdict cache disabled or never consulted — the cache column reads
+// "n/a" instead of a misleading 0.0% hit rate. Plain parameters keep the
+// formatting decoupled from the cache implementation.
 func PerfRow(name string, workers int, atpgSeconds, hitRate float64, lookups, entries int) string {
-	return fmt.Sprintf("%-12s perf  workers=%-3d atpg=%8.3fs  cache %5.1f%% of %d lookups, %d entries",
-		name, workers, atpgSeconds, 100*hitRate, lookups, entries)
+	cache := "cache   n/a"
+	if lookups > 0 {
+		cache = fmt.Sprintf("cache %5.1f%% of %d lookups, %d entries", 100*hitRate, lookups, entries)
+	}
+	return fmt.Sprintf("%-12s perf  workers=%-3d atpg=%8.3fs  %s",
+		name, workers, atpgSeconds, cache)
 }
 
 // IncrRow renders the incremental physical re-analysis activity of a

@@ -29,6 +29,7 @@ import (
 	"dfmresyn/internal/library"
 	"dfmresyn/internal/lint"
 	"dfmresyn/internal/netlist"
+	"dfmresyn/internal/obs"
 	"dfmresyn/internal/synth"
 )
 
@@ -138,6 +139,29 @@ type Result struct {
 	// Incr totals the incremental physical re-analysis activity across
 	// the sweep's PDesign() calls.
 	Incr IncrTotals
+	// Iters records one telemetry row per accepted iteration, in commit
+	// order — the |S_max|, |U| and backtracking-effort trajectory of the
+	// sweep (the quantitative series behind Fig. 2, also exported through
+	// the metrics registry as the resyn/smax_frac series).
+	Iters []IterStats
+	// BacktrackGroupsTried / BacktrackGroupsAccepted count sqrt(n)-group
+	// freeze attempts across the whole sweep, including iterations whose
+	// backtracking found no acceptable design.
+	BacktrackGroupsTried    int
+	BacktrackGroupsAccepted int
+}
+
+// IterStats is the telemetry of one accepted resynthesis iteration.
+type IterStats struct {
+	Q, Phase, Iter int
+	// U, Smax, F snapshot the committed design; SmaxFrac is |S_max|/|F|,
+	// the quantity phase one drives to p1.
+	U, Smax, F int
+	SmaxFrac   float64
+	// BacktrackTried / BacktrackAccepted count the group-freeze attempts
+	// spent inside this iteration (0/0 for a directly accepted candidate).
+	BacktrackTried    int
+	BacktrackAccepted int
 }
 
 // IncrTotals accumulates flow.IncrStats over every AnalyzeIncremental of a
@@ -169,6 +193,9 @@ type state struct {
 	// curUIntNet caches UndetectableInternal(cur.C); refreshed on commit.
 	curUIntNet int
 	uintValid  bool
+	// iterBtTried / iterBtAcc count backtracking group attempts within the
+	// current iteration (reset by tryCells, snapshotted by commit).
+	iterBtTried, iterBtAcc int
 	// committedAtQ / constraintBlocked drive the q sweep: raising q only
 	// helps when some accepted candidate was blocked by constraints.
 	committedAtQ      bool
@@ -229,11 +256,18 @@ func RunFrom(env *flow.Env, orig *flow.Design, opt Options) (*Result, error) {
 			return float64(env.Prof.InternalFaultCount(cell))
 		})
 	}
+	spRun := obs.Start(env.Obs, "resyn/sweep", obs.Int("gates", len(orig.C.Gates)))
+	defer spRun.End()
+	// Seed the trajectory with the original design so the exported series
+	// starts at the pre-resynthesis |S_max|/|F|.
+	env.Obs.Series("resyn/smax_frac").Append(smaxFrac(orig))
 	for q := 0; q <= opt.MaxQ; q++ {
 		s.q = q
 		s.committedAtQ = false
 		s.constraintBlocked = false
+		spQ := obs.Start(env.Obs, "resyn/q", obs.Int("q", q))
 		s.runPhases()
+		spQ.End()
 		// Raising q only relaxes the delay/power constraints; when the
 		// last pass neither improved nor hit a constraint wall, higher
 		// q cannot change any outcome.
@@ -283,6 +317,7 @@ func undetectable(d *flow.Design) (total, internal int) {
 // runPhases executes phase one and phase two at the current q.
 func (s *state) runPhases() {
 	// ---- Phase one: break up the largest clusters.
+	sp1 := obs.Start(s.env.Obs, "resyn/phase1")
 	for iter := 0; !s.opt.SkipPhase1 && iter < s.opt.MaxItersPhase; iter++ {
 		if smaxFrac(s.cur) <= s.opt.P1 {
 			break
@@ -296,9 +331,11 @@ func (s *state) runPhases() {
 			break
 		}
 	}
+	sp1.End()
 
 	// ---- Phase two: reduce U everywhere, bounding S_max by p2.
 	p2 := math.Max(s.opt.P1, smaxFrac(s.cur))
+	sp2 := obs.Start(s.env.Obs, "resyn/phase2")
 	for iter := 0; iter < s.opt.MaxItersPhase; iter++ {
 		gu := s.cur.Clusters.GU
 		if len(gu) == 0 {
@@ -309,6 +346,7 @@ func (s *state) runPhases() {
 			break
 		}
 	}
+	sp2.End()
 }
 
 // hostsOfUndetectableInternal returns the set of gates containing
@@ -328,6 +366,10 @@ func (s *state) hostsOfUndetectableInternal() map[*netlist.Gate]bool {
 // first acceptable resynthesized design. Returns whether an improvement was
 // committed.
 func (s *state) tryCells(subGates []*netlist.Gate, phase, iter int, p2 float64) bool {
+	sp := obs.Start(s.env.Obs, "resyn/iter",
+		obs.Int("phase", phase), obs.Int("iter", iter), obs.Int("q", s.q))
+	defer sp.End()
+	s.iterBtTried, s.iterBtAcc = 0, 0
 	// The subcircuit must be convex for the rebuild; gates on paths that
 	// leave and re-enter it are pulled in (and stay frozen unless they
 	// host undetectable internal faults themselves).
@@ -450,6 +492,7 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 		return nil, attemptSynthFailed
 	}
 	s.res.SynthCalls++
+	s.env.Obs.Counter("resyn/synth_calls").Inc()
 
 	// Debug/strict mode: every intermediate circuit the procedure creates
 	// is linted against the pipeline contract — the rebuilt netlist must
@@ -481,6 +524,7 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 	}
 	newD, err := s.env.AnalyzeIncremental(newC, s.cur)
 	s.res.PDCalls++
+	s.env.Obs.Counter("resyn/pd_calls").Inc()
 	if newD != nil {
 		s.res.ATPGTime += newD.ATPGTime
 		if newD.Incr != nil {
@@ -517,12 +561,14 @@ func (s *state) accepts(d *flow.Design, phase int, p2 float64, curU, curSmax int
 	return u < curU && smaxFrac(d) <= p2
 }
 
-// commit installs an accepted design and records the trace entry.
+// commit installs an accepted design and records the trace entry plus the
+// iteration's telemetry row.
 func (s *state) commit(d *flow.Design, phase, iter int, cellName string, viaBack bool) {
 	s.cur = d
 	s.uintValid = false
 	s.committedAtQ = true
 	u, _ := undetectable(d)
+	smax := len(d.Clusters.Smax())
 	s.res.Trace = append(s.res.Trace, IterationRecord{
 		Q:        s.q,
 		Phase:    phase,
@@ -531,9 +577,19 @@ func (s *state) commit(d *flow.Design, phase, iter int, cellName string, viaBack
 		Accepted: true,
 		ViaBack:  viaBack,
 		U:        u,
-		Smax:     len(d.Clusters.Smax()),
+		Smax:     smax,
 		F:        d.Faults.Len(),
 	})
+	s.res.Iters = append(s.res.Iters, IterStats{
+		Q: s.q, Phase: phase, Iter: iter,
+		U: u, Smax: smax, F: d.Faults.Len(),
+		SmaxFrac:          smaxFrac(d),
+		BacktrackTried:    s.iterBtTried,
+		BacktrackAccepted: s.iterBtAcc,
+	})
+	s.env.Obs.Counter("resyn/commits").Inc()
+	s.env.Obs.Series("resyn/smax_frac").Append(smaxFrac(d))
+	s.env.Obs.Gauge("resyn/undetectable").Set(float64(u))
 	if s.q > s.res.BestQ {
 		s.res.BestQ = s.q
 	}
@@ -546,6 +602,8 @@ func (s *state) commit(d *flow.Design, phase, iter int, cellName string, viaBack
 func (s *state) backtrack(region *netlist.Region, gzero func(*netlist.Gate) bool,
 	cellIdx, phase int, p2 float64, curU, curSmax, curUIntNet int) (*flow.Design, bool) {
 
+	sp := obs.Start(s.env.Obs, "resyn/backtrack", obs.Int("phase", phase))
+	defer sp.End()
 	excluded := map[*library.Cell]bool{}
 	for _, c := range s.ordered[:cellIdx+1] {
 		excluded[c] = true
@@ -572,6 +630,9 @@ func (s *state) backtrack(region *netlist.Region, gzero func(*netlist.Gate) bool
 	}
 
 	try := func(backCount int) (*flow.Design, bool, bool) {
+		s.iterBtTried++
+		s.res.BacktrackGroupsTried++
+		s.env.Obs.Counter("resyn/backtrack_groups_tried").Inc()
 		back := map[*netlist.Gate]bool{}
 		for _, g := range gi[:backCount] {
 			back[g] = true
@@ -583,6 +644,12 @@ func (s *state) backtrack(region *netlist.Region, gzero func(*netlist.Gate) bool
 		}
 		return d, s.constraintsOK(d), s.accepts(d, phase, p2, curU, curSmax)
 	}
+	accept := func(d *flow.Design) (*flow.Design, bool) {
+		s.iterBtAcc++
+		s.res.BacktrackGroupsAccepted++
+		s.env.Obs.Counter("resyn/backtrack_groups_accepted").Inc()
+		return d, true
+	}
 
 	for k := step; k <= n; k += step {
 		if k > n {
@@ -593,7 +660,7 @@ func (s *state) backtrack(region *netlist.Region, gzero func(*netlist.Gate) bool
 			continue
 		}
 		if consOK && accOK {
-			return d, true
+			return accept(d)
 		}
 		if consOK && !accOK {
 			// Unfreeze the last group one gate at a time.
@@ -604,7 +671,7 @@ func (s *state) backtrack(region *netlist.Region, gzero func(*netlist.Gate) bool
 			for j := k - 1; j > lo; j-- {
 				d2, c2, a2 := try(j)
 				if d2 != nil && c2 && a2 {
-					return d2, true
+					return accept(d2)
 				}
 			}
 			return nil, false

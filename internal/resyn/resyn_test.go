@@ -209,3 +209,58 @@ func TestNoEquivalenceFailures(t *testing.T) {
 		t.Fatalf("%d candidates failed equivalence — mapper bug", r.EquivFailures)
 	}
 }
+
+// TestIterTelemetryTrajectory pins the per-iteration telemetry rows: within
+// phase one of each q, the acceptance predicate (smax < curSmax, u <= curU)
+// forces |S_max| strictly down and |S_max|/|F| monotone non-increasing along
+// the committed trajectory. Also checks the rows stay consistent with the
+// Fig. 2 trace and the backtracking totals.
+func TestIterTelemetryTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis run is slow")
+	}
+	r := runOn(t, "wb_conmax", Options{MaxQ: 2, MaxItersPhase: 8})
+	if len(r.Iters) == 0 {
+		t.Fatal("no telemetry rows for a run with accepted iterations")
+	}
+	if len(r.Iters) != len(r.Trace) {
+		t.Fatalf("telemetry rows (%d) != trace entries (%d)", len(r.Iters), len(r.Trace))
+	}
+	prevQ, prevPhase := -1, 0
+	var prevSmax int
+	var prevFrac float64
+	for i, it := range r.Iters {
+		if it.U != r.Trace[i].U || it.Smax != r.Trace[i].Smax {
+			t.Errorf("row %d: telemetry (U=%d Smax=%d) disagrees with trace (U=%d Smax=%d)",
+				i, it.U, it.Smax, r.Trace[i].U, r.Trace[i].Smax)
+		}
+		if it.F > 0 && it.SmaxFrac != float64(it.Smax)/float64(it.F) {
+			t.Errorf("row %d: SmaxFrac %.6f != Smax/F %.6f", i, it.SmaxFrac, float64(it.Smax)/float64(it.F))
+		}
+		inPhase1Run := it.Q == prevQ && prevPhase == 1 && it.Phase == 1
+		if inPhase1Run {
+			if it.Smax >= prevSmax {
+				t.Errorf("row %d (q=%d phase 1): Smax did not decrease: %d -> %d",
+					i, it.Q, prevSmax, it.Smax)
+			}
+			if it.SmaxFrac > prevFrac {
+				t.Errorf("row %d (q=%d phase 1): SmaxFrac rose: %.6f -> %.6f",
+					i, it.Q, prevFrac, it.SmaxFrac)
+			}
+		}
+		prevQ, prevPhase, prevSmax, prevFrac = it.Q, it.Phase, it.Smax, it.SmaxFrac
+	}
+	if r.BacktrackGroupsAccepted > r.BacktrackGroupsTried {
+		t.Errorf("backtrack groups accepted (%d) > tried (%d)",
+			r.BacktrackGroupsAccepted, r.BacktrackGroupsTried)
+	}
+	var sumTried, sumAcc int
+	for _, it := range r.Iters {
+		sumTried += it.BacktrackTried
+		sumAcc += it.BacktrackAccepted
+	}
+	if sumAcc > r.BacktrackGroupsAccepted || sumTried > r.BacktrackGroupsTried {
+		t.Errorf("per-iteration backtrack sums (%d/%d) exceed sweep totals (%d/%d)",
+			sumTried, sumAcc, r.BacktrackGroupsTried, r.BacktrackGroupsAccepted)
+	}
+}
