@@ -1,12 +1,13 @@
 # Tier-1 gate plus convenience targets. `make check` is what CI (and the
 # roadmap's verify step) runs: formatting, vet, build, race-enabled tests,
-# and netlint over the shipped example and benchmark circuits.
+# netlint over the shipped example and benchmark circuits, the focused race
+# gate over the concurrency substrate, and the chaos smoke run.
 
 GO ?= go
 
-.PHONY: check fmt vet build test lint bench benchflow fuzz obs-smoke
+.PHONY: check fmt vet build test race lint bench benchflow fuzz obs-smoke chaos-smoke
 
-check: fmt vet build test lint benchflow obs-smoke
+check: fmt vet build test race lint benchflow obs-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,10 +25,19 @@ build:
 test:
 	$(GO) test -race ./...
 
+# Focused race gate over the packages that own shared mutable state — the
+# worker pool, the cancellation/journal substrate, and the observability
+# layer — kept explicit so it survives any future narrowing of the ./...
+# test run.
+race:
+	$(GO) test -race ./internal/par/ ./internal/resilience/ ./internal/obs/
+
 # netlint must pass (exit 0) on every shipped circuit: the examples and the
-# twelve paper benchmarks. The last step rejects committed span-trace dumps:
+# twelve paper benchmarks. The next step rejects committed span-trace dumps:
 # -tracefile output belongs next to a run, not in the tree (golden trace
-# fixtures under testdata/ are exempt).
+# fixtures under testdata/ are exempt). The last step rejects stray
+# checkpoint journals: a *.ckpt file is a run artifact of -journal, never a
+# source file (fixtures under testdata/ are exempt).
 lint:
 	$(GO) run ./cmd/netlint examples/circuits/*.ckt
 	$(GO) run ./cmd/netlint -bench=all
@@ -35,6 +45,10 @@ lint:
 		xargs -r grep -l '"traceEvents"' 2>/dev/null || true)"; \
 	if [ -n "$$bad" ]; then \
 		echo "committed Chrome trace dumps (delete them, they are run artifacts):"; \
+		echo "$$bad"; exit 1; fi
+	@bad="$$(git ls-files '*.ckpt' | grep -v '/testdata/' || true)"; \
+	if [ -n "$$bad" ]; then \
+		echo "committed checkpoint journals (delete them, they are run artifacts of -journal):"; \
 		echo "$$bad"; exit 1; fi
 
 bench:
@@ -55,7 +69,30 @@ obs-smoke:
 		>/dev/null && \
 	$(GO) run ./cmd/obscheck -trace "$$dir/run.trace.json" -metrics "$$dir/run.metrics.json"
 
-# Short fuzz pass over the netlist parser (satellite of the lint work; the
-# full corpus grows under -fuzztime as long as you let it run).
+# End-to-end chaos smoke: the same sweep with and without injected worker
+# panics must print identical tables (stdout, with the wall-clock columns
+# stripped), and the chaos run's stderr must report recovered panics — i.e.
+# the injection actually fired and was absorbed. The awk filter drops the
+# perf/incr diagnostics and the Rtime column, exactly like the CLI test.
+chaos-smoke:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	filter() { awk '$$2=="perf"||$$2=="incr"{next} $$1~/%$$/||$$1=="none"{NF--} {print}' "$$1"; }; \
+	$(GO) run ./cmd/dfmresyn -table2 -trace -circuit sparc_spu \
+		>"$$dir/clean.out" 2>/dev/null && \
+	$(GO) run ./cmd/dfmresyn -table2 -trace -circuit sparc_spu -chaospanic 0.05 \
+		>"$$dir/chaos.out" 2>"$$dir/chaos.err" && \
+	filter "$$dir/clean.out" >"$$dir/clean.flt" && \
+	filter "$$dir/chaos.out" >"$$dir/chaos.flt" && \
+	diff -u "$$dir/clean.flt" "$$dir/chaos.flt" && \
+	grep -q 'recovered=[1-9]' "$$dir/chaos.err" && \
+	echo "chaos-smoke: tables identical under 5% injected panics"
+
+# Short fuzz passes over every hand-rolled parser/decoder: the canonical
+# netlist reader, the exact-order checkpoint codec, the journal envelope,
+# and the sweep-checkpoint loader. Corpora grow under -fuzztime as long as
+# you let them run.
 fuzz:
-	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/netlist/
+	$(GO) test -fuzz=FuzzRead$$ -fuzztime=30s ./internal/netlist/
+	$(GO) test -fuzz=FuzzReadExact -fuzztime=30s ./internal/netlist/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/resilience/
+	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/resyn/

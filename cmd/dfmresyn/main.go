@@ -10,42 +10,84 @@
 //	dfmresyn -table2 -all            # full Table II (slow: full q sweep)
 //	dfmresyn -trace -circuit aes_core
 //	dfmresyn -table2 -all -workers 8 -cpuprofile cpu.out
+//	dfmresyn -table2 -circuit tv80 -journal run.ckpt   # resumable sweep
+//	dfmresyn -table2 -circuit tv80 -resume run.ckpt    # continue it
+//
+// Exit codes (also asserted by the CLI test):
+//
+//	0  success
+//	1  usage error, I/O failure, or any error not classified below
+//	2  static-analysis findings under -lint strict
+//	3  design-constraint violation (the circuit does not fit its die)
+//	4  run interrupted — by SIGINT/SIGTERM, a -deadline expiry, or a
+//	   simulated -stopafter kill; with -journal set, the checkpoint holds
+//	   every committed iteration and -resume continues it
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"dfmresyn/internal/bench"
+	"dfmresyn/internal/chaos"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
+	"dfmresyn/internal/lint"
 	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
+	"dfmresyn/internal/place"
 	"dfmresyn/internal/report"
+	"dfmresyn/internal/resilience"
 	"dfmresyn/internal/resyn"
 )
 
 var (
-	circuit   = flag.String("circuit", "", "benchmark circuit name (see -list)")
-	all       = flag.Bool("all", false, "run every Table II circuit")
-	table1    = flag.Bool("table1", false, "print Table I (clustering before resynthesis)")
-	table2    = flag.Bool("table2", false, "print Table II (resynthesis results)")
-	trace     = flag.Bool("trace", false, "print the Fig. 2 iteration trace (the paper's algorithm-level series; for span tracing see -tracefile)")
-	list      = flag.Bool("list", false, "list circuit names")
-	maxQ      = flag.Int("q", 5, "maximum acceptable delay/power increase in percent")
-	seed      = flag.Int64("seed", 1, "random seed for the whole flow")
-	workers   = flag.Int("workers", 0, "fault-classification worker pool size (0 = NumCPU); any value gives identical tables")
-	diffCheck = flag.Bool("diffcheck", false, "verify every incremental physical re-analysis against a from-scratch recompute (slow; debugging aid)")
-	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	traceFile = flag.String("tracefile", "", "write a Chrome trace_event JSON of every pipeline span to this file (open in chrome://tracing or Perfetto)")
-	metrics   = flag.String("metricsfile", "", "write the metrics-registry snapshot (counters, gauges, histograms, series) as JSON to this file")
-	httpAddr  = flag.String("httpaddr", "", "serve live introspection on this address (/metrics, /spans, /debug/pprof); empty = off")
+	circuit    = flag.String("circuit", "", "benchmark circuit name (see -list)")
+	all        = flag.Bool("all", false, "run every Table II circuit")
+	table1     = flag.Bool("table1", false, "print Table I (clustering before resynthesis)")
+	table2     = flag.Bool("table2", false, "print Table II (resynthesis results)")
+	trace      = flag.Bool("trace", false, "print the Fig. 2 iteration trace (the paper's algorithm-level series; for span tracing see -tracefile)")
+	list       = flag.Bool("list", false, "list circuit names")
+	maxQ       = flag.Int("q", 5, "maximum acceptable delay/power increase in percent")
+	seed       = flag.Int64("seed", 1, "random seed for the whole flow")
+	workers    = flag.Int("workers", 0, "fault-classification worker pool size (0 = NumCPU); any value gives identical tables")
+	diffCheck  = flag.Bool("diffcheck", false, "verify every incremental physical re-analysis against a from-scratch recompute (slow; debugging aid)")
+	lintMode   = flag.String("lint", "off", "static-analysis enforcement: off, warn, or strict (strict exits 2 on findings)")
+	dieSpec    = flag.String("die", "", "place into a fixed WxH die instead of the auto floorplan (e.g. 64x64); a circuit that does not fit exits 3")
+	journal    = flag.String("journal", "", "checkpoint the sweep to this journal after every accepted iteration (resume with -resume)")
+	resumePath = flag.String("resume", "", "resume an interrupted sweep from this checkpoint journal (requires the same -circuit, -seed and sweep options)")
+	deadline   = flag.Duration("deadline", 0, "per-stage deadline for fault classification (e.g. 30s); expiry interrupts the run (exit 4)")
+	stopAfter  = flag.Int("stopafter", 0, "stop the sweep after N accepted iterations as a simulated kill (exit 4); with -journal the run is resumable")
+	chaosRate  = flag.Float64("chaospanic", 0, "inject worker panics into this fraction of PODEM searches (chaos harness; tables must not change)")
+	cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile  = flag.String("tracefile", "", "write a Chrome trace_event JSON of every pipeline span to this file (open in chrome://tracing or Perfetto)")
+	metrics    = flag.String("metricsfile", "", "write the metrics-registry snapshot (counters, gauges, histograms, series) as JSON to this file")
+	httpAddr   = flag.String("httpaddr", "", "serve live introspection on this address (/metrics, /spans, /debug/pprof); empty = off")
 )
+
+// Exit codes. Keep in sync with the package comment and README.
+const (
+	exitOK          = 0
+	exitUsage       = 1
+	exitLint        = 2
+	exitConstraint  = 3
+	exitInterrupted = 4
+)
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(exitUsage)
+}
 
 func main() {
 	flag.Parse()
@@ -58,25 +100,83 @@ func main() {
 	}
 	// Usage errors exit before any profiling starts.
 	if !*table1 && !*table2 && !*trace {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2 or -trace (see -help)")
-		os.Exit(2)
+		usageError("nothing to do: pass -table1, -table2 or -trace (see -help)")
 	}
 	if (*table2 || *trace) && !*all && *circuit == "" {
-		fmt.Fprintln(os.Stderr, "pass -circuit <name> or -all")
-		os.Exit(2)
+		usageError("pass -circuit <name> or -all")
+	}
+	if *resumePath != "" && (*all || *circuit == "") {
+		usageError("-resume continues one sweep: pass the journal's -circuit, not -all")
 	}
 
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		switch {
+		case errors.Is(err, resilience.ErrInterrupted):
+			// Only advertise -resume when a checkpoint was actually written:
+			// an interrupt before the sweep's first commit leaves no journal.
+			if *journal != "" {
+				if _, statErr := os.Stat(*journal); statErr == nil {
+					fmt.Fprintf(os.Stderr, "interrupted: committed iterations are journaled in %s; continue with -resume %s\n", *journal, *journal)
+				}
+			}
+			os.Exit(exitInterrupted)
+		case errors.Is(err, lint.ErrFindings):
+			os.Exit(exitLint)
+		case errors.Is(err, place.ErrConstraint):
+			os.Exit(exitConstraint)
+		default:
+			os.Exit(exitUsage)
+		}
 	}
 }
 
+// parseLintMode maps the -lint flag to a flow enforcement mode.
+func parseLintMode(s string) (lint.Mode, error) {
+	switch s {
+	case "off":
+		return lint.ModeOff, nil
+	case "warn":
+		return lint.ModeWarn, nil
+	case "strict":
+		return lint.ModeStrict, nil
+	}
+	return lint.ModeOff, fmt.Errorf("bad -lint mode %q (off, warn, strict)", s)
+}
+
+// parseDie maps the -die WxH flag to a fixed floorplan rectangle.
+func parseDie(s string) (geom.Rect, error) {
+	var w, h int
+	if n, err := fmt.Sscanf(s, "%dx%d", &w, &h); n != 2 || err != nil || w <= 0 || h <= 0 {
+		return geom.Rect{}, fmt.Errorf("bad -die %q (want WxH, e.g. 64x64)", s)
+	}
+	return geom.Rect{X0: 0, Y0: 0, X1: w, Y1: h}, nil
+}
+
 // run holds all the real work so the profile writers, installed as defers,
-// fire on every exit path — including error returns, so a CPU profile is
-// always stopped and flushed, and a heap-profile failure surfaces in the
-// exit code instead of only on stderr.
+// fire on every exit path — including error returns and signal-triggered
+// cancellations, so a CPU profile is always stopped, exports are always
+// flushed, and the debug server always shuts down gracefully.
 func run() (err error) {
+	lmode, err := parseLintMode(*lintMode)
+	if err != nil {
+		return err
+	}
+	var die geom.Rect
+	if *dieSpec != "" {
+		if die, err = parseDie(*dieSpec); err != nil {
+			return err
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the run's context; every stage aborts at its
+	// next deterministic boundary, the journal already holds the last
+	// accepted iteration, and the deferred exporters below still run. A
+	// second signal kills the process the hard way (NotifyContext resets
+	// the handler once the context is done).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *cpuProf != "" {
 		f, cerr := os.Create(*cpuProf)
 		if cerr != nil {
@@ -97,18 +197,19 @@ func run() (err error) {
 	}
 
 	// Observability is opt-in: any of the three flags creates the tracer.
-	// Exports run as defers so a failing run still dumps what it traced;
-	// everything obs-related prints to stderr so table output stays
-	// byte-identical with tracing on or off.
+	// Exports run as defers so a failing or interrupted run still dumps
+	// what it traced; everything obs-related prints to stderr so table
+	// output stays byte-identical with tracing on or off.
 	var tracer *obs.Tracer
 	if *traceFile != "" || *metrics != "" || *httpAddr != "" {
 		tracer = obs.New()
 		if *httpAddr != "" {
-			_, addr, serr := obs.ServeDebug(tracer, *httpAddr)
+			srv, addr, serr := obs.ServeDebug(tracer, *httpAddr)
 			if serr != nil {
 				return fmt.Errorf("httpaddr: %w", serr)
 			}
 			fmt.Fprintf(os.Stderr, "obs: debug server on http://%s (/metrics /spans /debug/pprof)\n", addr)
+			defer shutdownDebugServer(srv)
 		}
 		root := obs.Start(tracer, "dfmresyn/run")
 		defer func() {
@@ -125,13 +226,19 @@ func run() (err error) {
 	env.Workers = *workers
 	env.DiffCheck = *diffCheck
 	env.Obs = tracer
+	env.Ctx = ctx
+	env.StageTimeout = *deadline
+	env.Lint = lmode
+	if *chaosRate > 0 {
+		env.ATPG.InjectPanic = chaos.Panics(*seed, *chaosRate)
+	}
 
 	if *table1 {
 		fmt.Println("TABLE I. CLUSTERED UNDETECTABLE FAULTS")
 		fmt.Println(report.TableIHeader())
 		for _, name := range bench.TableINames {
 			c := bench.MustBuild(name, env.Lib)
-			d, err := env.Analyze(c, geom.Rect{})
+			d, err := env.Analyze(c, die)
 			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -159,14 +266,28 @@ func run() (err error) {
 		// Rtime baseline: one synthesis + physical design + test
 		// generation pass is the original analysis itself.
 		t0 := time.Now()
-		orig, err := env.Analyze(c, geom.Rect{})
+		orig, err := env.Analyze(c, die)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		baseline := time.Since(t0)
 
+		opt := resyn.Options{MaxQ: *maxQ, Journal: *journal, StopAfterCommits: *stopAfter}
 		t1 := time.Now()
-		r, err := resyn.RunFrom(env, orig, resyn.Options{MaxQ: *maxQ})
+		var r *resyn.Result
+		if *resumePath != "" {
+			r, err = resyn.Resume(env, orig, *resumePath, opt)
+		} else {
+			r, err = resyn.RunFrom(env, orig, opt)
+		}
+		if r != nil {
+			// The resilience row is diagnostic (stderr): what the run
+			// survived must never change what it prints (stdout).
+			fmt.Fprintln(os.Stderr, report.ResilienceRow(name,
+				orig.Result.Recovered+r.Recovered,
+				len(orig.Result.Quarantined)+r.Quarantined,
+				r.Cache.Corrupt, r.ReplayedCommits))
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -192,6 +313,16 @@ func run() (err error) {
 		fmt.Println(avg.Row())
 	}
 	return nil
+}
+
+// shutdownDebugServer drains the introspection server's in-flight requests
+// with a bounded grace period before the process exits.
+func shutdownDebugServer(srv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: debug server shutdown: %v\n", err)
+	}
 }
 
 // writeObsExports dumps the tracer's Chrome trace and metrics snapshot to

@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"dfmresyn/internal/fault"
@@ -10,6 +12,7 @@ import (
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
+	"dfmresyn/internal/resilience"
 )
 
 // Config controls the test-generation run.
@@ -41,6 +44,19 @@ type Config struct {
 	// Tracing never alters classification: results are byte-identical with
 	// Obs nil or set, and the nil path costs no allocations.
 	Obs *obs.Tracer
+	// Ctx, when non-nil, cancels the run cooperatively. Cancellation is
+	// observed only at deterministic boundaries — between cache-replay and
+	// random blocks, and between PODEM batches (an in-flight batch is
+	// discarded whole, never half-merged) — so the resolved set of a
+	// cancelled run is always a consistent prefix of the engine's merge
+	// sequence. A nil Ctx never cancels.
+	Ctx context.Context
+	// InjectPanic, when non-nil, is the chaos hook: it is consulted before
+	// every PODEM search with the fault's ID and the attempt number (0 for
+	// the first search, 1 for the post-panic retry) and a true return
+	// panics the worker. Production runs leave it nil; internal/chaos
+	// provides deterministic seed-driven implementations.
+	InjectPanic func(faultID, attempt int) bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -63,6 +79,23 @@ type Result struct {
 	// replaying cached witness vectors).
 	CacheLookups int
 	CacheHits    int
+	// Recovered counts worker panics the engine absorbed: each one was
+	// retried on a fresh generator (and usually succeeded — see
+	// Quarantined for the ones that did not).
+	Recovered int
+	// Quarantined lists the IDs of faults whose search panicked twice —
+	// once on a pooled worker and once more on a fresh retry generator.
+	// They are marked Aborted instead of crashing the process, in
+	// fault-list order.
+	Quarantined []int
+	// Cancelled reports that Config.Ctx was cancelled before the run
+	// completed. Statuses already assigned are final and consistent;
+	// Resolved lists exactly which faults they cover.
+	Cancelled bool
+	// Resolved, populated only on cancellation, lists the IDs of every
+	// fault with a final status (Detected, Undetectable or Aborted) at the
+	// abort boundary, in fault-list order.
+	Resolved []int
 }
 
 // podemBatch is the number of faults classified concurrently between merge
@@ -85,8 +118,10 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		cfg.BacktrackLimit = 12000
 	}
 	workers := par.Count(cfg.Workers)
+	ctx := cfg.Ctx
 	pool := faultsim.NewPool(c, workers)
 	pool.Instrument(cfg.Obs)
+	pool.Bind(ctx)
 	order := pool.Engine(0).Circuit().Levelize()
 	levels := c.Levels()
 	npi := len(c.PIs)
@@ -198,7 +233,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 				}
 			}
 		}
-		for start := 0; start < len(seeds); start += 64 {
+		for start := 0; start < len(seeds) && !resilience.Done(ctx); start += 64 {
 			end := start + 64
 			if end > len(seeds) {
 				end = len(seeds)
@@ -214,7 +249,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	// that are first to detect at least one fault. The shared rng draws the
 	// same candidate vectors for every worker count and cache state.
 	spRandom := obs.Start(cfg.Obs, "atpg/random", obs.Int("blocks", cfg.RandomBlocks))
-	for blk := 0; blk < cfg.RandomBlocks; blk++ {
+	for blk := 0; blk < cfg.RandomBlocks && !resilience.Done(ctx); blk++ {
 		if npi == 0 {
 			break
 		}
@@ -247,7 +282,28 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		bt  int // PODEM backtracks spent on this fault's searches
 	}
 	outcomes := make([]outcomeRec, podemBatch)
+	quar := make([]bool, podemBatch)
 	batch := make([]int, 0, podemBatch)
+	// search runs one fault's PODEM search under the quarantine contract:
+	// the worker's pooled generator is taken (nilled out) for the duration
+	// and handed back only on clean return, so a panic mid-search strands
+	// the possibly-corrupted generator instead of the next fault inheriting
+	// it. Outcomes are identical whether a pooled or fresh generator runs
+	// the search — a Generator carries no cross-fault state — which is why
+	// the post-panic retry below reproduces the uninjured run exactly.
+	search := func(g *Generator, j, attempt int) *Generator {
+		f := l.Faults[batch[j]]
+		if cfg.InjectPanic != nil && cfg.InjectPanic(f.ID, attempt) {
+			panic(fmt.Sprintf("chaos: injected worker panic on fault %d (attempt %d)", f.ID, attempt))
+		}
+		frng := rand.New(rand.NewSource(faultSeed(cfg.Seed, f.ID)))
+		bt0 := g.Backtracks()
+		out, tv := g.Generate(f, frng)
+		outcomes[j] = outcomeRec{out, tv, g.Backtracks() - bt0}
+		return g
+	}
+	cRecovered := cfg.Obs.Counter("atpg/worker_panics_recovered")
+	cQuarantined := cfg.Obs.Counter("atpg/faults_quarantined")
 	cursor := 0
 	for cursor < len(remaining) {
 		batch = batch[:0]
@@ -261,17 +317,44 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		if len(batch) == 0 {
 			break
 		}
-		par.Each(len(batch), workers, 1, func(w, j int) {
-			if gens[w] == nil {
-				gens[w] = NewGenerator(c, order, levels, cfg.BacktrackLimit)
+		for j := range quar {
+			quar[j] = false
+		}
+		rep := par.EachGuard(ctx, len(batch), workers, 1, func(w, j int) {
+			g := gens[w]
+			gens[w] = nil
+			if g == nil {
+				g = NewGenerator(c, order, levels, cfg.BacktrackLimit)
 			}
-			f := l.Faults[batch[j]]
-			frng := rand.New(rand.NewSource(faultSeed(cfg.Seed, f.ID)))
-			bt0 := gens[w].Backtracks()
-			out, tv := gens[w].Generate(f, frng)
-			outcomes[j] = outcomeRec{out, tv, gens[w].Backtracks() - bt0}
+			gens[w] = search(g, j, 0)
+		}, func(j int) {
+			// Retry once on a brand-new generator; a second panic
+			// quarantines the fault (EachGuard recovers it too).
+			search(NewGenerator(c, order, levels, cfg.BacktrackLimit), j, 1)
 		})
+		if rep.Err != nil {
+			// Cancelled mid-batch: discard the whole batch unmerged, so the
+			// resolved set stays a batch-prefix of the merge sequence.
+			break
+		}
+		res.Recovered += rep.Recovered
+		cRecovered.Add(int64(rep.Recovered))
+		for _, j := range rep.Quarantined {
+			quar[j] = true
+		}
 		for j, i := range batch {
+			if quar[j] {
+				// Both attempts panicked: outcomes[j] is stale garbage.
+				// Quarantine the fault as Aborted — an honest "the engine
+				// could not finish this search" — instead of dying.
+				f := l.Faults[i]
+				if unclassified(f) {
+					f.Status = fault.Aborted
+					res.Quarantined = append(res.Quarantined, f.ID)
+					cQuarantined.Inc()
+				}
+				continue
+			}
 			// Engine-cost telemetry is recorded for every search run, even
 			// ones whose outcome a collateral drop discards — the cost was
 			// paid either way. The sequential merge keeps counter values
@@ -320,11 +403,17 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		}
 	}
 
+	spPodem.Annotate(obs.Int("recovered", res.Recovered),
+		obs.Int("quarantined", len(res.Quarantined)))
 	spPodem.End()
 
 	// Phase 3: reverse-order compaction — keep only tests that are first
-	// to detect some fault when simulating in reverse order.
-	if !cfg.NoCompact && len(tests) > 0 {
+	// to detect some fault when simulating in reverse order. A run already
+	// cancelled skips it (compaction of a partial test set is meaningless);
+	// a cancellation arriving *during* it is caught by the finalize below,
+	// which marks the whole run cancelled so the half-compacted set is
+	// discarded by the caller rather than reported as complete.
+	if !cfg.NoCompact && len(tests) > 0 && !resilience.Done(ctx) {
 		spCompact := obs.Start(cfg.Obs, "atpg/compact", obs.Int("tests", len(tests)))
 		rev := make([]faultsim.Test, len(tests))
 		for i, t := range tests {
@@ -342,10 +431,26 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		spCompact.End()
 	}
 
+	// Cancellation finalize: whatever phase the cancel landed in, the run
+	// reports Cancelled plus exactly which fault IDs carry a final verdict
+	// at the abort boundary. Statuses are only ever written in sequential
+	// merge code, so this set is a consistent prefix of the merge sequence.
+	if resilience.Done(ctx) {
+		res.Cancelled = true
+		for _, f := range l.Faults {
+			if f.Status != fault.Untried {
+				res.Resolved = append(res.Resolved, f.ID)
+			}
+		}
+		cfg.Obs.Counter("atpg/cancelled_runs").Inc()
+	}
+
 	// Epilogue: publish verdicts. Stores run sequentially in fault-ID
 	// order with first-write-wins semantics, so the cache content is as
-	// deterministic as the run itself. Aborted verdicts are never cached.
-	if cfg.Cache != nil {
+	// deterministic as the run itself. Aborted verdicts are never cached,
+	// and a cancelled run publishes nothing — the cache content stays a
+	// function of completed runs only.
+	if cfg.Cache != nil && !res.Cancelled {
 		for i, f := range l.Faults {
 			if keys[i].Zero() {
 				continue

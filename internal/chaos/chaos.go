@@ -1,0 +1,77 @@
+// Package chaos is the deterministic fault-injection harness for the
+// pipeline's own execution: it damages the run, not the circuit. Every
+// injector is a pure function of a seed and its inputs, so a chaos run is
+// exactly reproducible — the tests that drive the harness assert that the
+// pipeline under injected worker panics and cache corruption produces the
+// same tables as an undisturbed run, and reproducibility is what turns
+// "it survived once" into a regression gate.
+//
+// Three failure classes are covered, matching DESIGN.md §12:
+//
+//   - worker panics: Panics/StubbornPanics plug into
+//     atpg.Config.InjectPanic and fire inside PODEM searches, exercising
+//     the par.EachGuard recover → retry → quarantine ladder;
+//   - cache corruption: CorruptCache flips verdict bits and bumps entry
+//     versions in an fcache.Cache, exercising the checksum degrade-to-
+//     recompute path;
+//   - process death: the simulated SIGKILL between accepted iterations is
+//     resyn.Options.StopAfterCommits, which stops the sweep at the exact
+//     boundary a kill-and-resume differential needs; chaos only documents
+//     it here because it lives where the commit loop lives.
+package chaos
+
+import (
+	"dfmresyn/internal/fcache"
+)
+
+// mix64 is the splitmix64 finalizer — the same cheap bijection the fcache
+// cone hash uses, duplicated here so the harness stays dependency-light.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hit reports whether the seeded hash of id selects it at the given rate.
+// The top 53 bits become a uniform float in [0,1), so rate is an expected
+// fraction, and the selected set is a pure function of (seed, id, rate).
+func hit(seed int64, id int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := mix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(id)*0x2545f4914f6cdd1d + 0x632be59bd9b4e019)
+	return float64(h>>11)/float64(1<<53) < rate
+}
+
+// Panics returns an atpg.Config.InjectPanic hook that panics the first
+// PODEM search of a seed-selected ~rate fraction of faults and never the
+// retry: every injected panic must be absorbed by the recover-and-retry
+// ladder, so a run under Panics completes with Recovered > 0, an empty
+// quarantine, and byte-identical tables.
+func Panics(seed int64, rate float64) func(faultID, attempt int) bool {
+	return func(faultID, attempt int) bool {
+		return attempt == 0 && hit(seed, faultID, rate)
+	}
+}
+
+// StubbornPanics panics both the first search and the retry of the
+// selected faults, driving them into quarantine: the run must still
+// complete, with the selected faults reported in Result.Quarantined and
+// marked Aborted instead of crashing the process.
+func StubbornPanics(seed int64, rate float64) func(faultID, attempt int) bool {
+	return func(faultID, attempt int) bool {
+		return hit(seed, faultID, rate)
+	}
+}
+
+// CorruptCache deterministically damages ~rate of the entries in a warm
+// verdict cache — half by flipping a bit in the stored verdict (checksum
+// mismatch), half by bumping the entry's schema version — and returns how
+// many entries were hit. The integrity check must turn every damaged
+// entry into a recompute-and-warn, never a differing verdict.
+func CorruptCache(c *fcache.Cache, seed int64, rate float64) int {
+	return c.Tamper(seed, rate)
+}

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"testing"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/fcache"
+)
+
+// TestInjectorsDeterministic: the selected set is a pure function of the
+// seed — same seed, same picks; different seed, (almost surely) different
+// picks.
+func TestInjectorsDeterministic(t *testing.T) {
+	a, b, c := Panics(7, 0.1), Panics(7, 0.1), Panics(8, 0.1)
+	same, diff := true, false
+	for id := 0; id < 4096; id++ {
+		if a(id, 0) != b(id, 0) {
+			same = false
+		}
+		if a(id, 0) != c(id, 0) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed selected different faults")
+	}
+	if !diff {
+		t.Error("different seeds selected identical faults over 4096 ids")
+	}
+}
+
+// TestPanicsSpareRetry: Panics never fires on the retry attempt;
+// StubbornPanics fires on both for the same selected set.
+func TestPanicsSpareRetry(t *testing.T) {
+	p, s := Panics(3, 0.2), StubbornPanics(3, 0.2)
+	fired := 0
+	for id := 0; id < 4096; id++ {
+		if p(id, 1) {
+			t.Fatalf("Panics fired on retry of fault %d", id)
+		}
+		if p(id, 0) != s(id, 0) || s(id, 0) != s(id, 1) {
+			t.Fatalf("selection disagrees between injectors for fault %d", id)
+		}
+		if p(id, 0) {
+			fired++
+		}
+	}
+	// ~20% of 4096; allow generous slack, this is a sanity band not a
+	// statistical test.
+	if fired < 600 || fired > 1100 {
+		t.Errorf("rate 0.2 selected %d/4096 faults, outside sanity band", fired)
+	}
+}
+
+// TestCorruptCache: damaged entries are counted and every one degrades to
+// a lookup miss (recompute), never a served verdict.
+func TestCorruptCache(t *testing.T) {
+	c := fcache.New()
+	var keys []fcache.Key
+	for i := 0; i < 64; i++ {
+		k := fcache.Key{uint64(i + 1), uint64(i + 101)}
+		keys = append(keys, k)
+		c.Store(k, fcache.Entry{Status: fault.Detected, Vec: []uint8{1, 0, 1}})
+	}
+	n := CorruptCache(c, 42, 1.0)
+	if n != 64 {
+		t.Fatalf("rate 1.0 damaged %d/64 entries", n)
+	}
+	for _, k := range keys {
+		if _, ok := c.Lookup(k); ok {
+			t.Fatal("damaged entry served a verdict")
+		}
+	}
+	if got := c.Stats().Corrupt; got != 64 {
+		t.Errorf("Stats().Corrupt = %d, want 64", got)
+	}
+}

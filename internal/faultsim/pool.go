@@ -1,11 +1,14 @@
 package faultsim
 
 import (
+	"context"
+
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/logic"
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
+	"dfmresyn/internal/resilience"
 )
 
 // Pool shards fault simulation over per-worker engines. An Engine's scratch
@@ -24,7 +27,17 @@ type Pool struct {
 	// no-op, so the hot path pays one pointer check).
 	cBlocks  *obs.Counter
 	cDetects *obs.Counter
+
+	// ctx, when bound, cancels the pool's multi-block loops (RunAll,
+	// DetectedBy) cooperatively at block boundaries. nil never cancels.
+	ctx context.Context
 }
+
+// Bind attaches a cancellation context to the pool. RunAll and DetectedBy
+// stop at the next 64-test block boundary once ctx is cancelled and return
+// their partial bookkeeping; callers that observe cancellation must treat
+// those results as a consistent prefix, not a completed pass.
+func (p *Pool) Bind(ctx context.Context) { p.ctx = ctx }
 
 // Instrument routes the pool's simulation-volume telemetry — good-circuit
 // blocks simulated and per-fault detection words computed — into the
@@ -84,7 +97,7 @@ func (p *Pool) RunAll(l *fault.List, tests []Test) int {
 		}
 	}
 	det := make([]logic.Word, len(active))
-	for start := 0; start < len(tests) && len(active) > 0; start += 64 {
+	for start := 0; start < len(tests) && len(active) > 0 && !resilience.Done(p.ctx); start += 64 {
 		end := start + 64
 		if end > len(tests) {
 			end = len(tests)
@@ -119,7 +132,7 @@ func (p *Pool) DetectedBy(l *fault.List, tests []Test) []int {
 		}
 	}
 	det := make([]logic.Word, len(active))
-	for start := 0; start < len(tests) && len(active) > 0; start += 64 {
+	for start := 0; start < len(tests) && len(active) > 0 && !resilience.Done(p.ctx); start += 64 {
 		end := start + 64
 		if end > len(tests) {
 			end = len(tests)

@@ -23,9 +23,12 @@
 package fcache
 
 import (
+	"hash/crc32"
+	"sort"
 	"sync"
 
 	"dfmresyn/internal/fault"
+	"dfmresyn/internal/obs"
 )
 
 // Key is a 128-bit structural cone hash. The zero Key is never produced by
@@ -50,11 +53,22 @@ type Entry struct {
 // of the store sequence.
 const DefaultLimit = 1 << 20
 
+// EntryVersion stamps every stored entry with the verdict-encoding schema
+// of the writer. Lookup treats an entry under any other version exactly
+// like a corrupt one: the entry is dropped and the lookup misses, so the
+// fault re-enters PODEM instead of trusting a verdict this build cannot
+// interpret.
+const EntryVersion = 1
+
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
 	Lookups uint64
 	Hits    uint64
 	Stores  uint64
+	// Corrupt counts entries dropped by the integrity check: a checksum
+	// mismatch or an EntryVersion the reader does not speak. Each such
+	// entry cost one recompute and can never have produced a verdict.
+	Corrupt uint64
 	Entries int
 }
 
@@ -66,22 +80,36 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
+// slot is the stored form of an entry: the verdict plus the integrity
+// metadata Lookup verifies before releasing it — the writer's schema
+// version and a CRC-32 of the verdict's content.
+type slot struct {
+	e   Entry
+	ver uint16
+	sum uint32
+}
+
 // Cache is a concurrency-safe fault-verdict cache. A single Cache is meant
 // to live for a whole resynthesis run and be shared by every ATPG invocation
 // in the q-sweep (including the pre-physical-design screens).
 type Cache struct {
 	mu      sync.Mutex
-	entries map[Key]Entry
+	entries map[Key]slot
 	limit   int
 
 	lookups uint64
 	hits    uint64
 	stores  uint64
+	corrupt uint64
+
+	// cCorrupt mirrors integrity drops into the run's metrics registry
+	// when the cache is instrumented (nil no-ops otherwise).
+	cCorrupt *obs.Counter
 }
 
 // New creates an empty cache with DefaultLimit capacity.
 func New() *Cache {
-	return &Cache{entries: make(map[Key]Entry), limit: DefaultLimit}
+	return &Cache{entries: make(map[Key]slot), limit: DefaultLimit}
 }
 
 // NewWithLimit creates an empty cache holding at most limit entries
@@ -90,10 +118,37 @@ func NewWithLimit(limit int) *Cache {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	return &Cache{entries: make(map[Key]Entry), limit: limit}
+	return &Cache{entries: make(map[Key]slot), limit: limit}
 }
 
-// Lookup returns the entry for k, if present. Zero keys never match.
+// Instrument routes the cache's integrity-drop count into the tracer's
+// registry as fcache/corrupt_dropped. A nil tracer uninstruments.
+func (c *Cache) Instrument(tr *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cCorrupt = tr.Counter("fcache/corrupt_dropped")
+}
+
+// checksum covers everything a verdict means: status, the presence and
+// content of the two-pattern init vector, and the witness vector. A bit
+// flip anywhere in a stored entry changes it.
+func checksum(e Entry) uint32 {
+	var hdr [2]byte
+	hdr[0] = byte(e.Status)
+	if e.Init != nil {
+		hdr[1] = 1
+	}
+	sum := crc32.ChecksumIEEE(hdr[:])
+	sum = crc32.Update(sum, crc32.IEEETable, e.Init)
+	sum = crc32.Update(sum, crc32.IEEETable, e.Vec)
+	return sum
+}
+
+// Lookup returns the entry for k, if present and intact. Zero keys never
+// match. An entry that fails the integrity check — stored under a different
+// EntryVersion, or whose content no longer matches its checksum — is
+// deleted and the lookup misses: the caller recomputes the verdict, which
+// is always sound, instead of trusting damaged bytes, which never is.
 func (c *Cache) Lookup(k Key) (Entry, bool) {
 	if k.Zero() {
 		return Entry{}, false
@@ -101,11 +156,18 @@ func (c *Cache) Lookup(k Key) (Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lookups++
-	e, ok := c.entries[k]
-	if ok {
-		c.hits++
+	s, ok := c.entries[k]
+	if !ok {
+		return Entry{}, false
 	}
-	return e, ok
+	if s.ver != EntryVersion || s.sum != checksum(s.e) {
+		delete(c.entries, k)
+		c.corrupt++
+		c.cCorrupt.Inc()
+		return Entry{}, false
+	}
+	c.hits++
+	return s.e, true
 }
 
 // Store records a verdict for k. The first store for a key wins — later
@@ -134,8 +196,50 @@ func (c *Cache) Store(k Key, e Entry) {
 	if e.Vec != nil {
 		e.Vec = append([]uint8(nil), e.Vec...)
 	}
-	c.entries[k] = e
+	c.entries[k] = slot{e: e, ver: EntryVersion, sum: checksum(e)}
 	c.stores++
+}
+
+// Tamper deterministically damages a fraction of the cached entries, for
+// chaos testing: entries are visited in sorted key order and a seeded hash
+// selects victims, so the damaged set is a pure function of (cache content,
+// seed, rate). Odd-hashed victims get one bit flipped in their stored
+// verdict content (checksum mismatch); even-hashed victims get their entry
+// version bumped (version mismatch). Returns how many entries were damaged.
+// The integrity check must turn every one of them into a recompute.
+func (c *Cache) Tamper(seed int64, rate float64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]Key, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	damaged := 0
+	for _, k := range keys {
+		h := mix64(uint64(seed) ^ k[0] ^ (k[1] << 1))
+		if float64(h>>11)/float64(1<<53) >= rate {
+			continue
+		}
+		s := c.entries[k]
+		if h&1 == 1 {
+			if len(s.e.Vec) > 0 {
+				s.e.Vec[0] ^= 0x01
+			} else {
+				s.e.Status ^= 0x7f
+			}
+		} else {
+			s.ver++
+		}
+		c.entries[k] = s
+		damaged++
+	}
+	return damaged
 }
 
 // Len returns the number of cached entries.
@@ -149,5 +253,5 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Lookups: c.lookups, Hits: c.hits, Stores: c.stores, Entries: len(c.entries)}
+	return Stats{Lookups: c.lookups, Hits: c.hits, Stores: c.stores, Corrupt: c.corrupt, Entries: len(c.entries)}
 }

@@ -1,0 +1,88 @@
+package fcache
+
+import (
+	"testing"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/obs"
+)
+
+// TestLookupDropsChecksumMismatch: a content bit flip in a stored entry
+// turns the next lookup into a counted miss that deletes the entry — the
+// caller recomputes; the damaged verdict is never served.
+func TestLookupDropsChecksumMismatch(t *testing.T) {
+	c := New()
+	k := Key{1, 2}
+	c.Store(k, Entry{Status: fault.Detected, Vec: []uint8{1, 0, 1}})
+	s := c.entries[k]
+	s.e.Vec[1] ^= 1
+	c.entries[k] = s
+
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("flipped entry served a verdict")
+	}
+	if got := c.Stats().Corrupt; got != 1 {
+		t.Errorf("Corrupt = %d, want 1", got)
+	}
+	if c.Len() != 0 {
+		t.Error("damaged entry not deleted")
+	}
+	// The slot is free again: a recomputed verdict stores and serves.
+	c.Store(k, Entry{Status: fault.Undetectable})
+	if e, ok := c.Lookup(k); !ok || e.Status != fault.Undetectable {
+		t.Error("recomputed verdict not served after the drop")
+	}
+}
+
+// TestLookupDropsVersionMismatch: an entry written under a different
+// EntryVersion is dropped the same way, so a schema bump can never
+// reinterpret old bytes as a verdict.
+func TestLookupDropsVersionMismatch(t *testing.T) {
+	c := New()
+	tr := obs.New()
+	c.Instrument(tr)
+	k := Key{3, 4}
+	c.Store(k, Entry{Status: fault.Detected, Vec: []uint8{1}})
+	s := c.entries[k]
+	s.ver++
+	c.entries[k] = s
+
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("version-bumped entry served a verdict")
+	}
+	if got := c.Stats().Corrupt; got != 1 {
+		t.Errorf("Corrupt = %d, want 1", got)
+	}
+	if got := tr.Counter("fcache/corrupt_dropped").Get(); got != 1 {
+		t.Errorf("instrumented counter = %d, want 1", got)
+	}
+}
+
+// TestTamperDeterministic: the damaged set is a pure function of (content,
+// seed, rate) — two identically-built caches tampered with the same seed
+// drop exactly the same entries.
+func TestTamperDeterministic(t *testing.T) {
+	build := func() *Cache {
+		c := New()
+		for i := 0; i < 128; i++ {
+			c.Store(Key{uint64(i + 1), uint64(2*i + 1)}, Entry{Status: fault.Detected, Vec: []uint8{uint8(i), 1}})
+		}
+		return c
+	}
+	a, b := build(), build()
+	na, nb := a.Tamper(7, 0.3), b.Tamper(7, 0.3)
+	if na != nb || na == 0 || na == 128 {
+		t.Fatalf("tamper damaged %d vs %d entries (want equal, partial)", na, nb)
+	}
+	for i := 0; i < 128; i++ {
+		k := Key{uint64(i + 1), uint64(2*i + 1)}
+		_, oka := a.Lookup(k)
+		_, okb := b.Lookup(k)
+		if oka != okb {
+			t.Fatalf("entry %v survived in one cache and not the other", k)
+		}
+	}
+	if ca, cb := a.Stats().Corrupt, b.Stats().Corrupt; ca != cb || int(ca) != na {
+		t.Errorf("Corrupt counters %d/%d disagree with %d damaged", ca, cb, na)
+	}
+}

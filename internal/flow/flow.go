@@ -7,6 +7,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"dfmresyn/internal/obs"
 	"dfmresyn/internal/place"
 	"dfmresyn/internal/power"
+	"dfmresyn/internal/resilience"
 	"dfmresyn/internal/route"
 	"dfmresyn/internal/sta"
 	"dfmresyn/internal/synth"
@@ -68,6 +70,18 @@ type Env struct {
 	// attribution. nil is a zero-overhead no-op; tracing never changes any
 	// analysis result.
 	Obs *obs.Tracer
+	// Ctx, when non-nil, cancels every analysis this environment runs.
+	// Cancellation is cooperative and only observed at deterministic
+	// boundaries (between pipeline stages, between ATPG batches); a
+	// cancelled analysis returns an error wrapping resilience.ErrInterrupted
+	// and never a partially-classified Design. nil never cancels.
+	Ctx context.Context
+	// StageTimeout, when positive, bounds the wall time of each fault-
+	// classification stage (the pipeline's only unbounded-search stage) by
+	// deriving a per-stage deadline from Ctx. The deterministic per-fault
+	// budget remains ATPG.BacktrackLimit; the deadline is the backstop for
+	// a wedged stage, and expiry aborts the analysis like a cancellation.
+	StageTimeout time.Duration
 }
 
 // IncrStats summarizes what an AnalyzeIncremental call reused from the
@@ -82,12 +96,17 @@ type IncrStats struct {
 }
 
 // atpgConfig resolves the effective test-generation configuration: the
-// environment's ATPG settings plus the worker-pool and cache plumbing.
+// environment's ATPG settings plus the worker-pool, cache, cancellation and
+// tracing plumbing.
 func (e *Env) atpgConfig() atpg.Config {
 	cfg := e.ATPG
 	cfg.Workers = e.Workers
 	cfg.Cache = e.FaultCache
 	cfg.Obs = e.Obs
+	cfg.Ctx = e.Ctx
+	if e.FaultCache != nil {
+		e.FaultCache.Instrument(e.Obs)
+	}
 	return cfg
 }
 
@@ -163,15 +182,33 @@ func (e *Env) analyzeFaults(d *Design) error {
 
 // classifyFaults runs test generation over an already-built fault universe
 // (through the worker pool and verdict cache, when configured), clusters
-// the undetectable faults, and lints the result.
+// the undetectable faults, and lints the result. With Env.StageTimeout set,
+// the stage runs under its own deadline derived from Env.Ctx; expiry or
+// cancellation aborts the analysis with resilience.ErrInterrupted and the
+// partially-classified Design is never returned to the caller.
 func (e *Env) classifyFaults(d *Design) error {
 	sp := obs.Start(e.Obs, "flow/atpg", obs.Int("faults", d.Faults.Len()))
+	cfg := e.atpgConfig()
+	if e.StageTimeout > 0 {
+		base := e.Ctx
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(base, e.StageTimeout)
+		defer cancel()
+		cfg.Ctx = ctx
+	}
 	t0 := time.Now()
-	d.Result = atpg.Run(d.C, d.Faults, e.atpgConfig())
+	d.Result = atpg.Run(d.C, d.Faults, cfg)
 	d.ATPGTime = time.Since(t0)
 	sp.Annotate(obs.Int("tests", len(d.Result.Tests)),
 		obs.Int("undetectable", d.Result.Undetectable))
 	sp.End()
+	if d.Result.Cancelled {
+		e.Obs.Counter("flow/cancelled_analyses").Inc()
+		return fmt.Errorf("flow: atpg stage cancelled with %d/%d faults resolved: %w",
+			len(d.Result.Resolved), d.Faults.Len(), resilience.ErrInterrupted)
+	}
 	spc := obs.Start(e.Obs, "flow/cluster")
 	d.Clusters = cluster.Build(d.Faults.UndetectableFaults())
 	spc.End()
@@ -187,6 +224,9 @@ func (e *Env) classifyFaults(d *Design) error {
 func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	sp := obs.Start(e.Obs, "flow/analyze", obs.Int("gates", len(c.Gates)))
 	defer sp.End()
+	if err := resilience.Err(e.Ctx); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
 	e.Obs.Counter("flow/analyses").Inc()
 	d, err := e.PhysicalOnly(c, die)
 	if err != nil {
@@ -196,6 +236,32 @@ func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// VerifyFaults re-runs fault classification on an already-analyzed design
+// with the verdict cache bypassed, sharing the physical results (placement,
+// routing, timing, power) untouched. The returned design's test set and
+// detected/aborted split are a pure function of the circuit and the ATPG
+// seed — not of whatever cache history the caller's sweep accumulated —
+// which is what makes a resumed run's signoff row byte-identical to the
+// uninterrupted run's. The undetectable set (and hence the clusters) is
+// cache-sound either way, so U and S_max cannot move.
+func (e *Env) VerifyFaults(d *Design) (*Design, error) {
+	sp := obs.Start(e.Obs, "flow/verify_faults", obs.Int("gates", len(d.C.Gates)))
+	defer sp.End()
+	if err := resilience.Err(e.Ctx); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	e.Obs.Counter("flow/verify_faults").Inc()
+	nd := *d
+	cache := e.FaultCache
+	e.FaultCache = nil
+	err := e.analyzeFaults(&nd)
+	e.FaultCache = cache
+	if err != nil {
+		return nil, err
+	}
+	return &nd, nil
 }
 
 // AnalyzeIncremental is Analyze with ECO-style physical re-analysis: gates
@@ -213,6 +279,9 @@ func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, error) {
 	spAll := obs.Start(e.Obs, "flow/analyze_incr", obs.Int("gates", len(c.Gates)))
 	defer spAll.End()
+	if err := resilience.Err(e.Ctx); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
 	e.Obs.Counter("flow/incremental_analyses").Inc()
 	// Canonicalize the rebuilt circuit's net/gate order against the
 	// previous one: kept nets keep their relative order, which is the
@@ -284,6 +353,9 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 // PhysicalOnly performs placement, routing, timing and power analysis
 // without fault analysis (used for constraint checks during backtracking).
 func (e *Env) PhysicalOnly(c *netlist.Circuit, die geom.Rect) (*Design, error) {
+	if err := resilience.Err(e.Ctx); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
 	spPlace := obs.Start(e.Obs, "flow/place", obs.Int("gates", len(c.Gates)))
 	var p *place.Placement
 	var err error
@@ -333,7 +405,10 @@ func (e *Env) InternalFaultList(c *netlist.Circuit) *fault.List {
 
 // UndetectableInternal counts the proven-undetectable internal faults of a
 // netlist — the pre-physical-design screen the paper uses to decide whether
-// PDesign() is worth calling.
+// PDesign() is worth calling. Under a cancelled Env.Ctx the count is a
+// partial lower bound; callers that observe cancellation must discard it
+// (resyn does: the screen's result only ever gates an analysis that would
+// itself fail with ErrInterrupted).
 func (e *Env) UndetectableInternal(c *netlist.Circuit) int {
 	sp := obs.Start(e.Obs, "flow/uint_screen")
 	defer sp.End()

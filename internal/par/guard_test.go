@@ -1,0 +1,136 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dfmresyn/internal/resilience"
+)
+
+// TestEachGuardMatchesEach: with no panics and no cancellation, EachGuard
+// visits exactly the indices Each visits, once each, and reports nothing.
+func TestEachGuardMatchesEach(t *testing.T) {
+	for _, workers := range []int{1, 4, 9} {
+		const n = 257
+		var visits [n]int32
+		rep := EachGuard(nil, n, workers, 8, func(_, i int) {
+			atomic.AddInt32(&visits[i], 1)
+		}, nil)
+		if rep.Err != nil || rep.Recovered != 0 || len(rep.Quarantined) != 0 {
+			t.Fatalf("workers=%d: clean run reported %+v", workers, rep)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestEachGuardRecoversOnRetry: items that panic on the first attempt but
+// succeed on the retry are counted as Recovered, their result slot is
+// written by the retry, and nothing is quarantined.
+func TestEachGuardRecoversOnRetry(t *testing.T) {
+	const n = 100
+	var done [n]int32
+	bad := map[int]bool{3: true, 41: true, 97: true}
+	var retried []int
+	rep := EachGuard(nil, n, 4, 4, func(_, i int) {
+		if bad[i] {
+			panic(fmt.Sprintf("injected %d", i))
+		}
+		atomic.AddInt32(&done[i], 1)
+	}, func(i int) {
+		retried = append(retried, i)
+		atomic.AddInt32(&done[i], 1)
+	})
+	if rep.Recovered != len(bad) {
+		t.Errorf("Recovered = %d, want %d", rep.Recovered, len(bad))
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("quarantined %v despite successful retries", rep.Quarantined)
+	}
+	if fmt.Sprint(retried) != "[3 41 97]" {
+		t.Errorf("retries ran as %v, want ascending [3 41 97]", retried)
+	}
+	for i, v := range done {
+		if v != 1 {
+			t.Errorf("index %d completed %d times", i, v)
+		}
+	}
+}
+
+// TestEachGuardQuarantinesSorted: items that panic on both attempts land in
+// Quarantined in ascending order with their first panic message aligned,
+// regardless of worker count and scheduling.
+func TestEachGuardQuarantinesSorted(t *testing.T) {
+	const n = 200
+	stubborn := map[int]bool{150: true, 7: true, 66: true}
+	for _, workers := range []int{1, 8} {
+		rep := EachGuard(nil, n, workers, 4, func(_, i int) {
+			if stubborn[i] {
+				panic(fmt.Sprintf("stubborn %d", i))
+			}
+		}, func(i int) {
+			if stubborn[i] {
+				panic(fmt.Sprintf("stubborn retry %d", i))
+			}
+		})
+		if fmt.Sprint(rep.Quarantined) != "[7 66 150]" {
+			t.Fatalf("workers=%d: Quarantined = %v, want [7 66 150]", workers, rep.Quarantined)
+		}
+		if len(rep.Panics) != 3 {
+			t.Fatalf("workers=%d: %d panic messages for 3 quarantined", workers, len(rep.Panics))
+		}
+		for j, id := range rep.Quarantined {
+			if want := fmt.Sprintf("stubborn %d", id); rep.Panics[j] != want {
+				t.Errorf("workers=%d: Panics[%d] = %q, want %q", workers, j, rep.Panics[j], want)
+			}
+		}
+		if rep.Recovered != 3 {
+			t.Errorf("workers=%d: Recovered = %d, want 3 (each stubborn item got its one retry)", workers, rep.Recovered)
+		}
+	}
+}
+
+// TestEachGuardCancellation: a cancelled context surfaces as an
+// ErrInterrupted-wrapped report error, skips the retry phase, and stops
+// granting new chunks — both on the sequential and the parallel path.
+func TestEachGuardCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		retried := false
+		rep := EachGuard(ctx, 1000, workers, 4, func(_, i int) {
+			if i == 0 {
+				panic("should have been skipped entirely or left unretried")
+			}
+		}, func(int) { retried = true })
+		if !errors.Is(rep.Err, resilience.ErrInterrupted) {
+			t.Fatalf("workers=%d: Err = %v, want ErrInterrupted", workers, rep.Err)
+		}
+		if retried {
+			t.Errorf("workers=%d: retry phase ran on a cancelled run", workers)
+		}
+	}
+
+	// Mid-run: cancel from inside an item; workers must drain their current
+	// chunk and then stop at the next chunk grab instead of covering all n.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var visited int64
+	var once sync.Once
+	rep := EachGuard(ctx2, 100000, 4, 16, func(_, i int) {
+		atomic.AddInt64(&visited, 1)
+		once.Do(cancel2)
+	}, nil)
+	if !errors.Is(rep.Err, resilience.ErrInterrupted) {
+		t.Fatalf("mid-run cancel: Err = %v, want ErrInterrupted", rep.Err)
+	}
+	if v := atomic.LoadInt64(&visited); v == 0 || v == 100000 {
+		t.Errorf("mid-run cancel visited %d of 100000 items; want a strict partial prefix of chunks", v)
+	}
+}

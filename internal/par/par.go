@@ -9,9 +9,14 @@
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+
+	"dfmresyn/internal/resilience"
 )
 
 // Count resolves a requested worker count: values <= 0 select
@@ -69,4 +74,129 @@ func Each(n, workers, chunk int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// GuardReport summarizes an EachGuard run: how many worker panics were
+// recovered, which indices panicked twice and were quarantined (ascending),
+// the first panic message per quarantined index (aligned with Quarantined),
+// and the context error if the run was cancelled before completing.
+type GuardReport struct {
+	Recovered   int
+	Quarantined []int
+	Panics      []string
+	Err         error
+}
+
+// EachGuard is Each with panic quarantine and cooperative cancellation, for
+// stages whose per-item work runs third-party-grade search code that must
+// not take the process down. Each fn(worker, i) call runs under its own
+// recover; a panicking item does not disturb the rest of its worker's chunk.
+// After the parallel phase, every panicked index is retried exactly once,
+// sequentially in ascending index order, through retry(i) (or fn(0, i) when
+// retry is nil) — the retry hook exists so the caller can hand the item a
+// fresh scratch state instead of the possibly-corrupted per-worker one. An
+// index whose retry also panics is quarantined, not retried again.
+//
+// Cancellation is checked at chunk-grab boundaries. When ctx is cancelled
+// the report's Err is non-nil, retries are skipped, and the caller must
+// discard the whole run's outputs: some indices may not have been visited.
+// A nil ctx never cancels.
+//
+// Determinism: with no panics and no cancellation, EachGuard is exactly
+// Each. Panic recovery and retries never reorder result slots — fn and
+// retry write to per-index slots as under the Each contract — and the
+// quarantined set is reported sorted, so downstream bookkeeping that
+// consumes it in order is schedule-independent.
+func EachGuard(ctx context.Context, n, workers, chunk int, fn func(worker, i int), retry func(i int)) GuardReport {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	var rep GuardReport
+	var mu sync.Mutex
+	var panicked []int
+	var messages map[int]string
+	note := func(i int, v any) {
+		mu.Lock()
+		panicked = append(panicked, i)
+		if messages == nil {
+			messages = make(map[int]string)
+		}
+		messages[i] = fmt.Sprint(v)
+		mu.Unlock()
+	}
+	guarded := func(worker, i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				note(i, v)
+			}
+		}()
+		fn(worker, i)
+	}
+
+	if workers <= 1 || n <= chunk {
+		for i := 0; i < n; i++ {
+			if resilience.Done(ctx) {
+				rep.Err = resilience.Err(ctx)
+				return rep
+			}
+			guarded(0, i)
+		}
+	} else {
+		if workers > n {
+			workers = n
+		}
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					if resilience.Done(ctx) {
+						return
+					}
+					start := atomic.AddInt64(&next, int64(chunk)) - int64(chunk)
+					if start >= int64(n) {
+						return
+					}
+					end := start + int64(chunk)
+					if end > int64(n) {
+						end = int64(n)
+					}
+					for i := start; i < end; i++ {
+						guarded(worker, int(i))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if resilience.Done(ctx) {
+			rep.Err = resilience.Err(ctx)
+			return rep
+		}
+	}
+
+	// Retry phase: sequential, ascending, one attempt per panicked index.
+	sort.Ints(panicked)
+	for _, i := range panicked {
+		rep.Recovered++
+		again := false
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					again = true
+				}
+			}()
+			if retry != nil {
+				retry(i)
+			} else {
+				fn(0, i)
+			}
+		}()
+		if again {
+			rep.Quarantined = append(rep.Quarantined, i)
+			rep.Panics = append(rep.Panics, messages[i])
+		}
+	}
+	return rep
 }

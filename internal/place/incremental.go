@@ -102,7 +102,7 @@ func PlaceIncremental(c *netlist.Circuit, prev *Placement, seed int64) (*Placeme
 			}
 		}
 		if !placed {
-			return nil, nil, fmt.Errorf("place: incremental placement out of space for %s (area constraint violated)", g.Name)
+			return nil, nil, fmt.Errorf("%w: incremental placement out of space for %s", ErrConstraint, g.Name)
 		}
 	}
 

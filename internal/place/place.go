@@ -8,6 +8,7 @@
 package place
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,6 +16,11 @@ import (
 	"dfmresyn/internal/geom"
 	"dfmresyn/internal/netlist"
 )
+
+// ErrConstraint is the sentinel wrapped by every placement failure caused by
+// the fixed-die-area design constraint (as opposed to an internal error):
+// callers — and the CLI's exit-code mapping — detect it with errors.Is.
+var ErrConstraint = errors.New("place: design constraint violated")
 
 // Placement is the result of placing a circuit.
 type Placement struct {
@@ -93,7 +99,7 @@ func PlaceInDie(c *netlist.Circuit, die geom.Rect, seed int64) (*Placement, erro
 	for _, g := range order {
 		w := p.W[g.ID]
 		if w > die.W() {
-			return nil, fmt.Errorf("place: cell %s wider than die", g.Name)
+			return nil, fmt.Errorf("%w: cell %s wider than die", ErrConstraint, g.Name)
 		}
 		fits := func() bool {
 			if dir > 0 {
@@ -104,7 +110,7 @@ func PlaceInDie(c *netlist.Circuit, die geom.Rect, seed int64) (*Placement, erro
 		if !fits() {
 			row++
 			if row >= p.Rows {
-				return nil, fmt.Errorf("place: circuit does not fit in %dx%d die (area constraint violated)", die.W(), die.H())
+				return nil, fmt.Errorf("%w: circuit does not fit in %dx%d die", ErrConstraint, die.W(), die.H())
 			}
 			dir = -dir
 			if dir > 0 {

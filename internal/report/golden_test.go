@@ -59,6 +59,10 @@ func TestTablesGolden(t *testing.T) {
 	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0) + "\n")
 	b.WriteString(IncrRow("aes_core", 17, 4210, 390) + "\n")
 	b.WriteString(IncrRow("empty", 0, 0, 0) + "\n")
+	b.WriteString(ResilienceRow("aes_core", 12, 1, 3, 5) + "\n")
+	// The quiet run: all-zero counters must still render every field, so
+	// log scrapers get a stable schema.
+	b.WriteString(ResilienceRow("empty", 0, 0, 0, 0) + "\n")
 	var a Averages
 	b.WriteString(a.Row() + "\n")
 	checkGolden(t, "tables.golden", []byte(b.String()))

@@ -79,6 +79,16 @@ func IncrRow(name string, analyses, netsReused, netsRerouted int) string {
 		name, analyses, netsReused, netsRerouted, reuse)
 }
 
+// ResilienceRow renders what a run survived: worker panics recovered by
+// the retry ladder, faults quarantined after a second panic, cache entries
+// dropped by the integrity check, and journal commits replayed by a resume.
+// The row is diagnostic — it goes to stderr in the CLI so that a run under
+// chaos injection keeps byte-identical stdout tables.
+func ResilienceRow(name string, recovered, quarantined int, corrupt uint64, replayed int) string {
+	return fmt.Sprintf("%-12s resil recovered=%-4d quarantined=%-4d cache_dropped=%-4d replayed=%d",
+		name, recovered, quarantined, corrupt, replayed)
+}
+
 // Fig2Trace renders the per-iteration cluster evolution (the series behind
 // Fig. 2): for each accepted iteration, the phase, the excluded cell, and
 // the resulting U and S_max.

@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Journal envelope. A journal is one header line followed by a JSON payload:
+//
+//	dfmresyn-journal v<version> <kind> <payload-bytes> <crc32-ieee-hex>\n
+//	{ ... payload ... }
+//
+// The header carries everything needed to reject a journal without trusting
+// its payload: a magic string (not a journal at all), a schema version (an
+// old or future writer), a kind (the wrong journal fed to the wrong loader),
+// the exact payload length (truncation and trailing garbage), and a CRC-32
+// of the payload (bit flips). Decode checks them in that order and fails
+// with a distinct sentinel per class, so a resume can tell "this file is not
+// what you think it is" apart from "this file is damaged".
+//
+// Writes are atomic: the envelope is written to a temp file in the target
+// directory, synced, and renamed over the destination — a crash mid-write
+// leaves either the previous journal or none, never a torn one.
+
+// journalMagic identifies a dfmresyn journal file.
+const journalMagic = "dfmresyn-journal"
+
+// Journal error classes. All four wrap into loader errors; a loader caller
+// distinguishes them with errors.Is.
+var (
+	// ErrCorrupt reports a journal that is structurally damaged: bad magic,
+	// malformed header, truncated or padded payload, CRC mismatch, or
+	// unparsable JSON.
+	ErrCorrupt = errors.New("resilience: journal corrupt")
+	// ErrVersion reports a structurally sound journal written under a
+	// different schema version.
+	ErrVersion = errors.New("resilience: journal version mismatch")
+	// ErrKind reports a structurally sound journal of a different kind.
+	ErrKind = errors.New("resilience: journal kind mismatch")
+)
+
+// Encode serializes payload into a framed journal of the given kind and
+// schema version. kind must be a single non-empty token (no whitespace).
+func Encode(kind string, version int, payload any) ([]byte, error) {
+	if kind == "" || strings.ContainsAny(kind, " \t\n\r") {
+		return nil, fmt.Errorf("resilience: invalid journal kind %q", kind)
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: encode journal: %w", err)
+	}
+	header := fmt.Sprintf("%s v%d %s %d %08x\n",
+		journalMagic, version, kind, len(body), crc32.ChecksumIEEE(body))
+	return append([]byte(header), body...), nil
+}
+
+// Decode validates a framed journal against the expected kind and version
+// and unmarshals its payload. It never panics on arbitrary input: every
+// malformation maps to ErrCorrupt, ErrKind or ErrVersion.
+func Decode(data []byte, kind string, version int, payload any) error {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return fmt.Errorf("%w: missing header line", ErrCorrupt)
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 5 {
+		return fmt.Errorf("%w: header has %d fields, want 5", ErrCorrupt, len(fields))
+	}
+	if fields[0] != journalMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, fields[0])
+	}
+	ver, err := strconv.Atoi(strings.TrimPrefix(fields[1], "v"))
+	if err != nil || !strings.HasPrefix(fields[1], "v") {
+		return fmt.Errorf("%w: bad version field %q", ErrCorrupt, fields[1])
+	}
+	if fields[2] != kind {
+		return fmt.Errorf("%w: journal is %q, want %q", ErrKind, fields[2], kind)
+	}
+	if ver != version {
+		return fmt.Errorf("%w: journal is v%d, this build reads v%d", ErrVersion, ver, version)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 {
+		return fmt.Errorf("%w: bad length field %q", ErrCorrupt, fields[3])
+	}
+	sum, err := strconv.ParseUint(fields[4], 16, 32)
+	if err != nil {
+		return fmt.Errorf("%w: bad checksum field %q", ErrCorrupt, fields[4])
+	}
+	body := data[nl+1:]
+	if len(body) != n {
+		return fmt.Errorf("%w: payload is %d bytes, header says %d (truncated or padded)", ErrCorrupt, len(body), n)
+	}
+	if got := crc32.ChecksumIEEE(body); got != uint32(sum) {
+		return fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrCorrupt, got, uint32(sum))
+	}
+	if err := json.Unmarshal(body, payload); err != nil {
+		return fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// WriteJournal atomically replaces path with a framed journal: the bytes go
+// to a temp file in path's directory, are fsynced, and renamed into place.
+func WriteJournal(path, kind string, version int, payload any) error {
+	data, err := Encode(kind, version, payload)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resilience: write journal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: write journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: write journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resilience: write journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resilience: write journal: %w", err)
+	}
+	return nil
+}
+
+// LoadJournal reads and decodes the journal at path.
+func LoadJournal(path, kind string, version int, payload any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("resilience: load journal: %w", err)
+	}
+	if err := Decode(data, kind, version, payload); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package resilience is the failure-handling substrate of the pipeline:
+// nil-safe cancellation helpers shared by every stage, the sentinel error
+// that classifies an interrupted run, and a versioned, checksummed journal
+// format used by the resynthesis sweep's checkpoint/resume machinery.
+//
+// The package deliberately contains no policy. What is retried, what is
+// quarantined and what is fatal is decided by the layers that own the work
+// (par, atpg, resyn); resilience only supplies the mechanisms they share,
+// so the failure model documented in DESIGN.md §12 has one vocabulary.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrInterrupted classifies a run stopped by cancellation — a signal, a
+// deadline, or a simulated kill — at a deterministic boundary. Callers that
+// see it hold a consistent partial result: every iteration committed before
+// the interruption is intact and, when journaling is on, durable.
+var ErrInterrupted = errors.New("resilience: interrupted")
+
+// Done reports whether ctx is cancelled. A nil context is never done, so
+// un-plumbed callers pay one nil check and no behavioural change.
+func Done(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns nil while ctx is live and an ErrInterrupted-wrapped error
+// once it is cancelled, quoting the context's own cause (Canceled or
+// DeadlineExceeded). Nil contexts are always live.
+func Err(ctx context.Context) error {
+	if !Done(ctx) {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrInterrupted, context.Cause(ctx))
+}

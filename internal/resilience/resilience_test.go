@@ -1,0 +1,172 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Count int
+	Bits  []int
+}
+
+// TestDoneErrNilSafe: a nil context is never done and never errors — the
+// guarantee every un-plumbed call site in the pipeline relies on.
+func TestDoneErrNilSafe(t *testing.T) {
+	if Done(nil) {
+		t.Error("nil context reported done")
+	}
+	if err := Err(nil); err != nil {
+		t.Errorf("nil context reported error %v", err)
+	}
+	if Done(context.Background()) {
+		t.Error("live context reported done")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !Done(ctx) {
+		t.Error("cancelled context reported live")
+	}
+	if err := Err(ctx); !errors.Is(err, ErrInterrupted) {
+		t.Errorf("cancelled context: Err = %v, want ErrInterrupted", err)
+	}
+}
+
+// TestJournalRoundTrip: Encode → Decode reproduces the payload, and the
+// written envelope is stable (same payload, same bytes).
+func TestJournalRoundTrip(t *testing.T) {
+	in := payload{Name: "x", Count: 3, Bits: []int{5, 1, 4}}
+	data, err := Encode("testkind", 2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := Encode("testkind", 2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("encoding the same payload twice produced different bytes")
+	}
+	var out payload
+	if err := Decode(data, "testkind", 2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out) != fmt.Sprint(in) {
+		t.Errorf("round trip got %+v, want %+v", out, in)
+	}
+}
+
+// TestJournalErrorClasses: each malformation maps to its own sentinel, so a
+// resume can report "wrong file" and "damaged file" differently.
+func TestJournalErrorClasses(t *testing.T) {
+	good, err := Encode("testkind", 2, payload{Name: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrCorrupt},
+		{"no newline", []byte("dfmresyn-journal v2 testkind 4 deadbeef"), ErrCorrupt},
+		{"bad magic", []byte("notajournal v2 testkind 2 00000000\n{}"), ErrCorrupt},
+		{"bad version field", []byte("dfmresyn-journal two testkind 2 00000000\n{}"), ErrCorrupt},
+		{"wrong kind", func() []byte { d, _ := Encode("otherkind", 2, payload{}); return d }(), ErrKind},
+		{"wrong version", func() []byte { d, _ := Encode("testkind", 3, payload{}); return d }(), ErrVersion},
+		{"truncated", good[:len(good)-2], ErrCorrupt},
+		{"padded", append(append([]byte{}, good...), 'x'), ErrCorrupt},
+		{"bit flip", func() []byte {
+			d := append([]byte{}, good...)
+			d[len(d)-3] ^= 0x40
+			return d
+		}(), ErrCorrupt},
+		{"bad json length-consistent", func() []byte {
+			d, _ := Encode("testkind", 2, 12345) // valid frame, payload not an object
+			return d
+		}(), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		var out payload
+		err := Decode(tc.data, "testkind", 2, &out)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: Decode = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWriteJournalAtomic: WriteJournal replaces the destination in one
+// rename — after any successful write the file decodes, a rewrite leaves no
+// temp droppings, and an existing journal is only ever replaced whole.
+func TestWriteJournalAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := WriteJournal(path, "testkind", 2, payload{Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJournal(path, "testkind", 2, payload{Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := LoadJournal(path, "testkind", 2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 2 {
+		t.Errorf("loaded Count = %d, want the rewritten 2", out.Count)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the journal", len(entries))
+	}
+}
+
+// TestLoadJournalMissing: a missing file is an I/O error, not a corrupt
+// journal — the caller should see "no such file", not "damaged".
+func TestLoadJournalMissing(t *testing.T) {
+	var out payload
+	err := LoadJournal(filepath.Join(t.TempDir(), "absent.ckpt"), "testkind", 2, &out)
+	if err == nil {
+		t.Fatal("loading a missing journal succeeded")
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing file misclassified as corrupt: %v", err)
+	}
+}
+
+// FuzzDecode: arbitrary bytes must never panic the decoder, and every
+// rejection must carry one of the three sentinels. Inputs that decode are
+// re-encodable to the identical frame.
+func FuzzDecode(f *testing.F) {
+	seed, _ := Encode("testkind", 2, payload{Name: "s", Count: 7, Bits: []int{1, 2}})
+	f.Add(seed)
+	f.Add([]byte("dfmresyn-journal v2 testkind 2 00000000\n{}"))
+	f.Add([]byte(""))
+	f.Add([]byte("dfmresyn-journal"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out payload
+		err := Decode(data, "testkind", 2, &out)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrKind) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("rejection without a sentinel: %v", err)
+			}
+			return
+		}
+		if _, err := Encode("testkind", 2, out); err != nil {
+			t.Fatalf("accepted payload fails re-encode: %v", err)
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"dfmresyn/internal/lint"
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/obs"
+	"dfmresyn/internal/resilience"
 	"dfmresyn/internal/synth"
 )
 
@@ -66,6 +67,22 @@ type Options struct {
 	// NoVerify disables the per-candidate functional equivalence check
 	// (random/exhaustive simulation against the current circuit).
 	NoVerify bool
+
+	// --- Resilience knobs (not part of the checkpoint fingerprint). ---
+
+	// Journal, when non-empty, is the path of the sweep's checkpoint
+	// journal: after every accepted iteration the complete resumable sweep
+	// state is written there atomically (see checkpoint.go). An
+	// interrupted run resumes from it with Resume, reproducing the
+	// uninterrupted run's tables byte for byte.
+	Journal string
+	// StopAfterCommits, when positive, stops the sweep as if the process
+	// had been killed right after that many accepted iterations: the run
+	// returns its partial Result with an ErrInterrupted error, and the
+	// journal (if any) holds exactly those commits. It is the
+	// deterministic stand-in for SIGKILL used by the chaos harness and the
+	// kill-and-resume differential tests.
+	StopAfterCommits int
 }
 
 // CellOrder selects how cells are ranked for exclusion.
@@ -149,6 +166,27 @@ type Result struct {
 	// backtracking found no acceptable design.
 	BacktrackGroupsTried    int
 	BacktrackGroupsAccepted int
+
+	// --- Resilience telemetry. ---
+
+	// Interrupted marks a sweep stopped before its natural end (context
+	// cancellation, stage deadline, or StopAfterCommits). The Result then
+	// holds the consistent prefix up to and including the last accepted
+	// iteration; Final is the last committed design.
+	Interrupted bool
+	// Resumed marks a sweep reconstructed from a checkpoint journal;
+	// ReplayedCommits counts the accepted iterations replayed from it.
+	// Tables and traces of a resumed run are byte-identical to the
+	// uninterrupted run's; effort counters (SynthCalls, PDCalls) cover
+	// only the work this process actually performed.
+	Resumed         bool
+	ReplayedCommits int
+	// Recovered / Quarantined total the ATPG worker panics that were
+	// retried successfully and the faults abandoned after a failed retry,
+	// across every analysis of the sweep. Quarantined must stay zero in
+	// production; the chaos harness drives it on purpose.
+	Recovered   int
+	Quarantined int
 }
 
 // IterStats is the telemetry of one accepted resynthesis iteration.
@@ -200,6 +238,16 @@ type state struct {
 	// helps when some accepted candidate was blocked by constraints.
 	committedAtQ      bool
 	constraintBlocked bool
+
+	// stopped, once non-nil, makes every loop unwind without further
+	// synthesis work; it becomes the sweep's returned error. Set on
+	// context cancellation, on StopAfterCommits, and on a failed
+	// checkpoint write.
+	stopped error
+	// commits accumulates one record per accepted iteration — replayed
+	// records first on a resumed run — and is what each checkpoint
+	// journals. Only populated when opt.Journal is set.
+	commits []commitRecord
 }
 
 // curUInt returns the cached undetectable-internal count of the current
@@ -224,9 +272,19 @@ func Run(env *flow.Env, c *netlist.Circuit, opt Options) (*Result, error) {
 }
 
 // RunFrom applies the q sweep starting from an already-analyzed original
-// design.
+// design. When the sweep is interrupted (cancelled context, stage deadline,
+// StopAfterCommits) the partial Result — a consistent prefix ending at the
+// last accepted iteration — is returned together with an error wrapping
+// resilience.ErrInterrupted; with Options.Journal set, that prefix is also
+// durable on disk and Resume continues it.
 func RunFrom(env *flow.Env, orig *flow.Design, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
+	return runSweep(env, orig, opt.withDefaults(), nil)
+}
+
+// runSweep is the sweep core shared by RunFrom and Resume: ck, when non-nil,
+// is an already-validated checkpoint whose commit chain is replayed before
+// the sweep continues from the journaled loop position.
+func runSweep(env *flow.Env, orig *flow.Design, opt Options, ck *Checkpoint) (*Result, error) {
 	// The whole q-sweep shares one fault-verdict cache: faults whose
 	// support cone a rebuild leaves untouched keep their verdicts instead
 	// of re-entering PODEM. A caller-installed cache is reused; otherwise
@@ -261,13 +319,34 @@ func RunFrom(env *flow.Env, orig *flow.Design, opt Options) (*Result, error) {
 	// Seed the trajectory with the original design so the exported series
 	// starts at the pre-resynthesis |S_max|/|F|.
 	env.Obs.Series("resyn/smax_frac").Append(smaxFrac(orig))
-	for q := 0; q <= opt.MaxQ; q++ {
+	startQ := 0
+	var rp *resumePoint
+	if ck != nil {
+		if err := s.replay(ck); err != nil {
+			return nil, err
+		}
+		startQ = ck.Q
+		rp = &resumePoint{phase: ck.Phase, nextIter: ck.NextIter, p2: ck.P2}
+	}
+	for q := startQ; q <= opt.MaxQ; q++ {
 		s.q = q
-		s.committedAtQ = false
-		s.constraintBlocked = false
+		if rp != nil {
+			// Mid-q resume: the per-q flags are part of the journaled
+			// state, not recomputed, so the continuation sees exactly
+			// what the interrupted run saw.
+			s.committedAtQ = ck.CommittedAtQ
+			s.constraintBlocked = ck.ConstraintBlocked
+		} else {
+			s.committedAtQ = false
+			s.constraintBlocked = false
+		}
 		spQ := obs.Start(env.Obs, "resyn/q", obs.Int("q", q))
-		s.runPhases()
+		s.runPhases(rp)
+		rp = nil
 		spQ.End()
+		if s.stopped != nil {
+			break
+		}
 		// Raising q only relaxes the delay/power constraints; when the
 		// last pass neither improved nor hit a constraint wall, higher
 		// q cannot change any outcome.
@@ -276,14 +355,47 @@ func RunFrom(env *flow.Env, orig *flow.Design, opt Options) (*Result, error) {
 		}
 	}
 	s.res.Final = s.cur
+	if s.stopped == nil && len(s.res.Trace) > 0 {
+		// Signoff: the reported final design is re-classified with the
+		// verdict cache bypassed, so its test set and coverage are a pure
+		// function of the final circuit rather than of the sweep's cache
+		// history — the paper likewise reports Table II from a standalone
+		// ATPG run on the resynthesized design. The physical results (and
+		// therefore U, S_max, delay and power) are shared untouched, so
+		// the row stays consistent with the acceptance decisions.
+		spSign := obs.Start(env.Obs, "resyn/signoff")
+		fd, err := env.VerifyFaults(s.cur)
+		spSign.End()
+		if err != nil {
+			s.stopped = fmt.Errorf("resyn: final signoff reclassification: %w", err)
+		} else {
+			s.res.Final = fd
+		}
+	}
 	end := env.FaultCache.Stats()
 	s.res.Cache = fcache.Stats{
 		Lookups: end.Lookups - cacheStart.Lookups,
 		Hits:    end.Hits - cacheStart.Hits,
 		Stores:  end.Stores - cacheStart.Stores,
+		Corrupt: end.Corrupt - cacheStart.Corrupt,
 		Entries: end.Entries,
 	}
+	if s.stopped != nil {
+		s.res.Interrupted = errors.Is(s.stopped, resilience.ErrInterrupted)
+		return s.res, s.stopped
+	}
 	return s.res, nil
+}
+
+// resumePoint positions the first runPhases call of a resumed sweep: which
+// phase to re-enter, at which iteration, and — for a phase-2 resume — the
+// p2 bound frozen when the interrupted run entered phase two (recomputing it
+// from the replayed circuit would diverge, since phase 1 may have kept
+// shrinking S_max after the journaled commit).
+type resumePoint struct {
+	phase    int
+	nextIter int
+	p2       float64
 }
 
 // constraintsOK checks delay/power against the original with slack q%, as
@@ -314,11 +426,29 @@ func undetectable(d *flow.Design) (total, internal int) {
 	return c.Undetectable, c.UndetectableInt
 }
 
-// runPhases executes phase one and phase two at the current q.
-func (s *state) runPhases() {
+// runPhases executes phase one and phase two at the current q. rp, non-nil
+// only on the first call of a resumed sweep, re-enters the journaled phase at
+// the journaled iteration: a phase-2 resume skips phase 1 entirely (it had
+// already terminated in the interrupted run) and restores the frozen p2.
+func (s *state) runPhases(rp *resumePoint) {
+	startIter1, startIter2 := 0, 0
+	skip1 := s.opt.SkipPhase1
+	var p2Frozen *float64
+	if rp != nil {
+		switch rp.phase {
+		case 1:
+			startIter1 = rp.nextIter
+		case 2:
+			skip1 = true
+			startIter2 = rp.nextIter
+			p2 := rp.p2
+			p2Frozen = &p2
+		}
+	}
+
 	// ---- Phase one: break up the largest clusters.
 	sp1 := obs.Start(s.env.Obs, "resyn/phase1")
-	for iter := 0; !s.opt.SkipPhase1 && iter < s.opt.MaxItersPhase; iter++ {
+	for iter := startIter1; !skip1 && s.stopped == nil && iter < s.opt.MaxItersPhase; iter++ {
 		if smaxFrac(s.cur) <= s.opt.P1 {
 			break
 		}
@@ -332,11 +462,17 @@ func (s *state) runPhases() {
 		}
 	}
 	sp1.End()
+	if s.stopped != nil {
+		return
+	}
 
 	// ---- Phase two: reduce U everywhere, bounding S_max by p2.
 	p2 := math.Max(s.opt.P1, smaxFrac(s.cur))
+	if p2Frozen != nil {
+		p2 = *p2Frozen
+	}
 	sp2 := obs.Start(s.env.Obs, "resyn/phase2")
-	for iter := 0; iter < s.opt.MaxItersPhase; iter++ {
+	for iter := startIter2; s.stopped == nil && iter < s.opt.MaxItersPhase; iter++ {
 		gu := s.cur.Clusters.GU
 		if len(gu) == 0 {
 			break
@@ -399,6 +535,9 @@ func (s *state) tryCells(subGates []*netlist.Gate, phase, iter int, p2 float64) 
 	rising := 0
 	lastU := curU
 	for i, cell := range s.ordered {
+		if s.stopped != nil {
+			return false
+		}
 		// Eligibility (1) and (2): the cell is used in C_sub and at
 		// least one instance of it there has undetectable internal
 		// faults.
@@ -429,7 +568,7 @@ func (s *state) tryCells(subGates []*netlist.Gate, phase, iter int, p2 float64) 
 			accepted := s.accepts(newD, phase, p2, curU, curSmax)
 			consOK := s.constraintsOK(newD)
 			if accepted && consOK {
-				s.commit(newD, phase, iter, cell.Name, false)
+				s.commit(newD, phase, iter, p2, cell.Name, false)
 				return true
 			}
 			if accepted && !consOK {
@@ -437,11 +576,14 @@ func (s *state) tryCells(subGates []*netlist.Gate, phase, iter int, p2 float64) 
 				s.constraintBlocked = true
 			}
 		}
+		if s.stopped != nil {
+			return false
+		}
 		if violated {
 			// Acceptance criteria met but constraints broken in every
 			// mode: invoke the backtracking procedure.
 			if d, ok := s.backtrack(region, gzero, i, phase, p2, curU, curSmax, curUIntNet); ok {
-				s.commit(d, phase, iter, cell.Name, true)
+				s.commit(d, phase, iter, p2, cell.Name, true)
 				return true
 			}
 			return false // phase terminates
@@ -473,6 +615,11 @@ const (
 	attemptNoUIntGain
 	attemptAreaViolation
 	attemptLintFailed
+	// attemptInterrupted means the run's context was cancelled before or
+	// during the analysis; s.stopped is set and every enclosing loop
+	// unwinds. It must never set constraintBlocked — an interrupted
+	// analysis says nothing about the constraint wall.
+	attemptInterrupted
 )
 
 // attempt synthesizes the region with the allowed cells, screens on
@@ -481,6 +628,13 @@ const (
 func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool,
 	frozen func(*netlist.Gate) bool, mode synth.Mode, curUIntNet int) (*flow.Design, attemptStatus) {
 
+	// Check cancellation before spending synthesis work: after the run is
+	// interrupted every further attempt would only burn CPU on results
+	// that will be discarded.
+	if err := resilience.Err(s.env.Ctx); err != nil {
+		s.stopped = err
+		return nil, attemptInterrupted
+	}
 	s.gen++
 	prefix := fmt.Sprintf("r%d_", s.gen)
 	rs, err := synth.SynthesizeRegion(s.cur.C, region, s.env.Mapper, allowed, mode, frozen, prefix)
@@ -527,6 +681,8 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 	s.env.Obs.Counter("resyn/pd_calls").Inc()
 	if newD != nil {
 		s.res.ATPGTime += newD.ATPGTime
+		s.res.Recovered += newD.Result.Recovered
+		s.res.Quarantined += len(newD.Result.Quarantined)
 		if newD.Incr != nil {
 			s.res.Incr.Analyses++
 			s.res.Incr.NetsReused += newD.Incr.RouteReused
@@ -537,6 +693,12 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 		}
 	}
 	if err != nil {
+		if errors.Is(err, resilience.ErrInterrupted) {
+			// Cancelled mid-analysis: the partial classification is
+			// discarded with the candidate. Not a constraint wall.
+			s.stopped = err
+			return nil, attemptInterrupted
+		}
 		if errors.Is(err, lint.ErrFindings) {
 			// A strict-mode lint failure on the analyzed design (stale
 			// fault sites, illegal placement) is a pipeline bug, not an
@@ -562,36 +724,79 @@ func (s *state) accepts(d *flow.Design, phase int, p2 float64, curU, curSmax int
 }
 
 // commit installs an accepted design and records the trace entry plus the
-// iteration's telemetry row.
-func (s *state) commit(d *flow.Design, phase, iter int, cellName string, viaBack bool) {
-	s.cur = d
-	s.uintValid = false
-	s.committedAtQ = true
-	u, _ := undetectable(d)
-	smax := len(d.Clusters.Smax())
-	s.res.Trace = append(s.res.Trace, IterationRecord{
+// iteration's telemetry row. With a journal configured, the full resumable
+// sweep state is written atomically before the commit returns — a process
+// killed any time after commit resumes from exactly here. p2 is the bound
+// the enclosing phase is running under, frozen into the checkpoint so a
+// phase-2 resume does not recompute it.
+func (s *state) commit(d *flow.Design, phase, iter int, p2 float64, cellName string, viaBack bool) {
+	rec := commitRecord{
 		Q:        s.q,
 		Phase:    phase,
 		Iter:     iter,
 		Excluded: cellName,
-		Accepted: true,
 		ViaBack:  viaBack,
+		BtTried:  s.iterBtTried,
+		BtAcc:    s.iterBtAcc,
+	}
+	if s.opt.Journal != "" {
+		text, err := circuitText(d.C)
+		if err != nil {
+			s.stopped = fmt.Errorf("resyn: serializing committed circuit for checkpoint: %v", err)
+			return
+		}
+		rec.Circuit = text
+	}
+	s.recordCommit(d, rec)
+	s.committedAtQ = true
+	if s.opt.Journal != "" {
+		s.commits = append(s.commits, rec)
+		if err := s.writeCheckpoint(phase, iter, p2); err != nil {
+			// Continuing without durability would silently void the
+			// resume guarantee the caller asked for; abort instead.
+			s.stopped = fmt.Errorf("resyn: checkpoint write failed: %v", err)
+			return
+		}
+		s.env.Obs.Counter("resyn/checkpoints_written").Inc()
+	}
+	if s.opt.StopAfterCommits > 0 && len(s.res.Trace) >= s.opt.StopAfterCommits {
+		s.stopped = fmt.Errorf("resyn: stopped after %d accepted iterations (simulated kill): %w",
+			len(s.res.Trace), resilience.ErrInterrupted)
+	}
+}
+
+// recordCommit performs the bookkeeping shared by a live commit and a
+// journal replay: install the design as current and append the trace and
+// telemetry rows. The U/Smax/F columns are recomputed from the design, so a
+// replayed row is identical to the original run's without journaling them.
+func (s *state) recordCommit(d *flow.Design, rec commitRecord) {
+	s.cur = d
+	s.uintValid = false
+	u, _ := undetectable(d)
+	smax := len(d.Clusters.Smax())
+	s.res.Trace = append(s.res.Trace, IterationRecord{
+		Q:        rec.Q,
+		Phase:    rec.Phase,
+		Iter:     rec.Iter,
+		Excluded: rec.Excluded,
+		Accepted: true,
+		ViaBack:  rec.ViaBack,
 		U:        u,
 		Smax:     smax,
 		F:        d.Faults.Len(),
 	})
 	s.res.Iters = append(s.res.Iters, IterStats{
-		Q: s.q, Phase: phase, Iter: iter,
+		Q: rec.Q, Phase: rec.Phase, Iter: rec.Iter,
 		U: u, Smax: smax, F: d.Faults.Len(),
 		SmaxFrac:          smaxFrac(d),
-		BacktrackTried:    s.iterBtTried,
-		BacktrackAccepted: s.iterBtAcc,
+		BacktrackTried:    rec.BtTried,
+		BacktrackAccepted: rec.BtAcc,
 	})
 	s.env.Obs.Counter("resyn/commits").Inc()
 	s.env.Obs.Series("resyn/smax_frac").Append(smaxFrac(d))
 	s.env.Obs.Gauge("resyn/undetectable").Set(float64(u))
-	if s.q > s.res.BestQ {
-		s.res.BestQ = s.q
+	if rec.Q > s.res.BestQ {
+		s.res.BestQ = rec.Q
 	}
 }
 
@@ -652,6 +857,9 @@ func (s *state) backtrack(region *netlist.Region, gzero func(*netlist.Gate) bool
 	}
 
 	for k := step; k <= n; k += step {
+		if s.stopped != nil {
+			return nil, false
+		}
 		if k > n {
 			k = n
 		}
@@ -669,6 +877,9 @@ func (s *state) backtrack(region *netlist.Region, gzero func(*netlist.Gate) bool
 				lo = 0
 			}
 			for j := k - 1; j > lo; j-- {
+				if s.stopped != nil {
+					return nil, false
+				}
 				d2, c2, a2 := try(j)
 				if d2 != nil && c2 && a2 {
 					return accept(d2)
