@@ -14,10 +14,13 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The explicit ./internal/obs vet keeps the observability layer in the gate
-# even if a future package filter narrows the ./... run.
+# even if a future package filter narrows the ./... run. vetdfm is the
+# determinism vet suite (internal/analyzers): no wall-clock reads, global
+# rand streams, or map-order-dependent output in deterministic packages.
 vet:
 	$(GO) vet ./...
 	$(GO) vet ./internal/obs
+	$(GO) run ./cmd/vetdfm
 
 build:
 	$(GO) build ./...
@@ -96,3 +99,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadExact -fuzztime=30s ./internal/netlist/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/resilience/
 	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/resyn/
+	$(GO) test -fuzz=FuzzImplic -fuzztime=30s ./internal/implic/

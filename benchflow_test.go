@@ -18,6 +18,7 @@ import (
 	"dfmresyn/internal/fcache"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
+	"dfmresyn/internal/implic"
 	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
 )
@@ -46,6 +47,20 @@ type benchFlowRow struct {
 	PhysSpeedup  float64 `json:"phys_speedup"`
 	NetsReused   int     `json:"incr_nets_reused"`
 	NetsRerouted int     `json:"incr_nets_rerouted"`
+	// Backtrack tail of the static implication screen: the cold run
+	// above has the screen on (the flow default); a second cold run
+	// with -staticproof=off supplies the baseline. Avoided searches are
+	// the faults the screen proved undetectable with zero PODEM work;
+	// the backtrack columns record the search tail that disappears with
+	// them (undetectable faults are exactly the ones that burn a full
+	// backtrack budget proving a negative).
+	StaticProven     int     `json:"static_proven"`
+	SearchesNoScreen int64   `json:"podem_searches_noscreen"`
+	SearchesScreen   int64   `json:"podem_searches_screen"`
+	SearchesAvoided  int64   `json:"podem_searches_avoided"`
+	BacktracksNoScr  int64   `json:"podem_backtracks_noscreen"`
+	BacktracksScreen int64   `json:"podem_backtracks_screen"`
+	BacktrackCut     float64 `json:"podem_backtrack_cut"`
 	// Metrics embeds the circuit's obs-registry snapshot (counters,
 	// gauges, histograms, series) covering all three analyses, so each
 	// perf row is self-describing: the engine activity behind the wall
@@ -86,6 +101,22 @@ func TestBenchFlowJSON(t *testing.T) {
 		}
 		analyze := time.Since(t0)
 
+		// Screen-on engine counters for the cold run, read before the
+		// warm and incremental analyses add to the same registry.
+		scrSearches := env.Obs.Registry().Counter("atpg/podem_searches").Get()
+		scrBacktracks := env.Obs.Registry().Counter("atpg/podem_backtracks").Get()
+
+		// Baseline cold run with the static screen off, in its own env
+		// and registry so nothing is shared with the screen-on run.
+		envOff := flow.NewEnv()
+		envOff.StaticProof = implic.ModeOff
+		envOff.Obs = obs.New()
+		if _, err := envOff.Analyze(bench.MustBuild(name, envOff.Lib), geom.Rect{}); err != nil {
+			t.Fatalf("%s screen-off baseline: %v", name, err)
+		}
+		offSearches := envOff.Obs.Registry().Counter("atpg/podem_searches").Get()
+		offBacktracks := envOff.Obs.Registry().Counter("atpg/podem_backtracks").Get()
+
 		t1 := time.Now()
 		warm, err := env.Analyze(c, geom.Rect{})
 		if err != nil {
@@ -124,6 +155,16 @@ func TestBenchFlowJSON(t *testing.T) {
 			IncrATPGSecs:   incr.ATPGTime.Seconds(),
 			NetsReused:     incr.Incr.RouteReused,
 			NetsRerouted:   incr.Incr.RouteRerouted,
+
+			StaticProven:     cold.Result.StaticProven,
+			SearchesNoScreen: offSearches,
+			SearchesScreen:   scrSearches,
+			SearchesAvoided:  offSearches - scrSearches,
+			BacktracksNoScr:  offBacktracks,
+			BacktracksScreen: scrBacktracks,
+		}
+		if offBacktracks > 0 {
+			row.BacktrackCut = 1 - float64(scrBacktracks)/float64(offBacktracks)
 		}
 		if s := incrAnalyze.Seconds(); s > 0 {
 			row.IncrSpeedup = warmAnalyze.Seconds() / s

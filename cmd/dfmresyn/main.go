@@ -41,6 +41,7 @@ import (
 	"dfmresyn/internal/chaos"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/geom"
+	"dfmresyn/internal/implic"
 	"dfmresyn/internal/lint"
 	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
@@ -62,6 +63,7 @@ var (
 	workers    = flag.Int("workers", 0, "fault-classification worker pool size (0 = NumCPU); any value gives identical tables")
 	diffCheck  = flag.Bool("diffcheck", false, "verify every incremental physical re-analysis against a from-scratch recompute (slow; debugging aid)")
 	lintMode   = flag.String("lint", "off", "static-analysis enforcement: off, warn, or strict (strict exits 2 on findings)")
+	staticPf   = flag.String("staticproof", "screen", "static implication screen: off, screen (prove undetectable faults with zero searches; tables byte-identical to off), or seed (also assert learned implications inside PODEM)")
 	dieSpec    = flag.String("die", "", "place into a fixed WxH die instead of the auto floorplan (e.g. 64x64); a circuit that does not fit exits 3")
 	journal    = flag.String("journal", "", "checkpoint the sweep to this journal after every accepted iteration (resume with -resume)")
 	resumePath = flag.String("resume", "", "resume an interrupted sweep from this checkpoint journal (requires the same -circuit, -seed and sweep options)")
@@ -162,6 +164,10 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+	smode, err := implic.ParseMode(*staticPf)
+	if err != nil {
+		return fmt.Errorf("bad -staticproof mode %q (off, screen, seed)", *staticPf)
+	}
 	var die geom.Rect
 	if *dieSpec != "" {
 		if die, err = parseDie(*dieSpec); err != nil {
@@ -229,6 +235,7 @@ func run() (err error) {
 	env.Ctx = ctx
 	env.StageTimeout = *deadline
 	env.Lint = lmode
+	env.StaticProof = smode
 	if *chaosRate > 0 {
 		env.ATPG.InjectPanic = chaos.Panics(*seed, *chaosRate)
 	}
@@ -297,9 +304,13 @@ func run() (err error) {
 		if *table2 {
 			fmt.Println(report.TableIIOrigRow(name, r.Orig.Metrics()))
 			fmt.Println(report.TableIIResynRow(r, rtime))
+			staticProven := -1 // render "static off"
+			if smode != implic.ModeOff {
+				staticProven = orig.Result.StaticProven + r.StaticProven
+			}
 			fmt.Println(report.PerfRow(name, par.Count(*workers),
 				r.ATPGTime.Seconds(), r.Cache.HitRate(),
-				int(r.Cache.Lookups), r.Cache.Entries))
+				int(r.Cache.Lookups), r.Cache.Entries, staticProven))
 			fmt.Println(report.IncrRow(name, r.Incr.Analyses,
 				r.Incr.NetsReused, r.Incr.NetsRerouted))
 			avg.Add(r, rtime)

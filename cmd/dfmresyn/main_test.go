@@ -217,3 +217,45 @@ func TestChaosFlagKeepsStdout(t *testing.T) {
 		t.Errorf("chaos changed stdout\n--- clean:\n%s\n--- chaos:\n%s", want, got)
 	}
 }
+
+// TestStaticProofFlag: bad values are usage errors; off/screen/seed all
+// run; screen (the default) and off print byte-identical deterministic
+// rows — the screen only removes searches that were going to prove a
+// negative, never a verdict or a test vector.
+func TestStaticProofFlag(t *testing.T) {
+	_, stderr, code := runCLI(t, "-table2", "-circuit", "sparc_spu", "-staticproof", "bogus")
+	if code != 1 {
+		t.Fatalf("bad -staticproof exited %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "staticproof") {
+		t.Errorf("usage error should name the flag; stderr:\n%s", stderr)
+	}
+
+	base := []string{"-table2", "-trace", "-circuit", "sparc_spu"}
+	offOut, _, code := runCLI(t, append(base, "-staticproof", "off")...)
+	if code != 0 {
+		t.Fatalf("-staticproof=off exited %d", code)
+	}
+	defOut, _, code := runCLI(t, base...)
+	if code != 0 {
+		t.Fatalf("default run exited %d", code)
+	}
+	if got, want := deterministicRows(t, defOut), deterministicRows(t, offOut); got != want {
+		t.Errorf("default (screen) rows differ from -staticproof=off:\n--- screen ---\n%s\n--- off ---\n%s", got, want)
+	}
+	// The perf row reports the screen's yield when on, and "off" when off.
+	if !strings.Contains(defOut, "proved/0-search") {
+		t.Errorf("screen run should report its static yield; stdout:\n%s", defOut)
+	}
+	if !strings.Contains(offOut, "static off") {
+		t.Errorf("off run should report the screen disabled; stdout:\n%s", offOut)
+	}
+
+	seedOut, _, code := runCLI(t, append(base, "-staticproof", "seed")...)
+	if code != 0 {
+		t.Fatalf("-staticproof=seed exited %d", code)
+	}
+	if got, want := deterministicRows(t, seedOut), deterministicRows(t, offOut); got != want {
+		t.Errorf("-staticproof=seed rows differ from off:\n--- seed ---\n%s\n--- off ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,88 @@
+// Command vetdfm runs the determinism vet suite (internal/analyzers)
+// over the repository's deterministic packages and fails when any rule
+// fires. The flow's acceptance criterion is byte-identical tables
+// across runs, worker counts and checkpoint resumes; these rules catch
+// the three classic ways Go code silently breaks that — wall-clock
+// reads, global rand streams, and map-iteration order leaking into
+// output — before a flaky golden diff does.
+//
+// The package list is pinned, not discovered: flow and obs are
+// excluded on purpose (they own the wall clock — flow stamps run
+// times, obs is the tracing clock), and cmd/ is excluded because the
+// CLI prints wall time to stderr. Everything else in internal/ must
+// stay deterministic. A site with a vetted reason to break a rule
+// carries a `//vetdfm:ok <rule>` waiver comment.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dfmresyn/internal/analyzers"
+)
+
+// deterministicDirs lists every package whose outputs feed tables,
+// caches, checkpoints or hashes. Additions to internal/ belong here
+// unless they own wall-clock or entropy by design.
+var deterministicDirs = []string{
+	"internal/analyzers",
+	"internal/atpg",
+	"internal/bench",
+	"internal/chaos",
+	"internal/cluster",
+	"internal/dfm",
+	"internal/doublefault",
+	"internal/equiv",
+	"internal/fault",
+	"internal/faultsim",
+	"internal/fcache",
+	"internal/geom",
+	"internal/implic",
+	"internal/library",
+	"internal/lint",
+	"internal/logic",
+	"internal/netlist",
+	"internal/par",
+	"internal/place",
+	"internal/power",
+	"internal/report",
+	"internal/resilience",
+	"internal/resyn",
+	"internal/route",
+	"internal/scan",
+	"internal/sim",
+	"internal/sta",
+	"internal/switchsim",
+	"internal/synth",
+	"internal/verilog",
+	"internal/yield",
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	total := 0
+	for _, dir := range deterministicDirs {
+		path := filepath.Join(root, dir)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "vetdfm: pinned package %s is gone; update the list\n", dir)
+			os.Exit(2)
+		}
+		findings, err := analyzers.RunDir(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vetdfm: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "vetdfm: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

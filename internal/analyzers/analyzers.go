@@ -1,0 +1,338 @@
+// Package analyzers implements the vetdfm static checks: a small,
+// stdlib-only suite that guards the determinism invariants the flow's
+// byte-identical tables depend on. The rules are syntactic — they parse
+// with go/parser and walk the AST, with no type checker — so they are
+// fast, dependency-free, and deliberately conservative: each rule fires
+// only on patterns it can recognize locally, and every finding can be
+// waived at the site with a `//vetdfm:ok <rule>` comment on the same or
+// the preceding line.
+//
+// The rules:
+//
+//   - timenow: no time.Now in deterministic packages. Wall-clock reads
+//     make outputs (and any hash of them) run-dependent; deterministic
+//     code must take durations as inputs or go through obs.
+//   - globalrand: no global math/rand state (rand.Intn, rand.Seed, ...).
+//     Global streams are schedule-dependent under concurrency; all
+//     randomness must flow from seeded rand.New(rand.NewSource(seed)).
+//   - maprange: no map iteration feeding output or hashes without an
+//     intervening sort. Go randomizes map order, so a range that prints
+//     or writes inside its body produces run-dependent bytes.
+//   - sprintfmap: no fmt verb formatting of a map value. %v on a map is
+//     ordered, but relying on that couples report bytes to fmt
+//     internals, and nested maps in structs are NOT sorted; reports
+//     must iterate sorted keys explicitly.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// globalRandFuncs are the math/rand top-level functions backed by the
+// package-global, lock-shared source. Constructors (New, NewSource,
+// NewZipf) are the sanctioned path and are not listed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// writerCalls recognizes output sinks by method name: the bytes they
+// receive become file or report content (or a hash digest), so feeding
+// them from a map range is order-dependent.
+var writerCalls = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Sum": true, "Sum64": true, "Sum32": true,
+}
+
+// fmtPrintFuncs are the fmt functions that render values; inside a map
+// range they are output sinks, and with a map argument they trigger
+// sprintfmap.
+var fmtPrintFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Errorf": true, "Appendf": true,
+}
+
+// RunFile analyzes one parsed file and returns the unwaived findings.
+func RunFile(fset *token.FileSet, file *ast.File) []Finding {
+	a := &analysis{
+		fset:     fset,
+		file:     file,
+		timePkg:  localNameOf(file, "time"),
+		randPkg:  localNameOf(file, "math/rand"),
+		fmtPkg:   localNameOf(file, "fmt"),
+		waivers:  collectWaivers(fset, file),
+		mapIdent: map[*ast.Object]bool{},
+	}
+	a.collectMapIdents()
+	ast.Inspect(file, a.visit)
+	sort.Slice(a.findings, func(i, j int) bool {
+		if a.findings[i].Pos.Line != a.findings[j].Pos.Line {
+			return a.findings[i].Pos.Line < a.findings[j].Pos.Line
+		}
+		return a.findings[i].Pos.Column < a.findings[j].Pos.Column
+	})
+	return a.findings
+}
+
+// RunDir parses every non-test .go file in dir (no recursion) and
+// returns the combined findings ordered by file, line, column.
+func RunDir(dir string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var all []Finding
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, RunFile(fset, file)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return all, nil
+}
+
+type analysis struct {
+	fset     *token.FileSet
+	file     *ast.File
+	timePkg  string // local name of the time import, "" if absent
+	randPkg  string // local name of math/rand, "" if absent
+	fmtPkg   string // local name of fmt, "" if absent
+	waivers  map[int]map[string]bool
+	mapIdent map[*ast.Object]bool
+	findings []Finding
+}
+
+// localNameOf returns the identifier a file imports path under, or ""
+// when the file does not import it. Renamed imports are honored; "_"
+// and "." imports return "" (selector-based rules cannot apply).
+func localNameOf(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return ""
+}
+
+// collectWaivers maps line numbers to the rule names waived there. A
+// waiver on line L covers findings on L and L+1, so both trailing and
+// preceding comment styles work.
+func collectWaivers(fset *token.FileSet, file *ast.File) map[int]map[string]bool {
+	w := map[int]map[string]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "vetdfm:ok") {
+				continue
+			}
+			rules := strings.Fields(strings.TrimPrefix(text, "vetdfm:ok"))
+			line := fset.Position(c.Pos()).Line
+			for _, l := range []int{line, line + 1} {
+				if w[l] == nil {
+					w[l] = map[string]bool{}
+				}
+				for _, r := range rules {
+					w[l][r] = true
+				}
+			}
+		}
+	}
+	return w
+}
+
+// collectMapIdents records every identifier the file declares with a
+// syntactically visible map type: var/param/result declarations,
+// make(map...) and map-literal assignments. This is the conservative
+// core of the no-type-checker design — an ident is treated as a map
+// only when its declaration says so in this file.
+func (a *analysis) collectMapIdents() {
+	mark := func(names []*ast.Ident) {
+		for _, n := range names {
+			if n.Obj != nil {
+				a.mapIdent[n.Obj] = true
+			}
+		}
+	}
+	ast.Inspect(a.file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			if _, ok := n.Type.(*ast.MapType); ok {
+				mark(n.Names)
+				return true
+			}
+			for i, v := range n.Values {
+				if i < len(n.Names) && a.isMapExpr(v) {
+					mark(n.Names[i : i+1])
+				}
+			}
+		case *ast.Field:
+			if _, ok := n.Type.(*ast.MapType); ok {
+				mark(n.Names)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, v := range n.Rhs {
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && a.isMapExpr(v) && id.Obj != nil {
+					a.mapIdent[id.Obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			// `for k, v := range m` where v is itself a map (map of
+			// maps) is out of scope: no declared type to look at.
+			return true
+		}
+		return true
+	})
+}
+
+// isMapExpr reports whether the expression is syntactically a map: a
+// map literal, make(map...), or an ident already known to be one.
+func (a *analysis) isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := e.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			_, ok := e.Args[0].(*ast.MapType)
+			return ok
+		}
+	case *ast.Ident:
+		return e.Obj != nil && a.mapIdent[e.Obj]
+	case *ast.ParenExpr:
+		return a.isMapExpr(e.X)
+	}
+	return false
+}
+
+func (a *analysis) report(pos token.Pos, rule, msg string) {
+	p := a.fset.Position(pos)
+	if a.waivers[p.Line][rule] {
+		return
+	}
+	a.findings = append(a.findings, Finding{Pos: p, Analyzer: rule, Message: msg})
+}
+
+// pkgCall matches a selector call pkg.Fn where pkg is the file-local
+// name of an import (not a shadowing local variable of the same name —
+// shadowed idents have a non-nil Obj pointing at the local decl).
+func pkgCall(call *ast.CallExpr, pkg string) (string, bool) {
+	if pkg == "" {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkg || id.Obj != nil {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func (a *analysis) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if fn, ok := pkgCall(n, a.timePkg); ok && fn == "Now" {
+			a.report(n.Pos(), "timenow",
+				"time.Now in a deterministic package; take durations as inputs or route timing through obs")
+		}
+		if fn, ok := pkgCall(n, a.randPkg); ok && globalRandFuncs[fn] {
+			a.report(n.Pos(), "globalrand",
+				fmt.Sprintf("global rand.%s; use a seeded rand.New(rand.NewSource(seed)) stream", fn))
+		}
+		if fn, ok := pkgCall(n, a.fmtPkg); ok && fmtPrintFuncs[fn] {
+			for _, arg := range n.Args {
+				if a.isMapExpr(arg) {
+					a.report(arg.Pos(), "sprintfmap",
+						"formatting a map with fmt; iterate sorted keys explicitly so report bytes never depend on fmt's map handling")
+					break
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if a.isMapExpr(n.X) && a.bodyWritesOutput(n.Body) {
+			a.report(n.Pos(), "maprange",
+				"map range feeds output or a hash; map order is randomized — collect and sort keys first")
+		}
+	}
+	return true
+}
+
+// bodyWritesOutput reports whether a statement block (at any depth)
+// calls an output sink: a fmt print function or a Write*/Sum* method.
+func (a *analysis) bodyWritesOutput(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkgCall(call, a.fmtPkg); ok && fmtPrintFuncs[fn] {
+			found = true
+			return false
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && writerCalls[sel.Sel.Name] {
+			// Method sinks: anything.Write(...), b.WriteString(...),
+			// h.Sum64()... The receiver is untyped here, so this is an
+			// over-approximation; waive false positives at the site.
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,232 @@
+package analyzers
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	return RunFile(fset, file)
+}
+
+func rules(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Analyzer
+	}
+	return out
+}
+
+func wantRules(t *testing.T, fs []Finding, want ...string) {
+	t.Helper()
+	got := rules(fs)
+	if len(got) != len(want) {
+		t.Fatalf("findings %v, want rules %v", fs, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("findings %v, want rules %v", fs, want)
+		}
+	}
+}
+
+func TestTimeNow(t *testing.T) {
+	fs := run(t, `package p
+import "time"
+func f() time.Time { return time.Now() }
+`)
+	wantRules(t, fs, "timenow")
+	if !strings.Contains(fs[0].Message, "time.Now") {
+		t.Errorf("message %q should name the call", fs[0].Message)
+	}
+}
+
+func TestTimeNowWaived(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "time"
+func f() time.Time {
+	return time.Now() //vetdfm:ok timenow
+}
+`))
+	wantRules(t, run(t, `package p
+import "time"
+func f() time.Time {
+	//vetdfm:ok timenow
+	return time.Now()
+}
+`))
+	// A waiver for a different rule does not apply.
+	wantRules(t, run(t, `package p
+import "time"
+func f() time.Time {
+	return time.Now() //vetdfm:ok globalrand
+}
+`), "timenow")
+}
+
+func TestTimeUsageOtherThanNowAllowed(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "time"
+var d time.Duration = 3 * time.Second
+func f(t0 time.Time) time.Duration { return time.Since(t0) - d }
+`))
+}
+
+func TestGlobalRand(t *testing.T) {
+	fs := run(t, `package p
+import "math/rand"
+func f() int { rand.Seed(1); return rand.Intn(10) }
+`)
+	wantRules(t, fs, "globalrand", "globalrand")
+}
+
+func TestSeededRandAllowed(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "math/rand"
+func f(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+`))
+}
+
+func TestRenamedImport(t *testing.T) {
+	wantRules(t, run(t, `package p
+import mrand "math/rand"
+func f() int { return mrand.Intn(10) }
+`), "globalrand")
+}
+
+func TestShadowedPackageNameNotFlagged(t *testing.T) {
+	wantRules(t, run(t, `package p
+type clock struct{}
+func (clock) Now() int { return 0 }
+func f() int {
+	time := clock{}
+	return time.Now()
+}
+`))
+}
+
+func TestMapRangeFeedingOutput(t *testing.T) {
+	fs := run(t, `package p
+import "fmt"
+func f(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	wantRules(t, fs, "maprange")
+}
+
+func TestMapRangeFeedingHash(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "hash/fnv"
+func f(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+`), "maprange")
+}
+
+func TestMapRangeCollectingKeysAllowed(t *testing.T) {
+	wantRules(t, run(t, `package p
+import (
+	"fmt"
+	"sort"
+)
+func f(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`))
+}
+
+func TestMapRangeLocalMake(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "fmt"
+func f() {
+	m := make(map[int]int)
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`), "maprange")
+}
+
+func TestSliceRangeAllowed(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "fmt"
+func f(s []string) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+`))
+}
+
+func TestSprintfMap(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "fmt"
+func f(m map[string]int) string {
+	return fmt.Sprintf("%v", m)
+}
+`), "sprintfmap")
+}
+
+func TestSprintfMapLiteral(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "fmt"
+func f() string {
+	return fmt.Sprint(map[int]int{1: 2})
+}
+`), "sprintfmap")
+}
+
+func TestSprintfNonMapAllowed(t *testing.T) {
+	wantRules(t, run(t, `package p
+import "fmt"
+func f(s []int, x int) string {
+	return fmt.Sprintf("%v %d", s, x)
+}
+`))
+}
+
+func TestFindingString(t *testing.T) {
+	fs := run(t, `package p
+import "time"
+func f() time.Time { return time.Now() }
+`)
+	s := fs[0].String()
+	if !strings.Contains(s, "fixture.go:3:") || !strings.Contains(s, "timenow:") {
+		t.Errorf("Finding.String() = %q, want file:line:col and rule", s)
+	}
+}
+
+func TestRunDirOnThisPackage(t *testing.T) {
+	fs, err := RunDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("the analyzers package must be clean under its own rules; got %v", fs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/faultsim"
 	"dfmresyn/internal/fcache"
+	"dfmresyn/internal/implic"
 	"dfmresyn/internal/logic"
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/obs"
@@ -51,6 +52,16 @@ type Config struct {
 	// cancelled run is always a consistent prefix of the engine's merge
 	// sequence. A nil Ctx never cancels.
 	Ctx context.Context
+	// Static selects the static implication screen (implic.Mode). Off
+	// disables it; Screen builds the implication closure once per run and
+	// classifies statically-proven undetectable faults before any PODEM
+	// search, leaving every table byte-identical to an unscreened run;
+	// Seed additionally asserts the learned implications inside PODEM's
+	// good-circuit deduction. The screen is applied atomically at the
+	// implication-closure boundary: a cancellation observed before it
+	// skips it entirely, so a cancelled run never carries partial static
+	// verdicts.
+	Static implic.Mode
 	// InjectPanic, when non-nil, is the chaos hook: it is consulted before
 	// every PODEM search with the fault's ID and the attempt number (0 for
 	// the first search, 1 for the post-panic retry) and a true return
@@ -79,6 +90,10 @@ type Result struct {
 	// replaying cached witness vectors).
 	CacheLookups int
 	CacheHits    int
+	// StaticProven counts the faults the static implication screen
+	// classified Undetectable with zero PODEM searches (Config.Static
+	// screen or seed). They are included in Undetectable.
+	StaticProven int
 	// Recovered counts worker panics the engine absorbed: each one was
 	// retried on a fresh generator (and usually succeeded — see
 	// Quarantined for the ones that did not).
@@ -245,6 +260,46 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		spCache.End()
 	}
 
+	// Phase 0.5: static implication screen. The closure is built once per
+	// run and every still-untried fault whose excitation or propagation
+	// requirements conflict with it is proven Undetectable without a
+	// search. Verdicts land in the same status field the PODEM merge
+	// writes, so the cache epilogue publishes them under the usual cone
+	// keys and later runs reuse them as ordinary cached proofs. The whole
+	// phase is skipped when cancellation is already observed — it either
+	// contributes every verdict the closure supports or none, never a
+	// partial set.
+	var eng *implic.Engine
+	if cfg.Static != implic.ModeOff && !resilience.Done(ctx) {
+		anyUntried := false
+		for _, f := range l.Faults {
+			if f.Status == fault.Untried {
+				anyUntried = true
+				break
+			}
+		}
+		if anyUntried {
+			spStatic := obs.Start(cfg.Obs, "atpg/static", obs.Int("faults", len(l.Faults)))
+			eng = implic.New(c)
+			for _, f := range l.Faults {
+				if f.Status == fault.Untried && eng.Undetectable(f) {
+					f.Status = fault.Undetectable
+					res.StaticProven++
+				}
+			}
+			st := eng.Stats()
+			cfg.Obs.Counter("atpg/static_proven").Add(int64(res.StaticProven))
+			cfg.Obs.Counter("atpg/static_constants").Add(int64(st.Constants))
+			cfg.Obs.Counter("atpg/static_implications").Add(int64(st.Implications))
+			spStatic.Annotate(obs.Int("proven", res.StaticProven),
+				obs.Int("constants", st.Constants))
+			spStatic.End()
+		}
+	}
+	if cfg.Static != implic.ModeSeed {
+		eng = nil // screen mode must not perturb the searches
+	}
+
 	// Phase 1: random pattern pairs with fault dropping; keep only tests
 	// that are first to detect at least one fault. The shared rng draws the
 	// same candidate vectors for every worker count and cache state.
@@ -274,6 +329,13 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	hBacktracks := cfg.Obs.Histogram("atpg/podem_backtracks_per_search",
 		0, 1, 4, 16, 64, 256, 1024, 4096, 12000)
 	gens := make([]*Generator, workers)
+	newGen := func() *Generator {
+		g := NewGenerator(c, order, levels, cfg.BacktrackLimit)
+		if eng != nil {
+			g.SeedImplications(eng)
+		}
+		return g
+	}
 	remaining := append([]int(nil), activeOf(unclassified)...)
 	spPodem := obs.Start(cfg.Obs, "atpg/podem", obs.Int("remaining", len(remaining)))
 	type outcomeRec struct {
@@ -324,13 +386,13 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 			g := gens[w]
 			gens[w] = nil
 			if g == nil {
-				g = NewGenerator(c, order, levels, cfg.BacktrackLimit)
+				g = newGen()
 			}
 			gens[w] = search(g, j, 0)
 		}, func(j int) {
 			// Retry once on a brand-new generator; a second panic
 			// quarantines the fault (EachGuard recovers it too).
-			search(NewGenerator(c, order, levels, cfg.BacktrackLimit), j, 1)
+			search(newGen(), j, 1)
 		})
 		if rep.Err != nil {
 			// Cancelled mid-batch: discard the whole batch unmerged, so the

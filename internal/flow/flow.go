@@ -17,6 +17,7 @@ import (
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/fcache"
 	"dfmresyn/internal/geom"
+	"dfmresyn/internal/implic"
 	"dfmresyn/internal/library"
 	"dfmresyn/internal/lint"
 	"dfmresyn/internal/netlist"
@@ -82,6 +83,13 @@ type Env struct {
 	// budget remains ATPG.BacktrackLimit; the deadline is the backstop for
 	// a wedged stage, and expiry aborts the analysis like a cancellation.
 	StageTimeout time.Duration
+	// StaticProof selects the static implication screen applied before
+	// every PODEM phase (implic.ModeOff, ModeScreen or ModeSeed; see
+	// atpg.Config.Static). NewEnv defaults to ModeScreen: statically
+	// proven undetectable faults skip their searches while all tables
+	// stay byte-identical to an unscreened run. A zero-valued Env leaves
+	// it off.
+	StaticProof implic.Mode
 }
 
 // IncrStats summarizes what an AnalyzeIncremental call reused from the
@@ -104,6 +112,7 @@ func (e *Env) atpgConfig() atpg.Config {
 	cfg.Cache = e.FaultCache
 	cfg.Obs = e.Obs
 	cfg.Ctx = e.Ctx
+	cfg.Static = e.StaticProof
 	if e.FaultCache != nil {
 		e.FaultCache.Instrument(e.Obs)
 	}
@@ -114,11 +123,12 @@ func (e *Env) atpgConfig() atpg.Config {
 func NewEnv() *Env {
 	lib := library.OSU018Like()
 	return &Env{
-		Lib:    lib,
-		Prof:   dfm.ProfileLibrary(lib),
-		Mapper: synth.NewMapper(lib),
-		ATPG:   atpg.DefaultConfig(),
-		Seed:   1,
+		Lib:         lib,
+		Prof:        dfm.ProfileLibrary(lib),
+		Mapper:      synth.NewMapper(lib),
+		ATPG:        atpg.DefaultConfig(),
+		Seed:        1,
+		StaticProof: implic.ModeScreen,
 	}
 }
 
@@ -435,6 +445,9 @@ type Metrics struct {
 	// ATPG wall seconds and the verdict-cache hit rate of this analysis.
 	ATPGSeconds  float64
 	CacheHitRate float64
+	// StaticProven is the number of faults the static implication screen
+	// classified Undetectable without a PODEM search (subset of U).
+	StaticProven int
 }
 
 // Metrics extracts the table numbers from an analyzed design. It also
@@ -473,6 +486,7 @@ func (d *Design) Metrics() Metrics {
 	m.Power = d.Power.Total
 	m.Area = d.C.Stats().Area
 	m.ATPGSeconds = d.ATPGTime.Seconds()
+	m.StaticProven = d.Result.StaticProven
 	if d.Result.CacheLookups > 0 {
 		m.CacheHitRate = float64(d.Result.CacheHits) / float64(d.Result.CacheLookups)
 	}

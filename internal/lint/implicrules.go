@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/implic"
+	"dfmresyn/internal/netlist"
+)
+
+// Implication-closure rules: the static implication engine
+// (internal/implic) proves facts no per-object structural scan can —
+// nets forced to a constant by the surrounding logic, and cones whose
+// toggling is contradiction-blocked from every primary output. Both are
+// Warning severity: such circuits simulate and route fine, but the
+// logic is unpayable area and untestable by construction (every fault
+// on it lands in the undetectable bucket the paper's flow then has to
+// cluster and resynthesize away).
+
+// implicEngine lazily builds (once per Context) the implication engine,
+// guarding against circuits the engine cannot take: the structural
+// rules own broken-circuit reporting, and the implication rules stand
+// down there — Levelize panics on cycles and the closure indexes nets
+// by ID, so the precheck mirrors struct/id-index, struct/cycle and
+// struct/arity. A nil engine (oversized circuit, or empty) also stands
+// down.
+func (ctx *Context) implicEngine() *implic.Engine {
+	if ctx.implicTried {
+		return ctx.implicMemo
+	}
+	ctx.implicTried = true
+	c := ctx.Circuit
+	if c == nil || !implicSafe(c) {
+		return nil
+	}
+	ctx.implicMemo = implic.New(c)
+	return ctx.implicMemo
+}
+
+// implicSafe reports whether the circuit satisfies the structural
+// invariants the implication engine assumes.
+func implicSafe(c *netlist.Circuit) bool {
+	for i, n := range c.Nets {
+		if n == nil || n.ID != i || (n.Driver == nil && !n.IsPI) || (n.Driver != nil && n.IsPI) {
+			return false
+		}
+	}
+	for i, g := range c.Gates {
+		if g == nil || g.ID != i || g.Type == nil || len(g.Fanin) != g.Type.NumInputs() {
+			return false
+		}
+		for _, in := range g.Fanin {
+			if in == nil {
+				return false
+			}
+		}
+	}
+	return c.FindCycle() == nil
+}
+
+func implicRules() []Rule {
+	return []Rule{
+		&rule{
+			name: "implic/constant-line",
+			sev:  Warning,
+			doc:  "a net proven constant by the implication closure never toggles; its cone is untestable logic",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				e := ctx.implicEngine()
+				if e == nil {
+					return
+				}
+				e.ForEachConstant(func(net int, val uint8) {
+					n := ctx.Circuit.Nets[net]
+					emit(NetLoc(n),
+						fmt.Sprintf("net %q is statically constant %d (implication closure)", n.Name, val),
+						"propagate the constant and remove the driving cone, or fix the logic if toggling was intended")
+				})
+			},
+		},
+		&rule{
+			name: "implic/unobservable",
+			sev:  Warning,
+			doc:  "a gate output whose value change is contradiction-blocked from every primary output is dead logic the structural scan cannot see",
+			check: func(ctx *Context, emit func(Loc, string, string)) {
+				e := ctx.implicEngine()
+				if e == nil {
+					return
+				}
+				c := ctx.Circuit
+				// Skip gates struct/dead-logic already flags (no
+				// structural path to a PO) and constant outputs
+				// (implic/constant-line already covers those).
+				reach := structReachPO(c)
+				for _, g := range c.Gates {
+					if g.Out == nil || !reach[g.ID] {
+						continue
+					}
+					if _, isConst := e.ConstNet(g.Out.ID); isConst {
+						continue
+					}
+					sa0 := &fault.Fault{Model: fault.StuckAt, Net: g.Out, Value: 0}
+					sa1 := &fault.Fault{Model: fault.StuckAt, Net: g.Out, Value: 1}
+					if e.Undetectable(sa0) && e.Undetectable(sa1) {
+						emit(GateLoc(g),
+							fmt.Sprintf("gate %q output %q never influences a primary output (implication closure blocks both stuck-at polarities)", g.Name, g.Out.Name),
+							"the gate is redundant under the surrounding logic; remove it or rewire the redundancy")
+					}
+				}
+			},
+		},
+	}
+}
+
+// structReachPO marks gates from which some primary output is
+// structurally reachable (reverse walk from the POs over driver
+// edges, mirroring struct/dead-logic).
+func structReachPO(c *netlist.Circuit) []bool {
+	reach := make([]bool, len(c.Gates))
+	var stack []*netlist.Gate
+	push := func(g *netlist.Gate) {
+		if g != nil && !reach[g.ID] {
+			reach[g.ID] = true
+			stack = append(stack, g)
+		}
+	}
+	for _, po := range c.POs {
+		if po != nil {
+			push(po.Driver)
+		}
+	}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range g.Fanin {
+			if in != nil {
+				push(in.Driver)
+			}
+		}
+	}
+	return reach
+}

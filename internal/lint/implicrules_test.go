@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+// constLineCircuit: y = NAND(a, ~a) is constant 1.
+func constLineCircuit(lib *library.Library) *netlist.Circuit {
+	c := netlist.New("constline", lib)
+	a := c.AddPI("a")
+	an := c.AddGate("u_inv", lib.ByName("INVX1"), a)
+	y := c.AddGate("u_nand", lib.ByName("NAND2X1"), a, an)
+	c.MarkPO(y)
+	return c
+}
+
+func TestImplicConstantLine(t *testing.T) {
+	lib := library.OSU018Like()
+	fs := Run(&Context{Circuit: constLineCircuit(lib)})
+	wantRule(t, fs, "implic/constant-line")
+	for _, f := range fs {
+		if f.Rule == "implic/constant-line" && f.Severity != Warning {
+			t.Errorf("constant-line severity %v, want warning", f.Severity)
+		}
+	}
+}
+
+func TestImplicConstantLineFromFile(t *testing.T) {
+	lib := library.OSU018Like()
+	_, fs, err := LoadFile(filepath.Join("testdata", "const_line.ckt"), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRule(t, fs, "implic/constant-line")
+	if n := CountAtLeast(fs, Error); n != 0 {
+		t.Fatalf("const_line.ckt should carry no errors, got %d in %v", n, fs)
+	}
+}
+
+// TestImplicUnobservable: n = AND(a, b) feeds only z = AND(n, k) where
+// k = AND(c, ~c) is constant 0. The constant side input blocks both
+// stuck-at polarities of n from the output, so u_n is dead logic no
+// structural scan can see (it has a structural path to the PO).
+func TestImplicUnobservable(t *testing.T) {
+	lib := library.OSU018Like()
+	c := netlist.New("unobs", lib)
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	cc := c.AddPI("c")
+	cn := c.AddGate("u_inv", lib.ByName("INVX1"), cc)
+	k := c.AddGate("u_k", lib.ByName("AND2X2"), cc, cn)
+	n := c.AddGate("u_n", lib.ByName("AND2X2"), a, b)
+	z := c.AddGate("u_z", lib.ByName("AND2X2"), n, k)
+	c.MarkPO(z)
+
+	fs := Run(&Context{Circuit: c})
+	counts := ruleNames(fs)
+	if counts["implic/unobservable"] != 1 {
+		t.Errorf("want exactly one implic/unobservable finding (u_n), got %v", counts)
+	}
+	if counts["implic/constant-line"] != 2 {
+		t.Errorf("want constant-line on %q and %q, got %v", k.Name, z.Name, counts)
+	}
+	for _, f := range fs {
+		if f.Rule == "implic/unobservable" && f.Loc.Gate != n.Driver.ID {
+			t.Errorf("unobservable flagged gate %d, want %d (u_n)", f.Loc.Gate, n.Driver.ID)
+		}
+	}
+}
+
+// TestImplicRulesStandDownOnBrokenCircuits: the engine would panic on
+// a cyclic or index-corrupt circuit; the rules must decline instead and
+// leave the reporting to the structural rules.
+func TestImplicRulesStandDownOnBrokenCircuits(t *testing.T) {
+	lib := library.OSU018Like()
+
+	cyc := cleanCircuit(lib)
+	g0 := cyc.Gates[0]
+	last := cyc.Gates[len(cyc.Gates)-1]
+	g0.Fanin[0] = last.Out
+	last.Out.Fanout = append(last.Out.Fanout, netlist.Pin{Gate: g0, Pin: 0})
+	fs := Run(&Context{Circuit: cyc})
+	counts := ruleNames(fs)
+	if counts["struct/cycle"] == 0 {
+		t.Fatalf("fixture should be cyclic; findings %v", counts)
+	}
+	for r := range counts {
+		if r == "implic/constant-line" || r == "implic/unobservable" {
+			t.Errorf("implic rule %s ran on a cyclic circuit", r)
+		}
+	}
+
+	bad := cleanCircuit(lib)
+	bad.Nets[1].ID = 0
+	fs = Run(&Context{Circuit: bad})
+	for r := range ruleNames(fs) {
+		if r == "implic/constant-line" || r == "implic/unobservable" {
+			t.Errorf("implic rule %s ran on an index-corrupt circuit", r)
+		}
+	}
+}
+
+// TestImplicEngineMemo: both rules share one engine build per Context.
+func TestImplicEngineMemo(t *testing.T) {
+	lib := library.OSU018Like()
+	ctx := &Context{Circuit: constLineCircuit(lib)}
+	e1 := ctx.implicEngine()
+	if e1 == nil {
+		t.Fatal("engine should build on a clean circuit")
+	}
+	if e2 := ctx.implicEngine(); e2 != e1 {
+		t.Error("implicEngine must memoize per Context")
+	}
+}

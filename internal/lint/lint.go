@@ -19,6 +19,7 @@ import (
 
 	"dfmresyn/internal/cluster"
 	"dfmresyn/internal/fault"
+	"dfmresyn/internal/implic"
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/place"
 	"dfmresyn/internal/route"
@@ -181,6 +182,12 @@ type Context struct {
 	Faults *fault.List
 	// Clusters is the clustering of Faults' undetectable subset.
 	Clusters *cluster.Result
+
+	// implicMemo caches the implication engine shared by the implic/*
+	// rules; implicTried distinguishes "not built yet" from "build
+	// declined" (broken or oversized circuit).
+	implicMemo  *implic.Engine
+	implicTried bool
 }
 
 // regionCircuit returns the circuit ctx.Region refers to.
@@ -300,6 +307,9 @@ func Builtin() *Registry {
 		reg.Register(r)
 	}
 	for _, r := range faultRules() {
+		reg.Register(r)
+	}
+	for _, r := range implicRules() {
 		reg.Register(r)
 	}
 	return reg

@@ -53,10 +53,13 @@ func TestTablesGolden(t *testing.T) {
 	b.WriteString(TableIRow("aes_core", m) + "\n")
 	b.WriteString(TableIIHeader() + "\n")
 	b.WriteString(TableIIOrigRow("aes_core", m) + "\n")
-	b.WriteString(PerfRow("aes_core", 4, 12.345, 0.873, 1545, 1312) + "\n")
+	b.WriteString(PerfRow("aes_core", 4, 12.345, 0.873, 1545, 1312, 407) + "\n")
 	// Zero lookups (verdict cache disabled): the cache column must read
-	// n/a, not a fake 0.0% hit rate.
-	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0) + "\n")
+	// n/a, not a fake 0.0% hit rate. Likewise staticProven < 0 renders
+	// "static off" — the screen disabled, not a zero-yield screen.
+	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0, -1) + "\n")
+	// A screen that ran but proved nothing still reports its zero.
+	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0, 0) + "\n")
 	b.WriteString(IncrRow("aes_core", 17, 4210, 390) + "\n")
 	b.WriteString(IncrRow("empty", 0, 0, 0) + "\n")
 	b.WriteString(ResilienceRow("aes_core", 12, 1, 3, 5) + "\n")

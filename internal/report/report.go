@@ -53,18 +53,27 @@ func TableIIResynRow(r *resyn.Result, rtime float64) string {
 
 // PerfRow formats the engine-performance line printed under a circuit's
 // Table II rows: the worker count, the resynthesis sweep's cumulative ATPG
-// wall time, and the verdict-cache behaviour across the q sweep (hit rate
-// over lookups, and the entries the sweep populated). With zero lookups —
-// the verdict cache disabled or never consulted — the cache column reads
-// "n/a" instead of a misleading 0.0% hit rate. Plain parameters keep the
-// formatting decoupled from the cache implementation.
-func PerfRow(name string, workers int, atpgSeconds, hitRate float64, lookups, entries int) string {
+// wall time, the verdict-cache behaviour across the q sweep (hit rate
+// over lookups, and the entries the sweep populated), and the static
+// implication screen's yield — faults proven undetectable with zero PODEM
+// searches, which is exactly the number of complete searches (each with
+// its backtrack tail) the screen avoided. With zero lookups — the verdict
+// cache disabled or never consulted — the cache column reads "n/a"
+// instead of a misleading 0.0% hit rate; likewise the static column reads
+// "off" when the screen is disabled (staticProven < 0) rather than
+// conflating "off" with "nothing proven". Plain parameters keep the
+// formatting decoupled from the cache and engine implementations.
+func PerfRow(name string, workers int, atpgSeconds, hitRate float64, lookups, entries, staticProven int) string {
 	cache := "cache   n/a"
 	if lookups > 0 {
 		cache = fmt.Sprintf("cache %5.1f%% of %d lookups, %d entries", 100*hitRate, lookups, entries)
 	}
-	return fmt.Sprintf("%-12s perf  workers=%-3d atpg=%8.3fs  %s",
-		name, workers, atpgSeconds, cache)
+	static := "static off"
+	if staticProven >= 0 {
+		static = fmt.Sprintf("static %d proved/0-search", staticProven)
+	}
+	return fmt.Sprintf("%-12s perf  workers=%-3d atpg=%8.3fs  %s  %s",
+		name, workers, atpgSeconds, cache, static)
 }
 
 // IncrRow renders the incremental physical re-analysis activity of a

@@ -148,6 +148,12 @@ type Result struct {
 	// ATPGTime totals the test-generation wall time across the sweep's
 	// accepted and rejected PDesign() calls.
 	ATPGTime time.Duration
+	// StaticProven totals the faults the static implication screen
+	// classified Undetectable with zero PODEM searches across the
+	// sweep's PDesign() calls (see atpg.Result.StaticProven). Static
+	// proofs published to the verdict cache return as ordinary cache
+	// hits on later iterations, so this counts fresh proofs only.
+	StaticProven int
 	// Cache snapshots the fault-verdict cache activity of this run: every
 	// ATPG invocation of the q-sweep — including the pre-physical-design
 	// undetectable-internal screens — shares one cache, so the hit rate
@@ -681,6 +687,7 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 	s.env.Obs.Counter("resyn/pd_calls").Inc()
 	if newD != nil {
 		s.res.ATPGTime += newD.ATPGTime
+		s.res.StaticProven += newD.Result.StaticProven
 		s.res.Recovered += newD.Result.Recovered
 		s.res.Quarantined += len(newD.Result.Quarantined)
 		if newD.Incr != nil {
