@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench benchflow fuzz obs-smoke chaos-smoke
+.PHONY: check fmt vet build test race lint bench benchflow bench-smoke fuzz obs-smoke chaos-smoke
 
-check: fmt vet build test race lint benchflow obs-smoke chaos-smoke
+check: fmt vet build test race lint benchflow bench-smoke obs-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -58,9 +58,19 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Machine-readable flow performance record: per-circuit Analyze wall time,
-# ATPG time, and the verdict-cache hit rate of a warm re-analysis.
+# ATPG time, the verdict-cache hit rate of a warm re-analysis, worker
+# scaling, the spatial-index scan columns, and the synthetic scale tier
+# (synth1k/synth10k through the Verilog ingest path).
 benchflow:
-	BENCH_FLOW_OUT=BENCH_flow.json $(GO) test -run TestBenchFlowJSON .
+	BENCH_FLOW_OUT=BENCH_flow.json $(GO) test -run TestBenchFlowJSON -timeout 30m .
+
+# Fast benchmark gate: every physical-path microbenchmark compiles and runs
+# one iteration under the race detector, and the 10k-gate tier builds and
+# checks cleanly — so `make check` catches a bit-rotted benchmark or scale
+# circuit without paying for a full -bench run.
+bench-smoke:
+	$(GO) test -race -run 'TestScaleCircuits' -bench 'BenchmarkBuildFaults|BenchmarkRoute' \
+		-benchtime=1x ./internal/bench/ ./internal/dfm/ ./internal/route/
 
 # End-to-end smoke test of the observability exports: run the CLI on the
 # fastest benchmark with tracing on, then validate both files with obscheck

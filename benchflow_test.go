@@ -7,6 +7,7 @@
 package dfmresyn
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"dfmresyn/internal/implic"
 	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
+	"dfmresyn/internal/verilog"
 )
 
 type benchFlowRow struct {
@@ -61,6 +63,20 @@ type benchFlowRow struct {
 	BacktracksNoScr  int64   `json:"podem_backtracks_noscreen"`
 	BacktracksScreen int64   `json:"podem_backtracks_screen"`
 	BacktrackCut     float64 `json:"podem_backtrack_cut"`
+	// Worker scaling: a second cold analysis pinned to one worker gives
+	// the serial baseline next to the default (NumCPU) pass above; the
+	// speedup is the ATPG-stage ratio, since only classification fans out.
+	AnalyzeSecW1  float64 `json:"analyze_seconds_1worker"`
+	ATPGSecW1     float64 `json:"atpg_seconds_1worker"`
+	WorkerSpeedup float64 `json:"atpg_worker_speedup"`
+	// Spatial-index columns: wall time of one DFM scan over the cold
+	// layout with the grid index and with the naive full-die scans, and
+	// the candidate-work reductions behind the ratio (bridge pairs and
+	// density cell reads, examined vs naive).
+	DFMScanGridUS    int64   `json:"dfm_scan_micros"`
+	DFMScanNaiveUS   int64   `json:"dfm_scan_naive_micros"`
+	DFMPairReduction float64 `json:"dfm_pair_reduction"`
+	DFMCellReduction float64 `json:"dfm_cell_reduction"`
 	// Metrics embeds the circuit's obs-registry snapshot (counters,
 	// gauges, histograms, series) covering all three analyses, so each
 	// perf row is self-describing: the engine activity behind the wall
@@ -68,14 +84,47 @@ type benchFlowRow struct {
 	Metrics json.RawMessage `json:"metrics"`
 }
 
+// benchFlowScaleRow records the large synthetic tier: circuits far beyond
+// the paper's 146–332 gates, ingested through the Verilog writer/reader
+// round trip (the external-netlist path the CLI's -fromverilog exercises)
+// and analyzed once. At this scale the spatial-index columns show the
+// asymptotic win the paper-size rows cannot.
+type benchFlowScaleRow struct {
+	Circuit          string  `json:"circuit"`
+	Gates            int     `json:"gates"`
+	Faults           int     `json:"faults"`
+	Tests            int     `json:"tests"`
+	AnalyzeSeconds   float64 `json:"analyze_seconds"`
+	ATPGSeconds      float64 `json:"atpg_seconds"`
+	DFMScanGridUS    int64   `json:"dfm_scan_micros"`
+	DFMScanNaiveUS   int64   `json:"dfm_scan_naive_micros"`
+	DFMPairReduction float64 `json:"dfm_pair_reduction"`
+	DFMCellReduction float64 `json:"dfm_cell_reduction"`
+}
+
 type benchFlowReport struct {
 	// Workers and GoMaxProc are the effective values the run used (the
 	// worker pool defaults to NumCPU); CPUs records the machine size so a
 	// row can't silently under-report available parallelism.
-	Workers   int            `json:"workers"`
-	GoMaxProc int            `json:"gomaxprocs"`
-	CPUs      int            `json:"cpus"`
-	Rows      []benchFlowRow `json:"rows"`
+	Workers   int                 `json:"workers"`
+	GoMaxProc int                 `json:"gomaxprocs"`
+	CPUs      int                 `json:"cpus"`
+	Rows      []benchFlowRow      `json:"rows"`
+	Scale     []benchFlowScaleRow `json:"scale"`
+}
+
+// dfmScanTimes runs one DFM extraction over a finished layout per spatial
+// mode and returns the wall micros of each plus the grid run's stats; the
+// reductions in the stats are what the wall-time ratio is made of.
+func dfmScanTimes(t *testing.T, d *flow.Design, prof *dfm.LibraryProfile) (gridUS, naiveUS int64, stats dfm.ScanStats) {
+	t.Helper()
+	t0 := time.Now()
+	_, _, _, stats = dfm.BuildFaultsScanStats(d.C, d.Lay, prof, geom.SpatialGrid)
+	gridUS = time.Since(t0).Microseconds()
+	t1 := time.Now()
+	dfm.BuildFaultsScanStats(d.C, d.Lay, prof, geom.SpatialOff)
+	naiveUS = time.Since(t1).Microseconds()
+	return gridUS, naiveUS, stats
 }
 
 func TestBenchFlowJSON(t *testing.T) {
@@ -116,6 +165,17 @@ func TestBenchFlowJSON(t *testing.T) {
 		}
 		offSearches := envOff.Obs.Registry().Counter("atpg/podem_searches").Get()
 		offBacktracks := envOff.Obs.Registry().Counter("atpg/podem_backtracks").Get()
+
+		// Serial baseline: the same cold analysis pinned to one worker,
+		// in its own env so no verdict cache is shared.
+		envW1 := flow.NewEnv()
+		envW1.Workers = 1
+		t1w := time.Now()
+		w1, err := envW1.Analyze(bench.MustBuild(name, envW1.Lib), geom.Rect{})
+		if err != nil {
+			t.Fatalf("%s 1-worker baseline: %v", name, err)
+		}
+		w1Analyze := time.Since(t1w)
 
 		t1 := time.Now()
 		warm, err := env.Analyze(c, geom.Rect{})
@@ -166,6 +226,14 @@ func TestBenchFlowJSON(t *testing.T) {
 		if offBacktracks > 0 {
 			row.BacktrackCut = 1 - float64(scrBacktracks)/float64(offBacktracks)
 		}
+		row.AnalyzeSecW1 = w1Analyze.Seconds()
+		row.ATPGSecW1 = w1.ATPGTime.Seconds()
+		if s := cold.ATPGTime.Seconds(); s > 0 {
+			row.WorkerSpeedup = w1.ATPGTime.Seconds() / s
+		}
+		row.DFMScanGridUS, row.DFMScanNaiveUS, _ = dfmScanTimes(t, cold, env.Prof)
+		row.DFMPairReduction = cold.DFMStats.PairReduction()
+		row.DFMCellReduction = cold.DFMStats.CellReduction()
 		if s := incrAnalyze.Seconds(); s > 0 {
 			row.IncrSpeedup = warmAnalyze.Seconds() / s
 		}
@@ -183,6 +251,43 @@ func TestBenchFlowJSON(t *testing.T) {
 		row.Metrics = snap
 		rep.Rows = append(rep.Rows, row)
 	}
+	// The synthetic scale tier, ingested through the Verilog round trip so
+	// the external-netlist path gets exercised at real size.
+	for _, name := range bench.ScaleNames {
+		env := flow.NewEnv()
+		var buf bytes.Buffer
+		if err := verilog.WriteModule(&buf, bench.MustBuild(name, env.Lib)); err != nil {
+			t.Fatalf("%s: write verilog: %v", name, err)
+		}
+		c, err := verilog.ReadModule(&buf, env.Lib)
+		if err != nil {
+			t.Fatalf("%s: read verilog: %v", name, err)
+		}
+		t0 := time.Now()
+		d, err := env.Analyze(c, geom.Rect{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		analyze := time.Since(t0)
+		gridUS, naiveUS, _ := dfmScanTimes(t, d, env.Prof)
+		red := d.DFMStats.PairReduction()
+		if name == "synth10k" && red < 10 {
+			t.Errorf("synth10k pair reduction %.1fx, want >= 10x", red)
+		}
+		rep.Scale = append(rep.Scale, benchFlowScaleRow{
+			Circuit:          name,
+			Gates:            len(d.C.Gates),
+			Faults:           d.Faults.Len(),
+			Tests:            len(d.Result.Tests),
+			AnalyzeSeconds:   analyze.Seconds(),
+			ATPGSeconds:      d.ATPGTime.Seconds(),
+			DFMScanGridUS:    gridUS,
+			DFMScanNaiveUS:   naiveUS,
+			DFMPairReduction: red,
+			DFMCellReduction: d.DFMStats.CellReduction(),
+		})
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -43,12 +43,14 @@ import (
 	"dfmresyn/internal/geom"
 	"dfmresyn/internal/implic"
 	"dfmresyn/internal/lint"
+	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/obs"
 	"dfmresyn/internal/par"
 	"dfmresyn/internal/place"
 	"dfmresyn/internal/report"
 	"dfmresyn/internal/resilience"
 	"dfmresyn/internal/resyn"
+	"dfmresyn/internal/verilog"
 )
 
 var (
@@ -65,6 +67,8 @@ var (
 	lintMode   = flag.String("lint", "off", "static-analysis enforcement: off, warn, or strict (strict exits 2 on findings)")
 	staticPf   = flag.String("staticproof", "screen", "static implication screen: off, screen (prove undetectable faults with zero searches; tables byte-identical to off), or seed (also assert learned implications inside PODEM)")
 	dieSpec    = flag.String("die", "", "place into a fixed WxH die instead of the auto floorplan (e.g. 64x64); a circuit that does not fit exits 3")
+	spatial    = flag.String("spatial", "grid", "spatial index for the physical hot paths: grid (bucket index) or off (naive full scans; differential baseline). Tables are byte-identical either way")
+	fromVlog   = flag.String("fromverilog", "", "analyze a structural Verilog netlist file (as written by the flow's own writer) instead of a built-in circuit")
 	journal    = flag.String("journal", "", "checkpoint the sweep to this journal after every accepted iteration (resume with -resume)")
 	resumePath = flag.String("resume", "", "resume an interrupted sweep from this checkpoint journal (requires the same -circuit, -seed and sweep options)")
 	deadline   = flag.Duration("deadline", 0, "per-stage deadline for fault classification (e.g. 30s); expiry interrupts the run (exit 4)")
@@ -104,8 +108,11 @@ func main() {
 	if !*table1 && !*table2 && !*trace {
 		usageError("nothing to do: pass -table1, -table2 or -trace (see -help)")
 	}
-	if (*table2 || *trace) && !*all && *circuit == "" {
-		usageError("pass -circuit <name> or -all")
+	if (*table2 || *trace) && !*all && *circuit == "" && *fromVlog == "" {
+		usageError("pass -circuit <name>, -fromverilog <file> or -all")
+	}
+	if *fromVlog != "" && (*all || *table1 || *circuit != "") {
+		usageError("-fromverilog analyzes one external netlist: drop -all, -table1 and -circuit")
 	}
 	if *resumePath != "" && (*all || *circuit == "") {
 		usageError("-resume continues one sweep: pass the journal's -circuit, not -all")
@@ -167,6 +174,10 @@ func run() (err error) {
 	smode, err := implic.ParseMode(*staticPf)
 	if err != nil {
 		return fmt.Errorf("bad -staticproof mode %q (off, screen, seed)", *staticPf)
+	}
+	spmode, err := geom.ParseSpatialMode(*spatial)
+	if err != nil {
+		return fmt.Errorf("bad -spatial mode %q (grid, off)", *spatial)
 	}
 	var die geom.Rect
 	if *dieSpec != "" {
@@ -236,6 +247,7 @@ func run() (err error) {
 	env.StageTimeout = *deadline
 	env.Lint = lmode
 	env.StaticProof = smode
+	env.Spatial = spmode
 	if *chaosRate > 0 {
 		env.ATPG.InjectPanic = chaos.Panics(*seed, *chaosRate)
 	}
@@ -256,9 +268,27 @@ func run() (err error) {
 		}
 	}
 
+	// An external Verilog netlist takes the place of a built-in circuit:
+	// the flow beyond this point is identical.
+	var extC *netlist.Circuit
+	if *fromVlog != "" {
+		f, oerr := os.Open(*fromVlog)
+		if oerr != nil {
+			return fmt.Errorf("fromverilog: %w", oerr)
+		}
+		extC, err = verilog.ReadModule(f, env.Lib)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("fromverilog %s: %w", *fromVlog, err)
+		}
+	}
+
 	names := []string{*circuit}
 	if *all {
 		names = bench.Names
+	}
+	if extC != nil {
+		names = []string{extC.Name}
 	}
 
 	if *table2 {
@@ -268,7 +298,10 @@ func run() (err error) {
 	avg := &report.Averages{}
 	for _, name := range names {
 		spCircuit := obs.Start(tracer, "dfmresyn/circuit", obs.String("circuit", name))
-		c := bench.MustBuild(name, env.Lib)
+		c := extC
+		if c == nil {
+			c = bench.MustBuild(name, env.Lib)
+		}
 
 		// Rtime baseline: one synthesis + physical design + test
 		// generation pass is the original analysis itself.

@@ -22,6 +22,13 @@
 //     ordered, but relying on that couples report bytes to fmt
 //     internals, and nested maps in structs are NOT sorted; reports
 //     must iterate sorted keys explicitly.
+//   - mapgeom: no map iteration feeding geometry ordering — appending
+//     geometry literals (Pt, Rect, Seg, Via, GridItem), inserting into a
+//     spatial index, or Add-ing a geometry value inside a map-range body.
+//     The spatial substrate's determinism contract is ID-ordered,
+//     content-deterministic traversal; geometry collected from a map
+//     range arrives in randomized order and poisons every scan built on
+//     it. Collect into a slice and sort (or iterate IDs) first.
 package analyzers
 
 import (
@@ -301,12 +308,84 @@ func (a *analysis) visit(n ast.Node) bool {
 			}
 		}
 	case *ast.RangeStmt:
-		if a.isMapExpr(n.X) && a.bodyWritesOutput(n.Body) {
-			a.report(n.Pos(), "maprange",
-				"map range feeds output or a hash; map order is randomized — collect and sort keys first")
+		if a.isMapExpr(n.X) {
+			if a.bodyWritesOutput(n.Body) {
+				a.report(n.Pos(), "maprange",
+					"map range feeds output or a hash; map order is randomized — collect and sort keys first")
+			}
+			if pos, ok := bodyFeedsGeometry(n.Body); ok {
+				a.report(pos, "mapgeom",
+					"map range feeds geometry ordering; the spatial substrate needs ID-ordered traversal — collect and sort before building geometry")
+			}
 		}
 	}
 	return true
+}
+
+// geomTypeNames are the geometry value types whose ordering the spatial
+// substrate depends on.
+var geomTypeNames = map[string]bool{
+	"Pt": true, "Rect": true, "Seg": true, "Via": true, "GridItem": true,
+}
+
+// isGeomLit reports whether the expression is a composite literal of a
+// geometry type, bare (Pt{...}) or package-qualified (geom.Pt{...}).
+func isGeomLit(e ast.Expr) bool {
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	switch t := cl.Type.(type) {
+	case *ast.Ident:
+		return geomTypeNames[t.Name]
+	case *ast.SelectorExpr:
+		return geomTypeNames[t.Sel.Name]
+	}
+	return false
+}
+
+// bodyFeedsGeometry reports whether a statement block (at any depth)
+// builds ordered geometry: appends a geometry literal, calls a spatial
+// index's Insert method, or Add-s a geometry literal. Like the writer
+// sinks, the method receivers are untyped, so Insert is matched by name
+// alone; waive vetted sites with //vetdfm:ok mapgeom.
+func bodyFeedsGeometry(body *ast.BlockStmt) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			for _, arg := range call.Args[1:] {
+				if isGeomLit(arg) {
+					pos, found = call.Pos(), true
+					return false
+				}
+			}
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Insert" {
+				pos, found = call.Pos(), true
+				return false
+			}
+			if sel.Sel.Name == "Add" {
+				for _, arg := range call.Args {
+					if isGeomLit(arg) {
+						pos, found = call.Pos(), true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pos, found
 }
 
 // bodyWritesOutput reports whether a statement block (at any depth)

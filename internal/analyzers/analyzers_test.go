@@ -230,3 +230,82 @@ func TestRunDirOnThisPackage(t *testing.T) {
 		t.Errorf("the analyzers package must be clean under its own rules; got %v", fs)
 	}
 }
+
+func TestMapGeomAppend(t *testing.T) {
+	fs := run(t, `package p
+import "dfmresyn/internal/geom"
+func f(m map[int]int) []geom.Pt {
+	var pts []geom.Pt
+	for k, v := range m {
+		pts = append(pts, geom.Pt{X: k, Y: v})
+	}
+	return pts
+}
+`)
+	wantRules(t, fs, "mapgeom")
+	if !strings.Contains(fs[0].Message, "ID-ordered") {
+		t.Errorf("message %q should state the determinism contract", fs[0].Message)
+	}
+}
+
+func TestMapGeomBareLitAndInsert(t *testing.T) {
+	wantRules(t, run(t, `package p
+type Rect struct{ X0, Y0, X1, Y1 int }
+func f(m map[int]int) []Rect {
+	var rs []Rect
+	for k := range m {
+		rs = append(rs, Rect{X0: k})
+	}
+	return rs
+}
+`), "mapgeom")
+	wantRules(t, run(t, `package p
+func f(m map[int32]Item, idx *Grid) {
+	for id, it := range m {
+		idx.Insert(id, it.R)
+	}
+}
+`), "mapgeom")
+	wantRules(t, run(t, `package p
+func f(m map[int]int, w *dirtyIndex) {
+	for k := range m {
+		w.Add(Rect{X0: k})
+	}
+}
+`), "mapgeom")
+}
+
+func TestMapGeomCleanAndWaived(t *testing.T) {
+	// Slice iteration building geometry is the sanctioned pattern.
+	wantRules(t, run(t, `package p
+import "dfmresyn/internal/geom"
+func f(ids []int) []geom.Pt {
+	var pts []geom.Pt
+	for _, id := range ids {
+		pts = append(pts, geom.Pt{X: id})
+	}
+	return pts
+}
+`))
+	// Non-geometry appends inside a map range are maprange's business
+	// (and only when they feed output), not mapgeom's.
+	wantRules(t, run(t, `package p
+func f(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+`))
+	wantRules(t, run(t, `package p
+import "dfmresyn/internal/geom"
+func f(m map[int]int) []geom.Pt {
+	var pts []geom.Pt
+	for k := range m { //vetdfm:ok mapgeom
+		pts = append(pts, geom.Pt{X: k})
+	}
+	return pts
+}
+`))
+}

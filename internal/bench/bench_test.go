@@ -259,3 +259,22 @@ func TestFromTTBuilder(t *testing.T) {
 		}
 	}
 }
+
+func TestScaleCircuits(t *testing.T) {
+	want := map[string]struct{ lo, hi int }{
+		"synth1k":  {900, 1500},
+		"synth10k": {9000, 11000},
+	}
+	for _, name := range ScaleNames {
+		c := MustBuild(name, lib)
+		if err := c.Check(); err != nil {
+			t.Errorf("%s: structural check: %v", name, err)
+		}
+		st := c.Stats()
+		w := want[name]
+		if st.Gates < w.lo || st.Gates > w.hi {
+			t.Errorf("%s: %d gates, want %d..%d", name, st.Gates, w.lo, w.hi)
+		}
+		t.Logf("%s: %d gates, %d PIs, %d POs", name, st.Gates, st.PIs, st.POs)
+	}
+}

@@ -45,6 +45,10 @@ func Build(name string, lib *library.Library) (*netlist.Circuit, error) {
 		return buildSparcLSU(lib), nil
 	case "sparc_fpu":
 		return buildSparcFPU(lib), nil
+	case "synth1k":
+		return buildSynth1K(lib), nil
+	case "synth10k":
+		return buildSynth10K(lib), nil
 	}
 	return nil, fmt.Errorf("bench: unknown circuit %q", name)
 }

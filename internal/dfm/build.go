@@ -1,8 +1,6 @@
 package dfm
 
 import (
-	"sort"
-
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/geom"
 	"dfmresyn/internal/netlist"
@@ -38,13 +36,33 @@ func BuildFaults(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*
 // BuildFaultsIncremental replays outside a dirty region instead of
 // re-scanning the whole die.
 func BuildFaultsScan(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile) (*fault.List, *Report, *Scan) {
-	b := newBuilder(c, lay)
+	l, rep, scan, _ := BuildFaultsScanStats(c, lay, prof, geom.SpatialGrid)
+	return l, rep, scan
+}
+
+// BuildFaultsScanStats is BuildFaultsScan with an explicit spatial-index
+// mode and scan-cost accounting. SpatialGrid drives the bridge phase off
+// the layout's occupied-cell set and the density phase off per-window
+// aggregate indexes; SpatialOff keeps the original full-die walks. The
+// fault list, report and scan log are byte-identical across modes — only
+// ScanStats (and wall time) differ.
+func BuildFaultsScanStats(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile, mode geom.SpatialMode) (*fault.List, *Report, *Scan, ScanStats) {
+	b := newBuilder(c, lay, mode)
 	b.internal(prof)
 	b.vias()
-	b.bridges(nil, nil, nil)
+	if mode == geom.SpatialGrid {
+		b.bridgesIndexed(nil, nil, nil)
+	} else {
+		b.bridges(nil, nil, nil)
+	}
 	b.segments()
-	b.densities(nil, nil, nil)
-	return b.list, b.rep, b.scan
+	if mode == geom.SpatialGrid {
+		b.densitiesIndexed()
+	} else {
+		b.densities(nil, nil, nil)
+	}
+	b.finishStats()
+	return b.list, b.rep, b.scan, b.stats
 }
 
 // netRule / pinRule / pairRule key the per-phase deduplication maps. The
@@ -76,12 +94,21 @@ type builder struct {
 	bridgeHits map[pairRule]bool
 	densHits   map[netRule]bool
 
+	// mode selects the spatial-index backing; stats tallies scan costs.
+	mode  geom.SpatialMode
+	stats ScanStats
+	// acc is the density-window accumulator shared across every window
+	// and guideline evaluation of this build; dens caches per-layer
+	// window-aggregate indexes keyed by window size.
+	acc  *winAcc
+	dens [2]map[int]*densityIndex
+
 	// ok drops to false when an incremental replay hits a trigger it
 	// cannot remap (the caller then falls back to a full build).
 	ok bool
 }
 
-func newBuilder(c *netlist.Circuit, lay *route.Layout) *builder {
+func newBuilder(c *netlist.Circuit, lay *route.Layout, mode geom.SpatialMode) *builder {
 	return &builder{
 		c:          c,
 		lay:        lay,
@@ -91,6 +118,8 @@ func newBuilder(c *netlist.Circuit, lay *route.Layout) *builder {
 		scan:       &Scan{},
 		bridgeHits: map[pairRule]bool{},
 		densHits:   map[netRule]bool{},
+		mode:       mode,
+		acc:        newWinAcc(len(c.Nets)),
 		ok:         true,
 	}
 }
@@ -206,6 +235,7 @@ func (b *builder) emitBridge(li, x, y, gi, aID, bID int) {
 func (b *builder) scanBridgeCell(li int, layer route.Layer, x, y int, occ []int32) {
 	if len(occ) >= 2 {
 		if a, bid, ok := firstDistinct(occ); ok {
+			b.stats.BridgePairs++
 			for gi, g := range b.gs {
 				if g.CheckSpacing != nil && g.CheckSpacing(layer, len(occ), false) {
 					b.emitBridge(li, x, y, gi, a, bid)
@@ -215,6 +245,7 @@ func (b *builder) scanBridgeCell(li int, layer route.Layer, x, y int, occ []int3
 	}
 	if len(occ) >= 1 {
 		if nb := neighborOcc(b.lay, li, x, y); nb >= 0 && nb != int(occ[0]) {
+			b.stats.BridgePairs++
 			for gi, g := range b.gs {
 				if g.CheckSpacing != nil && g.CheckSpacing(layer, len(occ), true) {
 					b.emitBridge(li, x, y, gi, int(occ[0]), nb)
@@ -242,6 +273,7 @@ func (b *builder) bridges(prev []BridgeEvent, dirty func(li, x, y int) bool, rem
 		for y := range b.lay.Occ[li] {
 			rowCells := b.lay.Occ[li][y]
 			for x := range rowCells {
+				b.stats.CellsVisited++
 				if prev == nil || dirty(li, x, y) {
 					if prev != nil {
 						for pi < len(prev) && atCell(li, x, y) {
@@ -328,11 +360,14 @@ func (b *builder) emitDensity(gi, li int, w geom.Rect, dom int) {
 }
 
 // scanDensityWindow evaluates one window from the current layout and emits
-// its trigger when the density guideline fires.
+// its trigger when the density guideline fires. The per-net counts go
+// through the builder's shared accumulator instead of a fresh map per
+// window — same dominant verdict, no per-window allocation.
 func (b *builder) scanDensityWindow(gi, li int, layer route.Layer, w geom.Rect) {
 	g := b.gs[gi]
 	used := 0
-	counts := map[int32]int{}
+	b.acc.reset()
+	b.stats.DensityCellReads += int64(w.Area())
 	for y := w.Y0; y < w.Y1; y++ {
 		for x := w.X0; x < w.X1; x++ {
 			occ := b.lay.Occ[li][y][x]
@@ -340,7 +375,7 @@ func (b *builder) scanDensityWindow(gi, li int, layer route.Layer, w geom.Rect) 
 				used++
 			}
 			for _, id := range occ {
-				counts[id]++
+				b.acc.add(id)
 			}
 		}
 	}
@@ -348,7 +383,7 @@ func (b *builder) scanDensityWindow(gi, li int, layer route.Layer, w geom.Rect) 
 	if !g.CheckDensity(layer, d) {
 		return
 	}
-	dom := dominantNet(counts)
+	dom := b.acc.dominant()
 	if dom < 0 {
 		return
 	}
@@ -438,21 +473,4 @@ func neighborOcc(lay *route.Layout, li, x, y int) int {
 		return -1
 	}
 	return int(occ[0])
-}
-
-// dominantNet picks the net with the most cells in the window
-// (deterministic tie-break by ID).
-func dominantNet(counts map[int32]int) int {
-	ids := make([]int32, 0, len(counts))
-	for id := range counts {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	best, bestN := -1, 0
-	for _, id := range ids {
-		if counts[id] > bestN {
-			best, bestN = int(id), counts[id]
-		}
-	}
-	return best
 }

@@ -105,7 +105,7 @@ func TestProfileDeterministic(t *testing.T) {
 	}
 }
 
-func buildTestLayout(t *testing.T, seed int64, gates int) (*netlist.Circuit, *route.Layout) {
+func buildTestLayout(t testing.TB, seed int64, gates int) (*netlist.Circuit, *route.Layout) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	names := []string{"NAND2X1", "NOR2X1", "INVX1", "AND2X2", "XOR2X1", "AOI22X1", "MUX2X1"}

@@ -62,8 +62,20 @@ func remapID(remap []int32, id int32) int32 {
 // cannot happen when dirty covers that net's previous geometry, but is
 // kept as a safety valve) — the caller must fall back to a full build.
 func BuildFaultsIncremental(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile, prevScan *Scan, remap []int32, dirty geom.Region) (*fault.List, *Report, *Scan, bool) {
+	l, rep, scan, _, ok := BuildFaultsIncrementalStats(c, lay, prof, prevScan, remap, dirty, geom.SpatialGrid)
+	return l, rep, scan, ok
+}
+
+// BuildFaultsIncrementalStats is BuildFaultsIncremental with an explicit
+// spatial-index mode and scan-cost accounting. In SpatialGrid mode the
+// bridge phase walks the merged union of occupied cells and logged event
+// cells instead of the whole die; the density phase stays window-local
+// either way (an incremental build touches few windows, so a global
+// aggregate index would cost more than it saves). Output is byte-identical
+// across modes.
+func BuildFaultsIncrementalStats(c *netlist.Circuit, lay *route.Layout, prof *LibraryProfile, prevScan *Scan, remap []int32, dirty geom.Region, mode geom.SpatialMode) (*fault.List, *Report, *Scan, ScanStats, bool) {
 	if prevScan == nil {
-		return nil, nil, nil, false
+		return nil, nil, nil, ScanStats{}, false
 	}
 	die := lay.P.Die
 	mask := dirty.Mask(die)
@@ -77,18 +89,23 @@ func BuildFaultsIncremental(c *netlist.Circuit, lay *route.Layout, prof *Library
 		}
 		return x+1 < die.X1 && mask[i+1]
 	}
-	b := newBuilder(c, lay)
+	b := newBuilder(c, lay, mode)
 	b.internal(prof)
 	b.vias()
-	b.bridges(prevScan.Bridges, cellDirty, remap)
+	if mode == geom.SpatialGrid {
+		b.bridgesIndexed(prevScan.Bridges, cellDirty, remap)
+	} else {
+		b.bridges(prevScan.Bridges, cellDirty, remap)
+	}
 	if b.ok {
 		b.segments()
 		b.densities(prevScan.Densities, dirty.Intersects, remap)
 	}
 	if !b.ok {
-		return nil, nil, nil, false
+		return nil, nil, nil, ScanStats{}, false
 	}
-	return b.list, b.rep, b.scan, true
+	b.finishStats()
+	return b.list, b.rep, b.scan, b.stats, true
 }
 
 // DiffUniverse compares two fault universes (list + report) fault by fault

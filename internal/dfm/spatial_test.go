@@ -1,0 +1,133 @@
+package dfm
+
+import (
+	"reflect"
+	"testing"
+
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/route"
+)
+
+// TestSpatialFullBuildIdentical: grid-indexed and naive full builds must
+// produce byte-identical universes AND byte-identical scan logs (event
+// order included) across several random layouts.
+func TestSpatialFullBuildIdentical(t *testing.T) {
+	prof := ProfileLibrary(lib)
+	for _, seed := range []int64{1, 7, 21, 33} {
+		c, lay := buildTestLayout(t, seed, 130)
+		gl, gr, gscan, gstats := BuildFaultsScanStats(c, lay, prof, geom.SpatialGrid)
+		nl, nr, nscan, nstats := BuildFaultsScanStats(c, lay, prof, geom.SpatialOff)
+		if msg := DiffUniverse(nl, nr, gl, gr); msg != "" {
+			t.Fatalf("seed %d: grid universe diverges from naive: %s", seed, msg)
+		}
+		if !reflect.DeepEqual(gscan.Bridges, nscan.Bridges) {
+			t.Fatalf("seed %d: bridge event logs differ (%d vs %d events)",
+				seed, len(gscan.Bridges), len(nscan.Bridges))
+		}
+		if !reflect.DeepEqual(gscan.Densities, nscan.Densities) {
+			t.Fatalf("seed %d: density event logs differ (%d vs %d events)",
+				seed, len(gscan.Densities), len(nscan.Densities))
+		}
+		// Candidate pairs examined are a property of the occupied geometry,
+		// identical across modes; only the cells walked differ.
+		if gstats.BridgePairs != nstats.BridgePairs {
+			t.Errorf("seed %d: pair counts differ: grid %d, naive %d",
+				seed, gstats.BridgePairs, nstats.BridgePairs)
+		}
+		if gstats.CellsVisited >= nstats.CellsVisited {
+			t.Errorf("seed %d: grid visited %d cells, naive %d — no reduction",
+				seed, gstats.CellsVisited, nstats.CellsVisited)
+		}
+		if nstats.CellsVisited != nstats.CellsNaive {
+			t.Errorf("seed %d: naive walk visited %d of %d cells",
+				seed, nstats.CellsVisited, nstats.CellsNaive)
+		}
+		if gstats.DensityCellReads >= nstats.DensityCellReads {
+			t.Errorf("seed %d: grid density reads %d, naive %d — no reduction",
+				seed, gstats.DensityCellReads, nstats.DensityCellReads)
+		}
+		if gstats.PairReduction() <= 1 {
+			t.Errorf("seed %d: pair reduction %.2f <= 1 (pairs %d, naive %d)",
+				seed, gstats.PairReduction(), gstats.BridgePairs, gstats.BridgePairsNaive)
+		}
+	}
+}
+
+// TestSpatialIncrementalIdentical: the real pipeline shape (move a gate,
+// incremental re-route, incremental universe rebuild) must agree across
+// spatial modes and with the full build, scan logs included.
+func TestSpatialIncrementalIdentical(t *testing.T) {
+	prof := ProfileLibrary(lib)
+	c, lay := buildTestLayout(t, 29, 140)
+	_, _, scan := BuildFaultsScan(c, lay, prof)
+
+	p := lay.P
+	moved := *p
+	moved.Loc = append([]geom.Pt(nil), p.Loc...)
+	g := c.Gates[len(c.Gates)/4]
+	oldLoc := moved.Loc[g.ID]
+	newLoc := geom.Pt{X: p.Die.X1 - 1 - p.W[g.ID], Y: p.Die.Y1 - 1}
+	if newLoc == oldLoc {
+		newLoc = geom.Pt{X: p.Die.X0, Y: p.Die.Y0}
+	}
+	moved.Loc[g.ID] = newLoc
+	var dirty geom.Region
+	dirty.Add(geom.Rect{X0: oldLoc.X, Y0: oldLoc.Y, X1: oldLoc.X + p.W[g.ID], Y1: oldLoc.Y + 1})
+	dirty.Add(geom.Rect{X0: newLoc.X, Y0: newLoc.Y, X1: newLoc.X + p.W[g.ID], Y1: newLoc.Y + 1})
+
+	for _, mode := range []geom.SpatialMode{geom.SpatialGrid, geom.SpatialOff} {
+		nlay, st := route.RouteIncrementalMode(&moved, lay, dirty, mode)
+		if !st.OrderStable {
+			t.Fatalf("mode %v: same circuit must be order-stable", mode)
+		}
+		wantL, wantR, wantScan := BuildFaultsScan(c, nlay, prof)
+		gotL, gotR, gotScan, _, ok := BuildFaultsIncrementalStats(c, nlay, prof, scan, st.Remap, st.Dirty, mode)
+		if !ok {
+			t.Fatalf("mode %v: incremental universe build fell back", mode)
+		}
+		if msg := DiffUniverse(wantL, wantR, gotL, gotR); msg != "" {
+			t.Fatalf("mode %v: incremental universe diverges from full: %s", mode, msg)
+		}
+		if !reflect.DeepEqual(wantScan.Bridges, gotScan.Bridges) {
+			t.Fatalf("mode %v: incremental bridge log diverges", mode)
+		}
+		if !reflect.DeepEqual(wantScan.Densities, gotScan.Densities) {
+			t.Fatalf("mode %v: incremental density log diverges", mode)
+		}
+	}
+}
+
+// TestSpatialIncrementalIdentityReplay: empty dirty region through the
+// indexed walk — every trigger replays, nothing is re-scanned.
+func TestSpatialIncrementalIdentityReplay(t *testing.T) {
+	prof := ProfileLibrary(lib)
+	c, lay := buildTestLayout(t, 31, 120)
+	fl, rep, scan := BuildFaultsScan(c, lay, prof)
+	il, irep, iscan, _, ok := BuildFaultsIncrementalStats(
+		c, lay, prof, scan, identityRemap(len(c.Nets)), geom.Region{}, geom.SpatialGrid)
+	if !ok {
+		t.Fatal("identity replay fell back")
+	}
+	if msg := DiffUniverse(fl, rep, il, irep); msg != "" {
+		t.Fatalf("replayed universe diverges: %s", msg)
+	}
+	if !reflect.DeepEqual(scan.Bridges, iscan.Bridges) || !reflect.DeepEqual(scan.Densities, iscan.Densities) {
+		t.Fatal("replayed scan log diverges")
+	}
+}
+
+// BenchmarkBuildFaults measures the full universe build in both spatial
+// modes; the grid mode's win shows up in ns/op, the shared density
+// accumulator's in allocs/op.
+func BenchmarkBuildFaults(b *testing.B) {
+	c, lay := buildTestLayout(b, 5, 260)
+	prof := ProfileLibrary(lib)
+	for _, mode := range []geom.SpatialMode{geom.SpatialGrid, geom.SpatialOff} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BuildFaultsScanStats(c, lay, prof, mode)
+			}
+		})
+	}
+}

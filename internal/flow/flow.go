@@ -90,6 +90,13 @@ type Env struct {
 	// stay byte-identical to an unscreened run. A zero-valued Env leaves
 	// it off.
 	StaticProof implic.Mode
+	// Spatial selects the spatial-index backing of the physical hot paths
+	// (DFM bridge/density scans, the incremental router's dirty-region
+	// test). The zero value is geom.SpatialGrid — the production default;
+	// geom.SpatialOff keeps the original full scans as the differential
+	// harness's baseline. Every analysis result is byte-identical across
+	// modes.
+	Spatial geom.SpatialMode
 }
 
 // IncrStats summarizes what an AnalyzeIncremental call reused from the
@@ -154,6 +161,10 @@ type Design struct {
 	// DFMScan is the replayable geometry-scan log of the DFM check; the
 	// next AnalyzeIncremental splices it instead of re-scanning the die.
 	DFMScan *dfm.Scan
+	// DFMStats reports how much geometry the DFM scan examined versus the
+	// naive baselines (candidate-pair and cell reductions). Informational:
+	// it varies with Env.Spatial while everything else stays identical.
+	DFMStats dfm.ScanStats
 	// Incr reports what AnalyzeIncremental reused (nil for full analyses).
 	Incr *IncrStats
 }
@@ -183,11 +194,29 @@ func (e *Env) lintDesign(d *Design) error {
 // classify it.
 func (e *Env) analyzeFaults(d *Design) error {
 	sp := obs.Start(e.Obs, "flow/dfm")
-	d.Faults, d.DFMRep, d.DFMScan = dfm.BuildFaultsScan(d.C, d.Lay, e.Prof)
+	d.Faults, d.DFMRep, d.DFMScan, d.DFMStats = dfm.BuildFaultsScanStats(d.C, d.Lay, e.Prof, e.Spatial)
 	sp.Annotate(obs.Int("faults", d.Faults.Len()))
 	sp.End()
 	e.Obs.Counter("dfm/full_builds").Inc()
+	e.publishScanStats(d.DFMStats)
 	return e.classifyFaults(d)
+}
+
+// publishScanStats exports one DFM build's scan-cost accounting: what the
+// spatial index examined versus the naive baselines it replaced.
+func (e *Env) publishScanStats(s dfm.ScanStats) {
+	if e.Obs == nil {
+		return
+	}
+	e.Obs.Counter("dfm/scan_cells_visited").Add(s.CellsVisited)
+	e.Obs.Counter("dfm/scan_cells_naive").Add(s.CellsNaive)
+	e.Obs.Counter("dfm/bridge_pairs_examined").Add(s.BridgePairs)
+	e.Obs.Counter("dfm/bridge_pairs_naive").Add(s.BridgePairsNaive)
+	e.Obs.Counter("dfm/density_cell_reads").Add(s.DensityCellReads)
+	e.Obs.Counter("dfm/density_cell_reads_naive").Add(s.DensityCellReadsNaive)
+	if r := s.PairReduction(); r > 0 {
+		e.Obs.Histogram("dfm/pair_reduction", 1, 3, 10, 30, 100, 300, 1000, 3000).Observe(r)
+	}
 }
 
 // classifyFaults runs test generation over an already-built fault universe
@@ -304,6 +333,9 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 	if err != nil {
 		return nil, fmt.Errorf("flow: %w", err)
 	}
+	if err := p.VerifyLegal(); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
 	d := &Design{Env: e, C: c, Die: p.Die, P: p, Incr: &IncrStats{}}
 	var rst *route.IncrStats
 	spRoute := obs.Start(e.Obs, "flow/route_incr")
@@ -311,7 +343,7 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 		d.Lay = route.Route(p)
 		d.Incr.RouteRerouted = len(d.Lay.Routes)
 	} else {
-		d.Lay, rst = route.RouteIncremental(p, prev.Lay, diff.Region)
+		d.Lay, rst = route.RouteIncrementalMode(p, prev.Lay, diff.Region, e.Spatial)
 		d.Incr.RouteReused = rst.Reused
 		d.Incr.RouteRerouted = rst.Rerouted
 	}
@@ -334,7 +366,7 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 	spSTA.End()
 	if rst != nil && rst.OrderStable && prev.DFMScan != nil {
 		spDFM := obs.Start(e.Obs, "flow/dfm_incr")
-		fl, rep, scan, ok := dfm.BuildFaultsIncremental(c, d.Lay, e.Prof, prev.DFMScan, rst.Remap, rst.Dirty)
+		fl, rep, scan, stats, ok := dfm.BuildFaultsIncrementalStats(c, d.Lay, e.Prof, prev.DFMScan, rst.Remap, rst.Dirty, e.Spatial)
 		spDFM.End()
 		if ok {
 			if e.DiffCheck {
@@ -343,16 +375,18 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 					return nil, fmt.Errorf("flow: diffcheck: incremental fault universe diverges from full build: %s", msg)
 				}
 			}
-			d.Faults, d.DFMRep, d.DFMScan = fl, rep, scan
+			d.Faults, d.DFMRep, d.DFMScan, d.DFMStats = fl, rep, scan, stats
 			d.Incr.DFMIncremental = true
 			e.Obs.Counter("dfm/incremental_builds").Inc()
+			e.publishScanStats(stats)
 		}
 	}
 	if d.Faults == nil {
 		spDFM := obs.Start(e.Obs, "flow/dfm")
-		d.Faults, d.DFMRep, d.DFMScan = dfm.BuildFaultsScan(c, d.Lay, e.Prof)
+		d.Faults, d.DFMRep, d.DFMScan, d.DFMStats = dfm.BuildFaultsScanStats(c, d.Lay, e.Prof, e.Spatial)
 		spDFM.End()
 		e.Obs.Counter("dfm/full_builds").Inc()
+		e.publishScanStats(d.DFMStats)
 	}
 	if err := e.classifyFaults(d); err != nil {
 		return nil, err
@@ -376,6 +410,9 @@ func (e *Env) PhysicalOnly(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	}
 	spPlace.End()
 	if err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	if err := p.VerifyLegal(); err != nil {
 		return nil, fmt.Errorf("flow: %w", err)
 	}
 	spRoute := obs.Start(e.Obs, "flow/route", obs.Int("nets", len(c.Nets)))

@@ -35,9 +35,12 @@ func (r Rect) Contains(p Pt) bool {
 	return p.X >= r.X0 && p.X < r.X1 && p.Y >= r.Y0 && p.Y < r.Y1
 }
 
-// Intersects reports whether two rectangles overlap.
+// Intersects reports whether two rectangles share positive area. Empty
+// (zero-area or inverted) rectangles intersect nothing — the half-open
+// convention leaves them no interior to share.
 func (r Rect) Intersects(o Rect) bool {
-	return r.X0 < o.X1 && o.X0 < r.X1 && r.Y0 < o.Y1 && o.Y0 < r.Y1
+	return r.X0 < r.X1 && r.Y0 < r.Y1 && o.X0 < o.X1 && o.Y0 < o.Y1 &&
+		r.X0 < o.X1 && o.X0 < r.X1 && r.Y0 < o.Y1 && o.Y0 < r.Y1
 }
 
 // Clip returns the intersection of two rectangles (empty if disjoint).

@@ -32,6 +32,12 @@ type Placement struct {
 
 	PIPad []geom.Pt // per PI index: pad location on the left edge
 	POPad []geom.Pt // per PO index: pad location on the right edge
+
+	// piIdx/poIdx map a net to its pad index — built by placePads so
+	// NetTerminals resolves pads in O(1) instead of scanning the PI/PO
+	// lists per call (NetTerminals sits under every HPWL evaluation of
+	// the swap refiner and every net the router processes).
+	piIdx, poIdx map[*netlist.Net]int
 }
 
 // CellWidth returns the grid width of a gate (ceil of cell area).
@@ -153,6 +159,18 @@ func (p *Placement) placePads() {
 		}
 		p.POPad[i] = geom.Pt{X: p.Die.X1 - 1, Y: y}
 	}
+	p.piIdx = make(map[*netlist.Net]int, len(c.PIs))
+	for i, n := range c.PIs {
+		if _, dup := p.piIdx[n]; !dup {
+			p.piIdx[n] = i
+		}
+	}
+	p.poIdx = make(map[*netlist.Net]int, len(c.POs))
+	for i, n := range c.POs {
+		if _, dup := p.poIdx[n]; !dup {
+			p.poIdx[n] = i
+		}
+	}
 }
 
 // NetTerminals returns the terminal points of a net: the driver cell or PI
@@ -161,26 +179,46 @@ func (p *Placement) NetTerminals(n *netlist.Net) []geom.Pt {
 	var pts []geom.Pt
 	if n.Driver != nil {
 		pts = append(pts, p.Loc[n.Driver.ID])
-	} else {
-		for i, pi := range p.C.PIs {
-			if pi == n {
-				pts = append(pts, p.PIPad[i])
-				break
-			}
-		}
+	} else if i, ok := p.piIdx[n]; ok {
+		pts = append(pts, p.PIPad[i])
 	}
 	for _, pin := range n.Fanout {
 		pts = append(pts, p.Loc[pin.Gate.ID])
 	}
 	if n.IsPO {
-		for i, po := range p.C.POs {
-			if po == n {
-				pts = append(pts, p.POPad[i])
-				break
-			}
+		if i, ok := p.poIdx[n]; ok {
+			pts = append(pts, p.POPad[i])
 		}
 	}
 	return pts
+}
+
+// VerifyLegal checks the placement against the die: every cell footprint
+// inside the boundary and no two footprints overlapping. Overlap detection
+// runs on the shared grid index (footprints only pair up inside shared
+// buckets); the reported pair is the smallest by gate ID, so the error is
+// deterministic regardless of discovery order. Violations wrap
+// ErrConstraint.
+func (p *Placement) VerifyLegal() error {
+	idx := geom.NewGrid(p.Die, geom.DefaultGridCell)
+	for _, g := range p.C.Gates {
+		loc, w := p.Loc[g.ID], p.W[g.ID]
+		r := geom.Rect{X0: loc.X, Y0: loc.Y, X1: loc.X + w, Y1: loc.Y + 1}
+		if loc.X < p.Die.X0 || r.X1 > p.Die.X1 || loc.Y < p.Die.Y0 || r.Y1 > p.Die.Y1 {
+			return fmt.Errorf("%w: cell %s at (%d,%d) width %d outside die", ErrConstraint, g.Name, loc.X, loc.Y, w)
+		}
+		idx.Insert(int32(g.ID), r)
+	}
+	bestA, bestB := -1, -1
+	idx.Pairs(func(a, b geom.GridItem) {
+		if bestA < 0 || int(a.ID) < bestA || (int(a.ID) == bestA && int(b.ID) < bestB) {
+			bestA, bestB = int(a.ID), int(b.ID)
+		}
+	})
+	if bestA >= 0 {
+		return fmt.Errorf("%w: cells %s and %s overlap", ErrConstraint, p.C.Gates[bestA].Name, p.C.Gates[bestB].Name)
+	}
+	return nil
 }
 
 // WireLength returns the total HPWL over all nets.

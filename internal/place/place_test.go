@@ -1,6 +1,7 @@
 package place
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -174,6 +175,71 @@ func TestPadsOnDieEdges(t *testing.T) {
 	for i, pad := range p.POPad {
 		if pad.X != p.Die.X1-1 {
 			t.Errorf("PO pad %d not on right edge: %v", i, pad)
+		}
+	}
+}
+
+func TestVerifyLegal(t *testing.T) {
+	c := randomCircuit(t, 5, 140)
+	p, err := Place(c, 0.70, 5)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if err := p.VerifyLegal(); err != nil {
+		t.Fatalf("legal placement rejected: %v", err)
+	}
+	// Force an overlap: move gate 1 onto gate 0.
+	bad := *p
+	bad.Loc = append([]geom.Pt(nil), p.Loc...)
+	bad.Loc[c.Gates[1].ID] = p.Loc[c.Gates[0].ID]
+	err = bad.VerifyLegal()
+	if err == nil {
+		t.Fatal("overlapping placement accepted")
+	}
+	if !errors.Is(err, ErrConstraint) {
+		t.Fatalf("overlap error must wrap ErrConstraint: %v", err)
+	}
+	// Force an escape: move a gate outside the die.
+	esc := *p
+	esc.Loc = append([]geom.Pt(nil), p.Loc...)
+	esc.Loc[c.Gates[2].ID] = geom.Pt{X: p.Die.X1, Y: p.Die.Y0}
+	if err := esc.VerifyLegal(); err == nil {
+		t.Fatal("out-of-die placement accepted")
+	}
+}
+
+func TestNetTerminalsPadIndex(t *testing.T) {
+	c := randomCircuit(t, 6, 80)
+	p, err := Place(c, 0.70, 6)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	// The O(1) pad index must agree with a direct scan of the pad lists.
+	for _, n := range c.Nets {
+		pts := p.NetTerminals(n)
+		if n.Driver == nil {
+			want := geom.Pt{X: -1, Y: -1}
+			for i, pi := range c.PIs {
+				if pi == n {
+					want = p.PIPad[i]
+					break
+				}
+			}
+			if len(pts) == 0 || pts[0] != want {
+				t.Fatalf("net %s: PI pad terminal %v, want %v", n.Name, pts, want)
+			}
+		}
+		if n.IsPO {
+			want := geom.Pt{X: -1, Y: -1}
+			for i, po := range c.POs {
+				if po == n {
+					want = p.POPad[i]
+					break
+				}
+			}
+			if pts[len(pts)-1] != want {
+				t.Fatalf("net %s: PO pad terminal %v, want %v", n.Name, pts[len(pts)-1], want)
+			}
 		}
 	}
 }

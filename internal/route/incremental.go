@@ -51,6 +51,42 @@ type IncrStats struct {
 // changed, or kept nets were renumbered out of order), it falls back to a
 // full Route.
 func RouteIncremental(p *place.Placement, prev *Layout, dirty geom.Region) (*Layout, *IncrStats) {
+	return RouteIncrementalMode(p, prev, dirty, geom.SpatialGrid)
+}
+
+// dirtyIndex is the changed-cell region W plus an optional grid index over
+// its rectangles. The region is always maintained (IncrStats.Dirty and the
+// DFM splice consume it); the grid turns the per-net `does my bbox touch
+// W` test from O(len(W.Rects)) — quadratic over a sweep that dirties many
+// nets — into a few bucket probes. Both answer the exact same question
+// (Rect.Intersects over the same rectangles), so the routing decisions,
+// and hence the layout, are byte-identical across modes.
+type dirtyIndex struct {
+	region geom.Region
+	grid   *geom.Grid // nil in SpatialOff mode
+}
+
+func (d *dirtyIndex) add(r geom.Rect) {
+	if r.Area() <= 0 {
+		return
+	}
+	d.region.Add(r)
+	if d.grid != nil {
+		d.grid.Insert(int32(len(d.region.Rects)-1), r)
+	}
+}
+
+func (d *dirtyIndex) intersects(r geom.Rect) bool {
+	if d.grid != nil {
+		return d.grid.Intersects(r)
+	}
+	return d.region.Intersects(r)
+}
+
+// RouteIncrementalMode is RouteIncremental with an explicit spatial-index
+// mode: SpatialGrid backs the dirty-region test with a grid-bucket index,
+// SpatialOff keeps the original linear scan. Identical layouts either way.
+func RouteIncrementalMode(p *place.Placement, prev *Layout, dirty geom.Region, mode geom.SpatialMode) (*Layout, *IncrStats) {
 	st := &IncrStats{}
 	full := func() (*Layout, *IncrStats) {
 		st.OrderStable = false
@@ -93,11 +129,16 @@ func RouteIncremental(p *place.Placement, prev *Layout, dirty geom.Region) (*Lay
 
 	// Seed the changed-cell region: the placement diff plus the previous
 	// segment cells of removed nets (their occupancy disappears).
-	W := geom.Region{}
-	W.Rects = append(W.Rects, dirty.Rects...)
+	W := &dirtyIndex{}
+	if mode == geom.SpatialGrid {
+		W.grid = geom.NewGrid(p.Die, geom.DefaultGridCell)
+	}
+	for _, rc := range dirty.Rects {
+		W.add(rc)
+	}
 	for pid, nid := range st.Remap {
 		if nid < 0 {
-			addSegRects(&W, prev.Routes[pid].Segs)
+			addSegRects(W, prev.Routes[pid].Segs)
 		}
 	}
 
@@ -117,7 +158,7 @@ func RouteIncremental(p *place.Placement, prev *Layout, dirty geom.Region) (*Lay
 		pn := kept[n.ID]
 		clean := pn != nil &&
 			samePts(terms, dedupPts(prev.P.NetTerminals(pn))) &&
-			!W.Intersects(bbox)
+			!W.intersects(bbox)
 		if clean {
 			lay.replay(n, &prev.Routes[pn.ID])
 			st.Reused++
@@ -130,20 +171,20 @@ func RouteIncremental(p *place.Placement, prev *Layout, dirty geom.Region) (*Lay
 			prevSegs = prev.Routes[pn.ID].Segs
 		}
 		if !sameSegs(lay.Routes[n.ID].Segs, prevSegs) {
-			addSegRects(&W, prevSegs)
-			addSegRects(&W, lay.Routes[n.ID].Segs)
+			addSegRects(W, prevSegs)
+			addSegRects(W, lay.Routes[n.ID].Segs)
 		}
 	}
-	st.Dirty = W
+	st.Dirty = W.region
 	return lay, st
 }
 
 // addSegRects adds each segment's cell span (a thin rectangle) to the
 // region. Vias contribute no occupancy, so segments alone describe where a
 // route's congestion footprint lives.
-func addSegRects(W *geom.Region, segs []Seg) {
+func addSegRects(W *dirtyIndex, segs []Seg) {
 	for _, s := range segs {
-		W.Add(geom.Rect{X0: s.A.X, Y0: s.A.Y, X1: s.B.X + 1, Y1: s.B.Y + 1})
+		W.add(geom.Rect{X0: s.A.X, Y0: s.A.Y, X1: s.B.X + 1, Y1: s.B.Y + 1})
 	}
 }
 
@@ -174,9 +215,7 @@ func (lay *Layout) replay(n *netlist.Net, pr *NetRoute) {
 		li := int(s.Layer - M2)
 		dx, dy := sign(s.B.X-s.A.X), sign(s.B.Y-s.A.Y)
 		for pt := s.A; ; pt = pt.Add(dx, dy) {
-			if lay.P.Die.Contains(pt) {
-				lay.Occ[li][pt.Y][pt.X] = append(lay.Occ[li][pt.Y][pt.X], id)
-			}
+			lay.commit(li, pt, id)
 			if pt == s.B {
 				break
 			}

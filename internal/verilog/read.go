@@ -1,0 +1,190 @@
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dfmresyn/internal/library"
+	"dfmresyn/internal/netlist"
+)
+
+// ReadModule parses a structural Verilog module of the subset WriteModule
+// emits — one module, scalar ports, named-port primitive instances from
+// the given cell library — back into a Circuit. It is the ingest half of
+// the round trip: WriteModule → ReadModule → WriteModule is byte-stable.
+//
+// The parser translates statement by statement into the internal text
+// netlist format and delegates to netlist.Read, so net-name round-tripping
+// and structural validation (duplicate nets, fanin arity, acyclicity via
+// the final Check) are exactly the text reader's. Instances must appear in
+// topological order, which WriteModule guarantees (it emits in Levelize
+// order).
+func ReadModule(r io.Reader, lib *library.Library) (*netlist.Circuit, error) {
+	stmts, err := verilogStatements(r)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		b       strings.Builder
+		inputs  []string
+		outputs []string
+		started bool
+	)
+	for _, st := range stmts {
+		fields := strings.Fields(st)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "module":
+			if started {
+				return nil, fmt.Errorf("verilog: multiple module declarations")
+			}
+			started = true
+			name, _, _ := strings.Cut(strings.TrimSpace(st[len("module"):]), "(")
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, fmt.Errorf("verilog: module needs a name")
+			}
+			fmt.Fprintf(&b, "circuit %s\n", name)
+		case "endmodule":
+			// Port-list declarations only name the ports; input/output
+			// statements carry the direction, collected below.
+		case "input":
+			inputs = append(inputs, portIdents(st[len("input"):])...)
+		case "output":
+			outputs = append(outputs, portIdents(st[len("output"):])...)
+		case "wire":
+			// Wire declarations carry no structure the netlist format
+			// needs: gate outputs declare their nets.
+		default:
+			if !started {
+				return nil, fmt.Errorf("verilog: instance before module declaration")
+			}
+			if len(inputs) > 0 {
+				fmt.Fprintf(&b, "input %s\n", strings.Join(inputs, " "))
+				inputs = nil
+			}
+			line, err := instanceLine(st, lib)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(line)
+		}
+	}
+	if !started {
+		return nil, fmt.Errorf("verilog: no module found")
+	}
+	if len(inputs) > 0 {
+		fmt.Fprintf(&b, "input %s\n", strings.Join(inputs, " "))
+	}
+	if len(outputs) > 0 {
+		fmt.Fprintf(&b, "output %s\n", strings.Join(outputs, " "))
+	}
+	c, err := netlist.Read(strings.NewReader(b.String()), lib)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: %w", err)
+	}
+	return c, nil
+}
+
+// verilogStatements strips comments and splits the source on ';'. The
+// subset has no attributes, strings or block comments, so line comments
+// and semicolons delimit everything.
+func verilogStatements(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var src strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		src.WriteString(line)
+		src.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("verilog: %w", err)
+	}
+	var stmts []string
+	for _, st := range strings.Split(src.String(), ";") {
+		st = strings.TrimSpace(st)
+		if st != "" {
+			stmts = append(stmts, st)
+		}
+	}
+	return stmts, nil
+}
+
+// portIdents splits an input/output declaration's identifier list.
+func portIdents(s string) []string {
+	var out []string
+	for _, f := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' || r == '\n' }) {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// instanceLine translates one named-port primitive instantiation into a
+// "gate <instance> <cell> <out> <in...>" text-netlist line, resolving the
+// port order through the cell's canonical port list (inputs then Y).
+func instanceLine(st string, lib *library.Library) (string, error) {
+	head, conns, ok := strings.Cut(st, "(")
+	if !ok {
+		return "", fmt.Errorf("verilog: bad instance statement %q", st)
+	}
+	conns = strings.TrimSpace(conns)
+	conns = strings.TrimSuffix(conns, ")")
+	hf := strings.Fields(head)
+	if len(hf) != 2 {
+		return "", fmt.Errorf("verilog: bad instance header %q", strings.TrimSpace(head))
+	}
+	cellName, inst := hf[0], hf[1]
+	cell := lib.ByName(cellName)
+	if cell == nil {
+		return "", fmt.Errorf("verilog: unknown cell %q", cellName)
+	}
+	byPort := map[string]string{}
+	for _, c := range strings.Split(conns, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if !strings.HasPrefix(c, ".") {
+			return "", fmt.Errorf("verilog: instance %s: positional ports unsupported (%q)", inst, c)
+		}
+		port, net, ok := strings.Cut(c[1:], "(")
+		if !ok {
+			return "", fmt.Errorf("verilog: instance %s: bad port connection %q", inst, c)
+		}
+		net = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(net), ")"))
+		port = strings.TrimSpace(port)
+		if net == "" || port == "" {
+			return "", fmt.Errorf("verilog: instance %s: bad port connection %q", inst, c)
+		}
+		if _, dup := byPort[port]; dup {
+			return "", fmt.Errorf("verilog: instance %s: port %s connected twice", inst, port)
+		}
+		byPort[port] = net
+	}
+	out, ok := byPort["Y"]
+	if !ok {
+		return "", fmt.Errorf("verilog: instance %s: output port Y unconnected", inst)
+	}
+	parts := []string{"gate", inst, cellName, out}
+	for _, p := range cell.Inputs {
+		net, ok := byPort[p]
+		if !ok {
+			return "", fmt.Errorf("verilog: instance %s: input port %s unconnected", inst, p)
+		}
+		parts = append(parts, net)
+	}
+	if len(byPort) != cell.NumInputs()+1 {
+		return "", fmt.Errorf("verilog: instance %s: %d connections for %d ports", inst, len(byPort), cell.NumInputs()+1)
+	}
+	return strings.Join(parts, " ") + "\n", nil
+}

@@ -1,0 +1,126 @@
+// Differential harness for the spatial index: with -spatial=grid (the
+// default), every artifact the pipeline produces must stay byte-identical
+// to a -spatial=off run — the grid may only change *how much* geometry the
+// physical scans examine, never what they find. Layouts, fault universes,
+// Table I / Table II rows and the full resynthesis sweep are compared
+// across the whole benchmark suite. This is the soundness gate behind
+// making the grid index the flow default, and the companion to the scan
+// statistics: the stats prove the work shrank, this harness proves the
+// answer did not move.
+package dfmresyn
+
+import (
+	"reflect"
+	"testing"
+
+	"dfmresyn/internal/bench"
+	"dfmresyn/internal/dfm"
+	"dfmresyn/internal/flow"
+	"dfmresyn/internal/geom"
+	"dfmresyn/internal/report"
+	"dfmresyn/internal/resyn"
+	"dfmresyn/internal/route"
+)
+
+func analyzeSpatial(t *testing.T, name string, mode geom.SpatialMode) *flow.Design {
+	t.Helper()
+	env := flow.NewEnv()
+	env.Spatial = mode
+	c := bench.MustBuild(name, env.Lib)
+	d, err := env.Analyze(c, geom.Rect{})
+	if err != nil {
+		t.Fatalf("%s (%v): %v", name, mode, err)
+	}
+	return d
+}
+
+// TestSpatialDifferential: grid vs off over the benchmark suite —
+// identical fault universes, statuses, test sets and table rows, plus the
+// scan statistics asserting the grid actually did less work.
+func TestSpatialDifferential(t *testing.T) {
+	names := bench.Names
+	if testing.Short() {
+		// The fast subset spans the die-size range: the smallest circuit,
+		// a mid-size one, and the largest (sparc_fpu).
+		names = []string{"systemcaes", "sparc_spu", "sparc_fpu"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			off := analyzeSpatial(t, name, geom.SpatialOff)
+			grd := analyzeSpatial(t, name, geom.SpatialGrid)
+			if diff := dfmDiff(off, grd); diff != "" {
+				t.Errorf("fault universe differs between -spatial=off and grid: %s", diff)
+			}
+			if !reflect.DeepEqual(statuses(grd), statuses(off)) {
+				t.Error("fault statuses differ between -spatial=off and grid")
+			}
+			if !reflect.DeepEqual(grd.Result.Tests, off.Result.Tests) {
+				t.Errorf("test vectors differ (%d off vs %d grid)",
+					len(off.Result.Tests), len(grd.Result.Tests))
+			}
+			if r0, r1 := report.TableIRow(name, off.Metrics()), report.TableIRow(name, grd.Metrics()); r0 != r1 {
+				t.Errorf("Table I rows differ:\n  off:  %s\n  grid: %s", r0, r1)
+			}
+			if r0, r1 := report.TableIIOrigRow(name, off.Metrics()), report.TableIIOrigRow(name, grd.Metrics()); r0 != r1 {
+				t.Errorf("Table II rows differ:\n  off:  %s\n  grid: %s", r0, r1)
+			}
+			// The contract's other half: the grid visited strictly less
+			// geometry than the naive full scans it replaced.
+			gs, ns := grd.DFMStats, off.DFMStats
+			if gs.BridgePairs != ns.BridgePairs {
+				t.Errorf("bridge pairs examined differ: grid %d, off %d", gs.BridgePairs, ns.BridgePairs)
+			}
+			if gs.CellsVisited >= ns.CellsVisited {
+				t.Errorf("grid visited %d cells, naive %d — no reduction", gs.CellsVisited, ns.CellsVisited)
+			}
+			if gs.DensityCellReads >= ns.DensityCellReads {
+				t.Errorf("grid read %d density cells, naive %d — no reduction", gs.DensityCellReads, ns.DensityCellReads)
+			}
+			if gs.PairReduction() <= 1 {
+				t.Errorf("pair reduction %.2f, want > 1", gs.PairReduction())
+			}
+		})
+	}
+}
+
+// dfmDiff compares two designs' layouts and fault universes with the same
+// differential reporters the incremental flow's -diffcheck uses.
+func dfmDiff(want, got *flow.Design) string {
+	if d := route.DiffLayouts(want.Lay, got.Lay); d != "" {
+		return d
+	}
+	return dfm.DiffUniverse(want.Faults, want.DFMRep, got.Faults, got.DFMRep)
+}
+
+// TestSpatialResynSweep: a full resynthesis q-sweep (default MaxQ) — every
+// incremental re-analysis included — renders the same Table II resyn row
+// and Fig. 2 trace with the grid index as without it.
+func TestSpatialResynSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resynthesis sweep is slow under -short")
+	}
+	const name = "sparc_spu"
+	run := func(mode geom.SpatialMode) (string, string) {
+		env := flow.NewEnv()
+		env.Spatial = mode
+		c := bench.MustBuild(name, env.Lib)
+		orig, err := env.Analyze(c, geom.Rect{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := resyn.RunFrom(env, orig, resyn.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report.TableIIResynRow(r, 1.0), report.Fig2Trace(r)
+	}
+	rowOff, traceOff := run(geom.SpatialOff)
+	rowGrd, traceGrd := run(geom.SpatialGrid)
+	if rowOff != rowGrd {
+		t.Errorf("resyn Table II rows differ:\n  off:  %s\n  grid: %s", rowOff, rowGrd)
+	}
+	if traceOff != traceGrd {
+		t.Errorf("Fig. 2 traces differ:\n--- off ---\n%s--- grid ---\n%s", traceOff, traceGrd)
+	}
+}
