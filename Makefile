@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench benchflow bench-smoke fuzz obs-smoke chaos-smoke
+.PHONY: check fmt vet build test race lint bench benchflow bench-smoke fuzz obs-smoke chaos-smoke sat-smoke
 
-check: fmt vet build test race lint benchflow bench-smoke obs-smoke chaos-smoke
+check: fmt vet build test race lint benchflow bench-smoke obs-smoke chaos-smoke sat-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -100,6 +100,15 @@ chaos-smoke:
 	grep -q 'recovered=[1-9]' "$$dir/chaos.err" && \
 	echo "chaos-smoke: tables identical under 5% injected panics"
 
+# SAT escalation smoke: the CDCL core's brute-force and pigeonhole
+# cross-checks, the escalation tier's differential harness (SAT verdicts ==
+# unlimited PODEM on every fault model), and the flow-level determinism gate
+# with forced escalations on sparc_exu. Fast (~2s) and fully deterministic.
+sat-smoke:
+	$(GO) test -run 'TestRandom3SATAgainstBruteForce|TestPigeonhole|TestDeterminism|TestXorChain' ./internal/sat/
+	$(GO) test -run 'TestEscalat' ./internal/atpg/
+	$(GO) test -run 'TestSATEscalationDeterminism' .
+
 # Short fuzz passes over every hand-rolled parser/decoder: the canonical
 # netlist reader, the exact-order checkpoint codec, the journal envelope,
 # and the sweep-checkpoint loader. Corpora grow under -fuzztime as long as
@@ -110,3 +119,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/resilience/
 	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/resyn/
 	$(GO) test -fuzz=FuzzImplic -fuzztime=30s ./internal/implic/
+	$(GO) test -fuzz=FuzzCNF -fuzztime=30s ./internal/atpg/

@@ -63,6 +63,23 @@ type benchFlowRow struct {
 	BacktracksNoScr  int64   `json:"podem_backtracks_noscreen"`
 	BacktracksScreen int64   `json:"podem_backtracks_screen"`
 	BacktrackCut     float64 `json:"podem_backtrack_cut"`
+	// CDCL escalation tier: the cold run above has the tier on (the flow
+	// default); sat_escalations / sat_conflicts record its work there.
+	// A cold run with the tier off supplies aborted_noescalate — the
+	// unproven tail PODEM alone leaves at the default backtrack limit —
+	// and its wall times. The sat-tier run cuts the PODEM budget to 1000
+	// backtracks with escalation on: verdicts stay identical to the
+	// default run (the solver is complete) while the hard faults' search
+	// tail collapses, which is where the analyze-time reduction shows.
+	SATEscalations    int     `json:"sat_escalations"`
+	SATConflicts      int64   `json:"sat_conflicts"`
+	AbortedNoEscalate int     `json:"aborted_noescalate"`
+	AnalyzeSecNoEsc   float64 `json:"analyze_seconds_noescalate"`
+	ATPGSecsNoEsc     float64 `json:"atpg_seconds_noescalate"`
+	SATTierAnalyzeSec float64 `json:"sat_tier_analyze_seconds"`
+	SATTierATPGSecs   float64 `json:"sat_tier_atpg_seconds"`
+	SATTierEscalation int     `json:"sat_tier_escalations"`
+	SATTierSpeedup    float64 `json:"sat_tier_atpg_speedup"`
 	// Worker scaling: a second cold analysis pinned to one worker gives
 	// the serial baseline next to the default (NumCPU) pass above; the
 	// speedup is the ATPG-stage ratio, since only classification fans out.
@@ -166,6 +183,37 @@ func TestBenchFlowJSON(t *testing.T) {
 		offSearches := envOff.Obs.Registry().Counter("atpg/podem_searches").Get()
 		offBacktracks := envOff.Obs.Registry().Counter("atpg/podem_backtracks").Get()
 
+		// Escalation-off baseline: the aborted tail and wall times PODEM
+		// alone produces at the default backtrack limit.
+		envNoEsc := flow.NewEnv()
+		envNoEsc.SATEscalate = false
+		tNoEsc := time.Now()
+		noEsc, err := envNoEsc.Analyze(bench.MustBuild(name, envNoEsc.Lib), geom.Rect{})
+		if err != nil {
+			t.Fatalf("%s escalation-off baseline: %v", name, err)
+		}
+		noEscAnalyze := time.Since(tNoEsc)
+
+		// SAT tier: PODEM budget cut to 1000 backtracks, escalation on.
+		// Complete verdicts at a fraction of the hard faults' search tail;
+		// the partition must match the default cold run exactly.
+		envTier := flow.NewEnv()
+		envTier.ATPG.BacktrackLimit = 1000
+		tTier := time.Now()
+		tier, err := envTier.Analyze(bench.MustBuild(name, envTier.Lib), geom.Rect{})
+		if err != nil {
+			t.Fatalf("%s sat-tier run: %v", name, err)
+		}
+		tierAnalyze := time.Since(tTier)
+		if tier.Result.Aborted != 0 {
+			t.Errorf("%s sat tier: %d faults Aborted — escalation must prove everything", name, tier.Result.Aborted)
+		}
+		if tier.Result.Undetectable != cold.Result.Undetectable || tier.Result.Detected != cold.Result.Detected {
+			t.Errorf("%s sat tier: partition %d/%d differs from default run %d/%d",
+				name, tier.Result.Detected, tier.Result.Undetectable,
+				cold.Result.Detected, cold.Result.Undetectable)
+		}
+
 		// Serial baseline: the same cold analysis pinned to one worker,
 		// in its own env so no verdict cache is shared.
 		envW1 := flow.NewEnv()
@@ -225,6 +273,17 @@ func TestBenchFlowJSON(t *testing.T) {
 		}
 		if offBacktracks > 0 {
 			row.BacktrackCut = 1 - float64(scrBacktracks)/float64(offBacktracks)
+		}
+		row.SATEscalations = cold.Result.SATEscalations
+		row.SATConflicts = cold.Result.SATConflicts
+		row.AbortedNoEscalate = noEsc.Result.Aborted
+		row.AnalyzeSecNoEsc = noEscAnalyze.Seconds()
+		row.ATPGSecsNoEsc = noEsc.ATPGTime.Seconds()
+		row.SATTierAnalyzeSec = tierAnalyze.Seconds()
+		row.SATTierATPGSecs = tier.ATPGTime.Seconds()
+		row.SATTierEscalation = tier.Result.SATEscalations
+		if s := tier.ATPGTime.Seconds(); s > 0 {
+			row.SATTierSpeedup = noEsc.ATPGTime.Seconds() / s
 		}
 		row.AnalyzeSecW1 = w1Analyze.Seconds()
 		row.ATPGSecW1 = w1.ATPGTime.Seconds()

@@ -66,6 +66,7 @@ var (
 	diffCheck  = flag.Bool("diffcheck", false, "verify every incremental physical re-analysis against a from-scratch recompute (slow; debugging aid)")
 	lintMode   = flag.String("lint", "off", "static-analysis enforcement: off, warn, or strict (strict exits 2 on findings)")
 	staticPf   = flag.String("staticproof", "screen", "static implication screen: off, screen (prove undetectable faults with zero searches; tables byte-identical to off), or seed (also assert learned implications inside PODEM)")
+	satEsc     = flag.String("satescalate", "on", "CDCL SAT escalation for searches that exhaust the backtrack limit: on (aborted faults are re-solved to a definitive verdict, Abt column reads 0) or off (hard faults stay Aborted)")
 	dieSpec    = flag.String("die", "", "place into a fixed WxH die instead of the auto floorplan (e.g. 64x64); a circuit that does not fit exits 3")
 	spatial    = flag.String("spatial", "grid", "spatial index for the physical hot paths: grid (bucket index) or off (naive full scans; differential baseline). Tables are byte-identical either way")
 	fromVlog   = flag.String("fromverilog", "", "analyze a structural Verilog netlist file (as written by the flow's own writer) instead of a built-in circuit")
@@ -179,6 +180,15 @@ func run() (err error) {
 	if err != nil {
 		return fmt.Errorf("bad -spatial mode %q (grid, off)", *spatial)
 	}
+	var satOn bool
+	switch *satEsc {
+	case "on":
+		satOn = true
+	case "off":
+		satOn = false
+	default:
+		return fmt.Errorf("bad -satescalate mode %q (off, on)", *satEsc)
+	}
 	var die geom.Rect
 	if *dieSpec != "" {
 		if die, err = parseDie(*dieSpec); err != nil {
@@ -247,6 +257,7 @@ func run() (err error) {
 	env.StageTimeout = *deadline
 	env.Lint = lmode
 	env.StaticProof = smode
+	env.SATEscalate = satOn
 	env.Spatial = spmode
 	if *chaosRate > 0 {
 		env.ATPG.InjectPanic = chaos.Panics(*seed, *chaosRate)
@@ -341,9 +352,15 @@ func run() (err error) {
 			if smode != implic.ModeOff {
 				staticProven = orig.Result.StaticProven + r.StaticProven
 			}
+			satEscalations, satConflicts := -1, int64(0) // render "sat off"
+			if satOn {
+				satEscalations = orig.Result.SATEscalations + r.SATEscalations
+				satConflicts = orig.Result.SATConflicts + r.SATConflicts
+			}
 			fmt.Println(report.PerfRow(name, par.Count(*workers),
 				r.ATPGTime.Seconds(), r.Cache.HitRate(),
-				int(r.Cache.Lookups), r.Cache.Entries, staticProven))
+				int(r.Cache.Lookups), r.Cache.Entries, staticProven,
+				r.Final.Metrics().Aborted, satEscalations, satConflicts))
 			fmt.Println(report.IncrRow(name, r.Incr.Analyses,
 				r.Incr.NetsReused, r.Incr.NetsRerouted))
 			avg.Add(r, rtime)

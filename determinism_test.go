@@ -63,6 +63,51 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestSATEscalationDeterminism: with the CDCL escalation tier engaged (a
+// reduced backtrack limit forces real escalations on sparc_exu), any worker
+// count must still render byte-identical Table II rows, identical test
+// vectors, identical statuses — and the escalation tier itself must report
+// identical work. The Abt column must read zero: escalation leaves no
+// aborted faults.
+func TestSATEscalationDeterminism(t *testing.T) {
+	analyze := func(workers int) *flow.Design {
+		env := flow.NewEnv() // SATEscalate defaults on
+		env.Workers = workers
+		env.ATPG.BacktrackLimit = 1000 // starve PODEM into escalating
+		c := bench.MustBuild("sparc_exu", env.Lib)
+		d, err := env.Analyze(c, geom.Rect{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	ref := analyze(1)
+	if ref.Result.SATEscalations == 0 {
+		t.Fatal("no SAT escalations at limit 1000 — determinism check is vacuous")
+	}
+	if ref.Result.Aborted != 0 || ref.Metrics().Aborted != 0 {
+		t.Errorf("escalation left %d aborted faults; the Abt column must read 0", ref.Result.Aborted)
+	}
+	got := analyze(8)
+	if !reflect.DeepEqual(statuses(got), statuses(ref)) {
+		t.Error("fault statuses differ between Workers=1 and Workers=8")
+	}
+	if !reflect.DeepEqual(got.Result.Tests, ref.Result.Tests) {
+		t.Errorf("test vectors differ between Workers=1 and Workers=8 (%d vs %d tests)",
+			len(ref.Result.Tests), len(got.Result.Tests))
+	}
+	if got.Result.SATEscalations != ref.Result.SATEscalations ||
+		got.Result.SATConflicts != ref.Result.SATConflicts ||
+		got.Result.SATMemoHits != ref.Result.SATMemoHits {
+		t.Errorf("SAT tier work differs across workers: %d/%d/%d vs %d/%d/%d",
+			got.Result.SATEscalations, got.Result.SATConflicts, got.Result.SATMemoHits,
+			ref.Result.SATEscalations, ref.Result.SATConflicts, ref.Result.SATMemoHits)
+	}
+	if r1, r8 := report.TableIIOrigRow("sparc_exu", ref.Metrics()), report.TableIIOrigRow("sparc_exu", got.Metrics()); r1 != r8 {
+		t.Errorf("Table II rows differ:\n  Workers=1: %s\n  Workers=8: %s", r1, r8)
+	}
+}
+
 // TestResynDeterminism: the full resynthesis sweep — including its shared
 // verdict cache — is worker-count invariant down to the rendered Table II
 // row and the iteration trace.

@@ -68,14 +68,30 @@ type Config struct {
 	// panics the worker. Production runs leave it nil; internal/chaos
 	// provides deterministic seed-driven implementations.
 	InjectPanic func(faultID, attempt int) bool
+	// SATEscalate enables the CDCL escalation tier: every PODEM search that
+	// exhausts its backtrack limit is re-encoded as a CNF instance over the
+	// fault's support/output cone and solved to completion, so the fault
+	// ends Detected (with a witness) or Undetectable — never Aborted.
+	// Escalations run in the sequential merge, keyed by the same structural
+	// cone hashes the verdict cache uses, with undetectability proofs
+	// memoized within the run so cone-isomorphic hard faults are proven
+	// once. Verdicts equal what an unlimited PODEM search would return, so
+	// tables match the unlimited baseline byte for byte.
+	SATEscalate bool
 }
+
+// DefaultBacktrackLimit is the per-search PODEM backtrack budget used
+// throughout the experiments: the single source for DefaultConfig, the
+// zero-value fallback in Run, and (via Config.BacktrackLimit) the top bucket
+// of the backtracks-per-search histogram.
+const DefaultBacktrackLimit = 12000
 
 // DefaultConfig returns the configuration used throughout the experiments.
 // The backtrack limit is sized so that redundancy proofs that must exhaust
 // the value space of a ~12-input cone (consensus-style redundancy wrapped
 // around comparators) complete instead of aborting.
 func DefaultConfig() Config {
-	return Config{BacktrackLimit: 12000, RandomBlocks: 6, Seed: 1}
+	return Config{BacktrackLimit: DefaultBacktrackLimit, RandomBlocks: 6, Seed: 1}
 }
 
 // Result summarizes a test-generation run.
@@ -94,6 +110,17 @@ type Result struct {
 	// classified Undetectable with zero PODEM searches (Config.Static
 	// screen or seed). They are included in Undetectable.
 	StaticProven int
+	// SATEscalations counts the faults the CDCL tier resolved after their
+	// PODEM search exhausted the backtrack limit (Config.SATEscalate);
+	// SATDetected / SATUndetectable split those by verdict, and SATMemoHits
+	// counts faults settled by a within-run memoized undetectability proof
+	// of a cone-isomorphic fault instead of a fresh solve. SATConflicts
+	// totals the solver's learned-conflict count across every escalation.
+	SATEscalations  int
+	SATDetected     int
+	SATUndetectable int
+	SATMemoHits     int
+	SATConflicts    int64
 	// Recovered counts worker panics the engine absorbed: each one was
 	// retried on a fresh generator (and usually succeeded — see
 	// Quarantined for the ones that did not).
@@ -130,7 +157,7 @@ const podemBatch = 64
 // content) regardless of worker count or scheduling.
 func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	if cfg.BacktrackLimit <= 0 {
-		cfg.BacktrackLimit = 12000
+		cfg.BacktrackLimit = DefaultBacktrackLimit
 	}
 	workers := par.Count(cfg.Workers)
 	ctx := cfg.Ctx
@@ -213,11 +240,16 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	// replayed as seed tests with first-detection credit and dropping —
 	// sound even for stale or colliding entries, which simply detect
 	// nothing and fall through to PODEM.
+	// hasher serves both the verdict cache and the SAT escalation memo; it
+	// is built once when either consumer is active.
+	var hasher *fcache.Hasher
+	if cfg.Cache != nil || cfg.SATEscalate {
+		hasher = fcache.NewHasher(c)
+		keys = make([]fcache.Key, len(l.Faults))
+	}
 	if cfg.Cache != nil {
 		spCache := obs.Start(cfg.Obs, "atpg/cache", obs.Int("faults", len(l.Faults)))
-		hasher := fcache.NewHasher(c)
 		witness = make([]faultsim.Test, len(l.Faults))
-		keys = make([]fcache.Key, len(l.Faults))
 		var seeds []faultsim.Test
 		seen := make(map[string]bool)
 		for i, f := range l.Faults {
@@ -326,8 +358,16 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	cSearches := cfg.Obs.Counter("atpg/podem_searches")
 	cBacktracks := cfg.Obs.Counter("atpg/podem_backtracks")
 	cCollateral := cfg.Obs.Counter("atpg/collateral_drops")
-	hBacktracks := cfg.Obs.Histogram("atpg/podem_backtracks_per_search",
-		0, 1, 4, 16, 64, 256, 1024, 4096, 12000)
+	// The histogram's top bucket tracks the configured limit, so telemetry
+	// from a raised or lowered limit is never silently truncated.
+	hbounds := make([]float64, 0, 9)
+	for _, b := range []float64{0, 1, 4, 16, 64, 256, 1024, 4096} {
+		if b < float64(cfg.BacktrackLimit) {
+			hbounds = append(hbounds, b)
+		}
+	}
+	hbounds = append(hbounds, float64(cfg.BacktrackLimit))
+	hBacktracks := cfg.Obs.Histogram("atpg/podem_backtracks_per_search", hbounds...)
 	gens := make([]*Generator, workers)
 	newGen := func() *Generator {
 		g := NewGenerator(c, order, levels, cfg.BacktrackLimit)
@@ -366,6 +406,54 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	}
 	cRecovered := cfg.Obs.Counter("atpg/worker_panics_recovered")
 	cQuarantined := cfg.Obs.Counter("atpg/faults_quarantined")
+
+	// SAT escalation tier: LimitExceeded outcomes are re-resolved to
+	// completion in the sequential merge (never inside a parallel batch), so
+	// memo reads/writes, counters and verdicts stay scheduling-invariant.
+	// The escalator seeds static implications only in ModeSeed — the same
+	// rule PODEM follows — so each static mode keeps its documented
+	// table-identity property.
+	var esc *Escalator
+	var satMemo map[fcache.Key]bool
+	cSatEsc := cfg.Obs.Counter("atpg/sat_escalations")
+	cSatSolves := cfg.Obs.Counter("atpg/sat_solves")
+	cSatConflicts := cfg.Obs.Counter("atpg/sat_conflicts")
+	cSatDetected := cfg.Obs.Counter("atpg/sat_detected")
+	cSatUndetectable := cfg.Obs.Counter("atpg/sat_undetectable")
+	cSatMemoHits := cfg.Obs.Counter("atpg/sat_memo_hits")
+	if cfg.SATEscalate {
+		esc = NewEscalator(c, eng)
+		satMemo = make(map[fcache.Key]bool)
+	}
+	escalate := func(i int, f *fault.Fault) (SearchOutcome, *TestVec) {
+		if keys[i].Zero() {
+			keys[i] = hasher.FaultKey(f)
+		}
+		if !keys[i].Zero() && satMemo[keys[i]] {
+			res.SATMemoHits++
+			cSatMemoHits.Inc()
+			return ProvenImpossible, nil
+		}
+		srng := rand.New(rand.NewSource(faultSeed(cfg.Seed^satSeedSalt, f.ID)))
+		out, tv, sst := esc.Resolve(f, srng)
+		res.SATEscalations++
+		res.SATConflicts += sst.Conflicts
+		cSatEsc.Inc()
+		cSatSolves.Add(int64(sst.Solves))
+		cSatConflicts.Add(sst.Conflicts)
+		switch out {
+		case FoundTest:
+			res.SATDetected++
+			cSatDetected.Inc()
+		case ProvenImpossible:
+			res.SATUndetectable++
+			cSatUndetectable.Inc()
+			if !keys[i].Zero() {
+				satMemo[keys[i]] = true
+			}
+		}
+		return out, tv
+	}
 	cursor := 0
 	for cursor < len(remaining) {
 		batch = batch[:0]
@@ -429,9 +517,13 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 				cCollateral.Inc()
 				continue // dropped by an earlier test in this merge
 			}
-			switch outcomes[j].out {
+			out, escTV := outcomes[j].out, outcomes[j].tv
+			if out == LimitExceeded && esc != nil {
+				out, escTV = escalate(i, f)
+			}
+			switch out {
 			case FoundTest:
-				tv := outcomes[j].tv
+				tv := escTV
 				t := faultsim.Test{Init: tv.Init, Vec: tv.Vec}
 				tests = append(tests, t)
 				f.Status = fault.Detected
@@ -554,6 +646,11 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	}
 	return res
 }
+
+// satSeedSalt decorrelates the escalation tier's witness-fill rng stream
+// from the PODEM search stream of the same fault: both derive from
+// faultSeed, but over different run seeds.
+const satSeedSalt int64 = 0x5eedc0de
 
 // faultSeed derives the per-fault rng seed: a splitmix64-style mix of the
 // run seed and the fault ID, so each fault's search consumes an independent,

@@ -34,7 +34,7 @@ type Result struct {
 	Pairs          int // targetable pairs found
 	ExtraTests     int // tests appended to T
 	CoveredPairs   int // pairs for which a combined test was found
-	UncoverdPairs  int // pairs with no combined test (activation impossible)
+	UncoveredPairs int // pairs with no combined test (activation impossible)
 	AbortedPairs   int // search limit exhausted
 	BaseTests      int // |T| before the campaign
 	TestSetGrowth  float64
@@ -121,7 +121,7 @@ func Run(d *flow.Design, maxPairsPerFault int, seed int64) Result {
 				extra = append(extra, t)
 			}
 		case atpg.ProvenImpossible:
-			res.UncoverdPairs++
+			res.UncoveredPairs++
 		case atpg.LimitExceeded:
 			res.AbortedPairs++
 		}

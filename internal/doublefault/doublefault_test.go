@@ -61,9 +61,9 @@ func TestRunProducesExtraTests(t *testing.T) {
 	if res.Pairs == 0 {
 		t.Fatal("no pairs targeted")
 	}
-	if res.CoveredPairs+res.UncoverdPairs+res.AbortedPairs != res.Pairs {
+	if res.CoveredPairs+res.UncoveredPairs+res.AbortedPairs != res.Pairs {
 		t.Errorf("pair accounting broken: %d+%d+%d != %d",
-			res.CoveredPairs, res.UncoverdPairs, res.AbortedPairs, res.Pairs)
+			res.CoveredPairs, res.UncoveredPairs, res.AbortedPairs, res.Pairs)
 	}
 	if res.CoveredPairs > 0 && res.ExtraTests == 0 {
 		t.Error("covered pairs but no extra tests recorded")
@@ -83,7 +83,7 @@ func TestMaxPairsPerFaultBounds(t *testing.T) {
 	if r1.Pairs > r3.Pairs {
 		t.Errorf("tighter bound produced more pairs: %d vs %d", r1.Pairs, r3.Pairs)
 	}
-	if r1.Pairs > r1.TargetedFaults+r1.UncoverdPairs+r1.AbortedPairs {
+	if r1.Pairs > r1.TargetedFaults+r1.UncoveredPairs+r1.AbortedPairs {
 		// With bound 1, each undetectable fault contributes at most one
 		// pair.
 		t.Errorf("bound 1 violated: %d pairs for %d targeted faults", r1.Pairs, r1.TargetedFaults)

@@ -90,6 +90,12 @@ type Env struct {
 	// stay byte-identical to an unscreened run. A zero-valued Env leaves
 	// it off.
 	StaticProof implic.Mode
+	// SATEscalate enables the CDCL escalation tier behind PODEM (see
+	// atpg.Config.SATEscalate): backtrack-limited searches that give up are
+	// re-solved to completion, so analyses carry no Aborted faults and
+	// every verdict matches an unlimited search. NewEnv defaults it on; a
+	// zero-valued Env leaves it off.
+	SATEscalate bool
 	// Spatial selects the spatial-index backing of the physical hot paths
 	// (DFM bridge/density scans, the incremental router's dirty-region
 	// test). The zero value is geom.SpatialGrid — the production default;
@@ -120,6 +126,7 @@ func (e *Env) atpgConfig() atpg.Config {
 	cfg.Obs = e.Obs
 	cfg.Ctx = e.Ctx
 	cfg.Static = e.StaticProof
+	cfg.SATEscalate = e.SATEscalate
 	if e.FaultCache != nil {
 		e.FaultCache.Instrument(e.Obs)
 	}
@@ -136,6 +143,7 @@ func NewEnv() *Env {
 		ATPG:        atpg.DefaultConfig(),
 		Seed:        1,
 		StaticProof: implic.ModeScreen,
+		SATEscalate: true,
 	}
 }
 
@@ -485,6 +493,16 @@ type Metrics struct {
 	// StaticProven is the number of faults the static implication screen
 	// classified Undetectable without a PODEM search (subset of U).
 	StaticProven int
+	// Aborted is the number of faults left unproven (neither detected nor
+	// undetectable) when the backtrack budget ran out. They count as
+	// covered in Cov — the paper's convention — so this column keeps the
+	// inflation honest. With Env.SATEscalate on it is always zero.
+	Aborted int
+	// SATEscalations / SATConflicts report the CDCL escalation tier's
+	// work during this analysis (zero when the tier is off or never
+	// triggered).
+	SATEscalations int
+	SATConflicts   int64
 }
 
 // Metrics extracts the table numbers from an analyzed design. It also
@@ -496,6 +514,7 @@ func (d *Design) Metrics() Metrics {
 		counts := d.Faults.Count()
 		m.F = counts.Total
 		m.U = counts.Undetectable
+		m.Aborted = counts.Aborted
 		m.FIn = counts.Internal
 		m.FEx = counts.External
 		m.UIn = counts.UndetectableInt
@@ -524,6 +543,8 @@ func (d *Design) Metrics() Metrics {
 	m.Area = d.C.Stats().Area
 	m.ATPGSeconds = d.ATPGTime.Seconds()
 	m.StaticProven = d.Result.StaticProven
+	m.SATEscalations = d.Result.SATEscalations
+	m.SATConflicts = d.Result.SATConflicts
 	if d.Result.CacheLookups > 0 {
 		m.CacheHitRate = float64(d.Result.CacheHits) / float64(d.Result.CacheLookups)
 	}

@@ -39,7 +39,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 func fixedMetrics() flow.Metrics {
 	return flow.Metrics{
 		FIn: 1200, FEx: 345, UIn: 67, UEx: 8, GU: 42, Gmax: 9,
-		F: 1545, U: 75, T: 210, Cov: 0.9514,
+		F: 1545, U: 75, Aborted: 13, T: 210, Cov: 0.9514,
 		Smax: 31, PctSmaxU: 41.33, PctSmaxAll: 2.01,
 		SmaxI: 28, PctSmaxI: 90.32,
 		Delay: 3.25, Power: 145.7, Area: 812.5,
@@ -53,13 +53,15 @@ func TestTablesGolden(t *testing.T) {
 	b.WriteString(TableIRow("aes_core", m) + "\n")
 	b.WriteString(TableIIHeader() + "\n")
 	b.WriteString(TableIIOrigRow("aes_core", m) + "\n")
-	b.WriteString(PerfRow("aes_core", 4, 12.345, 0.873, 1545, 1312, 407) + "\n")
+	b.WriteString(PerfRow("aes_core", 4, 12.345, 0.873, 1545, 1312, 407, 0, 53, 1284) + "\n")
 	// Zero lookups (verdict cache disabled): the cache column must read
 	// n/a, not a fake 0.0% hit rate. Likewise staticProven < 0 renders
-	// "static off" — the screen disabled, not a zero-yield screen.
-	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0, -1) + "\n")
-	// A screen that ran but proved nothing still reports its zero.
-	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0, 0) + "\n")
+	// "static off" — the screen disabled, not a zero-yield screen — and
+	// satEscalations < 0 renders "sat off" next to the aborted tail the
+	// disabled tier leaves behind.
+	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0, -1, 13, -1, 0) + "\n")
+	// A screen/tier that ran but had nothing to do still reports zeros.
+	b.WriteString(PerfRow("aes_core", 4, 12.345, 0, 0, 0, 0, 0, 0, 0) + "\n")
 	b.WriteString(IncrRow("aes_core", 17, 4210, 390) + "\n")
 	b.WriteString(IncrRow("empty", 0, 0, 0) + "\n")
 	b.WriteString(ResilienceRow("aes_core", 12, 1, 3, 5) + "\n")

@@ -24,16 +24,18 @@ func TableIRow(name string, m flow.Metrics) string {
 		name, m.FIn, m.FEx, m.UIn, m.UEx, m.GU, m.Gmax, m.Smax, m.PctSmaxU)
 }
 
-// TableIIHeader returns the header of Table II (experimental results).
+// TableIIHeader returns the header of Table II (experimental results). Abt
+// is the count of aborted (unproven) faults — faults Cov silently counts as
+// covered; it reads 0 whenever the SAT escalation tier is on.
 func TableIIHeader() string {
-	return fmt.Sprintf("%-12s %-5s %8s %6s %8s %5s %6s %10s %7s %9s %8s %8s %6s",
-		"Circuit", "MaxInc", "F", "U", "Cov", "T", "Smax", "%Smax_all", "Smax_I", "%Smax_I", "Delay", "Power", "Rtime")
+	return fmt.Sprintf("%-12s %-5s %8s %6s %5s %8s %5s %6s %10s %7s %9s %8s %8s %6s",
+		"Circuit", "MaxInc", "F", "U", "Abt", "Cov", "T", "Smax", "%Smax_all", "Smax_I", "%Smax_I", "Delay", "Power", "Rtime")
 }
 
 // TableIIOrigRow formats the "orig" row for a circuit.
 func TableIIOrigRow(name string, m flow.Metrics) string {
-	return fmt.Sprintf("%-12s %-5s %8d %6d %7.2f%% %5d %6d %9.2f%% %7d %8.2f%% %7s %8s %6d",
-		name, "orig", m.F, m.U, 100*m.Cov, m.T, m.Smax, m.PctSmaxAll, m.SmaxI, m.PctSmaxI, "100%", "100%", 1)
+	return fmt.Sprintf("%-12s %-5s %8d %6d %5d %7.2f%% %5d %6d %9.2f%% %7d %8.2f%% %7s %8s %6d",
+		name, "orig", m.F, m.U, m.Aborted, 100*m.Cov, m.T, m.Smax, m.PctSmaxAll, m.SmaxI, m.PctSmaxI, "100%", "100%", 1)
 }
 
 // TableIIResynRow formats the resynthesized row: delay/power relative to
@@ -46,8 +48,8 @@ func TableIIResynRow(r *resyn.Result, rtime float64) string {
 	if q >= 0 {
 		inc = fmt.Sprintf("%d%%", q)
 	}
-	return fmt.Sprintf("%-12s %-5s %8d %6d %7.2f%% %5d %6d %9.2f%% %7d %8.2f%% %7.2f%% %7.2f%% %6.2f",
-		"", inc, mf.F, mf.U, 100*mf.Cov, mf.T, mf.Smax, mf.PctSmaxAll, mf.SmaxI, mf.PctSmaxI,
+	return fmt.Sprintf("%-12s %-5s %8d %6d %5d %7.2f%% %5d %6d %9.2f%% %7d %8.2f%% %7.2f%% %7.2f%% %6.2f",
+		"", inc, mf.F, mf.U, mf.Aborted, 100*mf.Cov, mf.T, mf.Smax, mf.PctSmaxAll, mf.SmaxI, mf.PctSmaxI,
 		100*mf.Delay/mo.Delay, 100*mf.Power/mo.Power, rtime)
 }
 
@@ -61,9 +63,14 @@ func TableIIResynRow(r *resyn.Result, rtime float64) string {
 // cache disabled or never consulted — the cache column reads "n/a"
 // instead of a misleading 0.0% hit rate; likewise the static column reads
 // "off" when the screen is disabled (staticProven < 0) rather than
-// conflating "off" with "nothing proven". Plain parameters keep the
-// formatting decoupled from the cache and engine implementations.
-func PerfRow(name string, workers int, atpgSeconds, hitRate float64, lookups, entries, staticProven int) string {
+// conflating "off" with "nothing proven". The aborted count and the SAT
+// escalation tier's work (escalations and solver conflicts; "sat off" when
+// the tier is disabled, signalled by satEscalations < 0) round out the row:
+// together they show whether hard faults were left unproven or escalated to
+// a definitive verdict. Plain parameters keep the formatting decoupled from
+// the cache and engine implementations.
+func PerfRow(name string, workers int, atpgSeconds, hitRate float64, lookups, entries, staticProven,
+	aborted, satEscalations int, satConflicts int64) string {
 	cache := "cache   n/a"
 	if lookups > 0 {
 		cache = fmt.Sprintf("cache %5.1f%% of %d lookups, %d entries", 100*hitRate, lookups, entries)
@@ -72,8 +79,12 @@ func PerfRow(name string, workers int, atpgSeconds, hitRate float64, lookups, en
 	if staticProven >= 0 {
 		static = fmt.Sprintf("static %d proved/0-search", staticProven)
 	}
-	return fmt.Sprintf("%-12s perf  workers=%-3d atpg=%8.3fs  %s  %s",
-		name, workers, atpgSeconds, cache, static)
+	sat := "sat off"
+	if satEscalations >= 0 {
+		sat = fmt.Sprintf("sat %d esc/%d conf", satEscalations, satConflicts)
+	}
+	return fmt.Sprintf("%-12s perf  workers=%-3d atpg=%8.3fs  %s  %s  aborted=%d  %s",
+		name, workers, atpgSeconds, cache, static, aborted, sat)
 }
 
 // IncrRow renders the incremental physical re-analysis activity of a
@@ -120,7 +131,8 @@ func Fig2Trace(r *resyn.Result) string {
 // paper's "average" row.
 type Averages struct {
 	n                                  int
-	f, u, cov, t, smax, pctAll, smaxI  float64
+	f, u, abt, cov, t, smax, pctAll    float64
+	smaxI                              float64
 	pctI, delayRel, powerRel, rtimeRel float64
 }
 
@@ -131,6 +143,7 @@ func (a *Averages) Add(r *resyn.Result, rtime float64) {
 	a.n++
 	a.f += float64(mf.F)
 	a.u += float64(mf.U)
+	a.abt += float64(mf.Aborted)
 	a.cov += mf.Cov
 	a.t += float64(mf.T)
 	a.smax += float64(mf.Smax)
@@ -148,7 +161,7 @@ func (a *Averages) Row() string {
 		return "average      (no circuits)"
 	}
 	n := float64(a.n)
-	return fmt.Sprintf("%-12s %-5s %8.1f %6.1f %7.2f%% %5.1f %6.1f %9.2f%% %7.1f %8.2f%% %7.2f%% %7.2f%% %6.2f",
-		"average", "resyn", a.f/n, a.u/n, 100*a.cov/n, a.t/n, a.smax/n, a.pctAll/n, a.smaxI/n, a.pctI/n,
+	return fmt.Sprintf("%-12s %-5s %8.1f %6.1f %5.1f %7.2f%% %5.1f %6.1f %9.2f%% %7.1f %8.2f%% %7.2f%% %7.2f%% %6.2f",
+		"average", "resyn", a.f/n, a.u/n, a.abt/n, 100*a.cov/n, a.t/n, a.smax/n, a.pctAll/n, a.smaxI/n, a.pctI/n,
 		100*a.delayRel/n, 100*a.powerRel/n, a.rtimeRel/n)
 }

@@ -193,6 +193,12 @@ type Result struct {
 	// production; the chaos harness drives it on purpose.
 	Recovered   int
 	Quarantined int
+	// SATEscalations / SATConflicts total the CDCL escalation tier's work
+	// across every analysis of the sweep (see atpg.Result): hard faults
+	// whose limited PODEM search gave up and were re-solved to a
+	// definitive verdict, and the solver conflicts those proofs cost.
+	SATEscalations int
+	SATConflicts   int64
 }
 
 // IterStats is the telemetry of one accepted resynthesis iteration.
@@ -690,6 +696,8 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 		s.res.StaticProven += newD.Result.StaticProven
 		s.res.Recovered += newD.Result.Recovered
 		s.res.Quarantined += len(newD.Result.Quarantined)
+		s.res.SATEscalations += newD.Result.SATEscalations
+		s.res.SATConflicts += newD.Result.SATConflicts
 		if newD.Incr != nil {
 			s.res.Incr.Analyses++
 			s.res.Incr.NetsReused += newD.Incr.RouteReused

@@ -1,0 +1,251 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lit builds a literal from a DIMACS-style signed variable number (1-based).
+func lit(x int) Lit {
+	if x > 0 {
+		return MkLit(x-1, false)
+	}
+	return MkLit(-x-1, true)
+}
+
+// solveDimacs builds a solver over the given clauses (signed 1-based vars).
+func solveDimacs(nvars int, clauses [][]int) (*Solver, bool) {
+	s := New()
+	for i := 0; i < nvars; i++ {
+		s.NewVar()
+	}
+	for _, c := range clauses {
+		ls := make([]Lit, len(c))
+		for i, x := range c {
+			ls[i] = lit(x)
+		}
+		s.AddClause(ls...)
+	}
+	return s, s.Solve()
+}
+
+func TestTrivial(t *testing.T) {
+	if _, ok := solveDimacs(1, [][]int{{1}}); !ok {
+		t.Fatal("unit clause must be SAT")
+	}
+	if _, ok := solveDimacs(1, [][]int{{1}, {-1}}); ok {
+		t.Fatal("x and !x must be UNSAT")
+	}
+	if _, ok := solveDimacs(0, [][]int{{}}); ok {
+		t.Fatal("empty clause must be UNSAT")
+	}
+	if _, ok := solveDimacs(2, nil); !ok {
+		t.Fatal("empty formula must be SAT")
+	}
+}
+
+func TestModelSatisfiesClauses(t *testing.T) {
+	clauses := [][]int{{1, 2, 3}, {-1, -2}, {-2, -3}, {-1, -3}, {2, 3}}
+	s, ok := solveDimacs(3, clauses)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	for _, c := range clauses {
+		sat := false
+		for _, x := range c {
+			v := s.Value(abs(x) - 1)
+			if (x > 0) == v {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			t.Fatalf("model does not satisfy clause %v", c)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestPigeonhole: PHP(n+1 into n) is a classic UNSAT family that requires
+// genuine conflict-driven search (no pure propagation proof exists).
+func TestPigeonhole(t *testing.T) {
+	for _, holes := range []int{2, 3, 4, 5} {
+		pigeons := holes + 1
+		v := func(p, h int) int { return p*holes + h + 1 }
+		var clauses [][]int
+		for p := 0; p < pigeons; p++ {
+			var c []int
+			for h := 0; h < holes; h++ {
+				c = append(c, v(p, h))
+			}
+			clauses = append(clauses, c)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					clauses = append(clauses, []int{-v(p1, h), -v(p2, h)})
+				}
+			}
+		}
+		s, ok := solveDimacs(pigeons*holes, clauses)
+		if ok {
+			t.Fatalf("PHP(%d,%d) must be UNSAT", pigeons, holes)
+		}
+		if holes >= 4 && s.Stats().Conflicts == 0 {
+			t.Errorf("PHP(%d,%d) solved with zero conflicts — propagation alone cannot prove it", pigeons, holes)
+		}
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the CDCL verdict against
+// exhaustive enumeration on random 3-SAT instances around the phase
+// transition, with a fixed seed for reproducibility.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for inst := 0; inst < 200; inst++ {
+		n := 4 + rng.Intn(9) // 4..12 vars
+		m := int(4.3*float64(n)) + rng.Intn(5)
+		clauses := make([][]int, m)
+		for i := range clauses {
+			c := make([]int, 3)
+			for j := range c {
+				x := rng.Intn(n) + 1
+				if rng.Intn(2) == 1 {
+					x = -x
+				}
+				c[j] = x
+			}
+			clauses[i] = c
+		}
+		want := bruteForce(n, clauses)
+		s, got := solveDimacs(n, clauses)
+		if got != want {
+			t.Fatalf("instance %d (n=%d m=%d): CDCL says %v, brute force says %v", inst, n, m, got, want)
+		}
+		if got {
+			for _, c := range clauses {
+				sat := false
+				for _, x := range c {
+					if (x > 0) == s.Value(abs(x)-1) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("instance %d: model violates clause %v", inst, c)
+				}
+			}
+		}
+	}
+}
+
+func bruteForce(n int, clauses [][]int) bool {
+	for asg := 0; asg < 1<<uint(n); asg++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, x := range c {
+				bit := asg>>uint(abs(x)-1)&1 == 1
+				if (x > 0) == bit {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDeterminism: the same clause set must yield the same model and the
+// same statistics on every run (the property the parallel ATPG engine
+// relies on).
+func TestDeterminism(t *testing.T) {
+	build := func() ([]bool, Stats, bool) {
+		rng := rand.New(rand.NewSource(42))
+		n := 30
+		s := New()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < 120; i++ {
+			c := make([]Lit, 3)
+			for j := range c {
+				c[j] = MkLit(rng.Intn(n), rng.Intn(2) == 1)
+			}
+			s.AddClause(c...)
+		}
+		ok := s.Solve()
+		model := make([]bool, n)
+		if ok {
+			for v := range model {
+				model[v] = s.Value(v)
+			}
+		}
+		return model, s.Stats(), ok
+	}
+	m1, st1, ok1 := build()
+	m2, st2, ok2 := build()
+	if ok1 != ok2 || st1 != st2 {
+		t.Fatalf("non-deterministic solve: %v/%+v vs %v/%+v", ok1, st1, ok2, st2)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("non-deterministic model at var %d", i)
+		}
+	}
+}
+
+// TestXorChain: an XOR chain forced to an odd parity is UNSAT when the unit
+// assignments demand even parity — exercises longer implication chains and
+// learned clauses across levels.
+func TestXorChain(t *testing.T) {
+	// x1 ^ x2 = a, x2 ^ x3 = b ... with units pinning a contradiction.
+	n := 12
+	s := New()
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// Encode x_i XOR x_{i+1} = true for all i (a cycle of odd length is
+	// unsatisfiable: n-1 XOR constraints around a cycle plus the closing
+	// constraint force x1 != x1).
+	xorTrue := func(a, b int) {
+		s.AddClause(MkLit(a, false), MkLit(b, false))
+		s.AddClause(MkLit(a, true), MkLit(b, true))
+	}
+	for i := 0; i+1 < n; i++ {
+		xorTrue(vars[i], vars[i+1])
+	}
+	if !s.Solve() {
+		t.Fatal("open xor chain must be SAT")
+	}
+
+	s2 := New()
+	vars2 := make([]int, 3)
+	for i := range vars2 {
+		vars2[i] = s2.NewVar()
+	}
+	xor2 := func(a, b int) {
+		s2.AddClause(MkLit(a, false), MkLit(b, false))
+		s2.AddClause(MkLit(a, true), MkLit(b, true))
+	}
+	xor2(vars2[0], vars2[1])
+	xor2(vars2[1], vars2[2])
+	xor2(vars2[2], vars2[0]) // odd cycle
+	if s2.Solve() {
+		t.Fatal("odd xor cycle must be UNSAT")
+	}
+}
