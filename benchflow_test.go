@@ -94,6 +94,12 @@ type benchFlowRow struct {
 	DFMScanNaiveUS   int64   `json:"dfm_scan_naive_micros"`
 	DFMPairReduction float64 `json:"dfm_pair_reduction"`
 	DFMCellReduction float64 `json:"dfm_cell_reduction"`
+	// Provenance of the cold analysis: the flight-recorder digest (the
+	// canonical ledger identity — two runs decided identically iff their
+	// digests agree, so regressions show up as a changed column) and the
+	// per-tier verdict breakdown behind it.
+	LedgerDigest string         `json:"ledger_digest"`
+	Tiers        obs.TierCounts `json:"tiers"`
 	// Metrics embeds the circuit's obs-registry snapshot (counters,
 	// gauges, histograms, series) covering all three analyses, so each
 	// perf row is self-describing: the engine activity behind the wall
@@ -158,6 +164,12 @@ func TestBenchFlowJSON(t *testing.T) {
 		env := flow.NewEnv()
 		env.FaultCache = fcache.New()
 		env.Obs = obs.New()
+		// Flight recorder over the cold analysis only: its digest is the
+		// run's provenance identity, detached before the warm/incremental
+		// passes so the column stays a pure function of the cold run.
+		var ledgerBuf bytes.Buffer
+		ledger := obs.NewLedger(&ledgerBuf)
+		env.Ledger = ledger
 		c := bench.MustBuild(name, env.Lib)
 
 		t0 := time.Now()
@@ -166,6 +178,10 @@ func TestBenchFlowJSON(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		analyze := time.Since(t0)
+		env.Ledger = nil
+		if err := ledger.Close(); err != nil {
+			t.Fatalf("%s ledger: %v", name, err)
+		}
 
 		// Screen-on engine counters for the cold run, read before the
 		// warm and incremental analyses add to the same registry.
@@ -303,6 +319,8 @@ func TestBenchFlowJSON(t *testing.T) {
 		if physIncr > 0 {
 			row.PhysSpeedup = float64(physFull) / float64(physIncr)
 		}
+		row.LedgerDigest = ledger.Digest()
+		row.Tiers = cold.Result.Tiers
 		snap, err := json.Marshal(env.Obs.Registry().Snapshot())
 		if err != nil {
 			t.Fatalf("%s metrics snapshot: %v", name, err)

@@ -79,7 +79,8 @@ var (
 	memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile  = flag.String("tracefile", "", "write a Chrome trace_event JSON of every pipeline span to this file (open in chrome://tracing or Perfetto)")
 	metrics    = flag.String("metricsfile", "", "write the metrics-registry snapshot (counters, gauges, histograms, series) as JSON to this file")
-	httpAddr   = flag.String("httpaddr", "", "serve live introspection on this address (/metrics, /spans, /debug/pprof); empty = off")
+	httpAddr   = flag.String("httpaddr", "", "serve live introspection on this address (/metrics, /spans, /ledger, /healthz, /version, /debug/pprof); empty = off")
+	ledgerPath = flag.String("ledger", "", "write the run flight recorder — one JSONL provenance record per fault verdict plus stage/iteration summaries — to this file (diff two with obsdiff)")
 )
 
 // Exit codes. Keep in sync with the package comment and README.
@@ -247,6 +248,26 @@ func run() (err error) {
 		}()
 	}
 
+	// The run flight recorder is independent of the tracer: -ledger alone
+	// records provenance; with -httpaddr too, /ledger streams it live. The
+	// digest goes to stderr so stdout tables stay identical with or without
+	// the ledger.
+	var ledger *obs.Ledger
+	if *ledgerPath != "" {
+		ledger, err = obs.CreateLedger(*ledgerPath)
+		if err != nil {
+			return fmt.Errorf("ledger: %w", err)
+		}
+		tracer.AttachLedger(ledger)
+		defer func() {
+			if cerr := ledger.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			fmt.Fprintf(os.Stderr, "ledger: %d events, digest %s -> %s\n",
+				ledger.Events(), ledger.Digest(), *ledgerPath)
+		}()
+	}
+
 	env := flow.NewEnv()
 	env.Seed = *seed
 	env.ATPG.Seed = *seed
@@ -259,6 +280,7 @@ func run() (err error) {
 	env.StaticProof = smode
 	env.SATEscalate = satOn
 	env.Spatial = spmode
+	env.Ledger = ledger
 	if *chaosRate > 0 {
 		env.ATPG.InjectPanic = chaos.Panics(*seed, *chaosRate)
 	}
@@ -363,6 +385,19 @@ func run() (err error) {
 				r.Final.Metrics().Aborted, satEscalations, satConflicts))
 			fmt.Println(report.IncrRow(name, r.Incr.Analyses,
 				r.Incr.NetsReused, r.Incr.NetsRerouted))
+			// Provenance breakdown: the baseline analysis (cacheless) and
+			// the cache-bypassed signoff — both pure functions of (circuit,
+			// configuration), so these rows are stable across -workers,
+			// -resume and chaos injection.
+			fmt.Println(report.ProvRow(name, "orig", orig.Result.Tiers))
+			fmt.Println(report.ProvRow(name, "final", r.Final.Result.Tiers))
+			if ledger != nil {
+				// Top-K slowest searches of the final classification —
+				// timing, so stderr.
+				for k, s := range r.Final.Result.Slowest {
+					fmt.Fprintln(os.Stderr, report.SlowRow(name, k+1, s))
+				}
+			}
 			avg.Add(r, rtime)
 		}
 		if *trace {

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"dfmresyn/internal/obs"
 )
 
 var (
@@ -88,23 +90,45 @@ func checkTrace(path string) error {
 
 // checkMetrics requires a snapshot whose four sections all unmarshal and are
 // present (an empty registry exports empty maps, not nulls — obscheck pins
-// that too).
+// that too), and whose histograms are internally consistent: one bucket more
+// than bounds, bucket counts summing to the observation count, and monotone
+// quantile estimates p50 <= p95 <= p99 whenever anything was observed.
 func checkMetrics(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	var snap struct {
-		Counters   map[string]int64           `json:"counters"`
-		Gauges     map[string]float64         `json:"gauges"`
-		Histograms map[string]json.RawMessage `json:"histograms"`
-		Series     map[string][]float64       `json:"series"`
+		Counters   map[string]int64                 `json:"counters"`
+		Gauges     map[string]float64               `json:"gauges"`
+		Histograms map[string]obs.HistogramSnapshot `json:"histograms"`
+		Series     map[string][]float64             `json:"series"`
 	}
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return fmt.Errorf("not a metrics snapshot: %w", err)
 	}
 	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil || snap.Series == nil {
 		return fmt.Errorf("snapshot is missing a section (counters/gauges/histograms/series)")
+	}
+	for name, h := range snap.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("histogram %s: %d buckets for %d bounds, want bounds+1",
+				name, len(h.Counts), len(h.Bounds))
+		}
+		var sum int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				return fmt.Errorf("histogram %s: negative bucket count %d", name, c)
+			}
+			sum += c
+		}
+		if sum != h.Count {
+			return fmt.Errorf("histogram %s: buckets sum to %d but count is %d", name, sum, h.Count)
+		}
+		if h.Count > 0 && !(h.P50 <= h.P95 && h.P95 <= h.P99) {
+			return fmt.Errorf("histogram %s: quantiles not monotone: p50=%g p95=%g p99=%g",
+				name, h.P50, h.P95, h.P99)
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"dfmresyn/internal/fault"
 	"dfmresyn/internal/faultsim"
@@ -78,6 +79,17 @@ type Config struct {
 	// once. Verdicts equal what an unlimited PODEM search would return, so
 	// tables match the unlimited baseline byte for byte.
 	SATEscalate bool
+	// Ledger, when non-nil, receives the run's flight-recorder records: one
+	// stage record (labelled Stage) followed by one verdict record per
+	// classified fault, in fault-ID order. Like Obs, the ledger only
+	// observes — verdicts are byte-identical with Ledger nil or set — and a
+	// cancelled run emits nothing (its statuses are a prefix, not a stage).
+	// Per-search wall micros are measured only when a ledger is attached and
+	// are excluded from the ledger's deterministic digest.
+	Ledger *obs.Ledger
+	// Stage labels this run's ledger records ("analyze", "analyze-incr",
+	// "verify").
+	Stage string
 }
 
 // DefaultBacktrackLimit is the per-search PODEM backtrack budget used
@@ -138,6 +150,18 @@ type Result struct {
 	// fault with a final status (Detected, Undetectable or Aborted) at the
 	// abort boundary, in fault-list order.
 	Resolved []int
+	// Tiers is the provenance breakdown: which engine tier decided each
+	// classified fault. By construction Cache == CacheHits, Implic ==
+	// StaticProven, SAT == SATEscalations and SATMemo == SATMemoHits;
+	// Collateral counts faults detected by simulation without their own
+	// search (random-phase patterns and collateral drops in the merge), and
+	// Podem the faults whose own PODEM search decided them (including
+	// quarantined and limit-aborted searches).
+	Tiers obs.TierCounts
+	// Slowest lists the run's costliest searches, wall micros descending
+	// (ties by fault ID). Populated only when Config.Ledger is set — timing
+	// is never measured otherwise.
+	Slowest []obs.SlowSearch
 }
 
 // podemBatch is the number of faults classified concurrently between merge
@@ -178,6 +202,23 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	var witness []faultsim.Test
 	var keys []fcache.Key
 
+	// prov[i] records which tier decided l.Faults[i] plus the search cost
+	// attributable to it — the per-verdict provenance the ledger emits and
+	// Result.Tiers summarizes. Wall micros are only measured when a ledger
+	// is attached (timed); everything else in prov is deterministic.
+	type provInfo struct {
+		tier obs.Tier
+		bt   int
+		conf int64
+		us   int64
+	}
+	prov := make([]provInfo, len(l.Faults))
+	timed := cfg.Ledger != nil
+	var runT0 int64
+	if timed {
+		runT0 = obs.NowMicros()
+	}
+
 	// detectBlock computes detection words for every listed fault against
 	// the block in parallel, then applies statuses, first-detection credit
 	// and witnesses sequentially in fault-ID order. cand are the block's
@@ -198,7 +239,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	}
 	faultBuf := make([]*fault.Fault, 0, len(l.Faults))
 	detBuf := make([]logic.Word, len(l.Faults))
-	detectBlock := func(cand []faultsim.Test, pred func(*fault.Fault) bool, countHits bool) []faultsim.Test {
+	detectBlock := func(cand []faultsim.Test, pred func(*fault.Fault) bool, tier obs.Tier) []faultsim.Test {
 		b := pool.SimBlock(cand)
 		active := activeOf(pred)
 		faults := faultBuf[:0]
@@ -214,7 +255,8 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 			}
 			f := l.Faults[i]
 			f.Status = fault.Detected
-			if countHits {
+			prov[i].tier = tier
+			if tier == obs.TierCache {
 				res.CacheHits++
 			}
 			first := 0
@@ -269,6 +311,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 			case fault.Undetectable:
 				f.Status = fault.Undetectable
 				res.CacheHits++
+				prov[i].tier = obs.TierCache
 			case fault.Detected:
 				if len(e.Vec) != npi || (e.Init != nil && len(e.Init) != npi) {
 					continue // witness from a different PI interface
@@ -285,7 +328,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 			if end > len(seeds) {
 				end = len(seeds)
 			}
-			tests = append(tests, detectBlock(seeds[start:end], untried, true)...)
+			tests = append(tests, detectBlock(seeds[start:end], untried, obs.TierCache)...)
 		}
 		cfg.Obs.Counter("atpg/cache_replayed_witnesses").Add(int64(len(seeds)))
 		spCache.Annotate(obs.Int("replayed_witnesses", len(seeds)))
@@ -313,10 +356,11 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		if anyUntried {
 			spStatic := obs.Start(cfg.Obs, "atpg/static", obs.Int("faults", len(l.Faults)))
 			eng = implic.New(c)
-			for _, f := range l.Faults {
+			for i, f := range l.Faults {
 				if f.Status == fault.Untried && eng.Undetectable(f) {
 					f.Status = fault.Undetectable
 					res.StaticProven++
+					prov[i].tier = obs.TierImplic
 				}
 			}
 			st := eng.Stats()
@@ -344,7 +388,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		for i := range cand {
 			cand[i] = faultsim.Test{Init: randomVec(rng, npi), Vec: randomVec(rng, npi)}
 		}
-		tests = append(tests, detectBlock(cand, untried, false)...)
+		tests = append(tests, detectBlock(cand, untried, obs.TierCollateral)...)
 	}
 	spRandom.End()
 
@@ -358,6 +402,9 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	cSearches := cfg.Obs.Counter("atpg/podem_searches")
 	cBacktracks := cfg.Obs.Counter("atpg/podem_backtracks")
 	cCollateral := cfg.Obs.Counter("atpg/collateral_drops")
+	// Run-local mirrors of the search counters feed the ledger's stage
+	// record (the obs counters aggregate across runs and may be nil).
+	var totSearches, totBacktracks int64
 	// The histogram's top bucket tracks the configured limit, so telemetry
 	// from a raised or lowered limit is never silently truncated.
 	hbounds := make([]float64, 0, 9)
@@ -381,7 +428,8 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	type outcomeRec struct {
 		out SearchOutcome
 		tv  *TestVec
-		bt  int // PODEM backtracks spent on this fault's searches
+		bt  int   // PODEM backtracks spent on this fault's searches
+		us  int64 // wall micros, measured only when a ledger is attached
 	}
 	outcomes := make([]outcomeRec, podemBatch)
 	quar := make([]bool, podemBatch)
@@ -400,8 +448,16 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		}
 		frng := rand.New(rand.NewSource(faultSeed(cfg.Seed, f.ID)))
 		bt0 := g.Backtracks()
+		var us0 int64
+		if timed {
+			us0 = obs.NowMicros()
+		}
 		out, tv := g.Generate(f, frng)
-		outcomes[j] = outcomeRec{out, tv, g.Backtracks() - bt0}
+		var us int64
+		if timed {
+			us = obs.NowMicros() - us0
+		}
+		outcomes[j] = outcomeRec{out, tv, g.Backtracks() - bt0, us}
 		return g
 	}
 	cRecovered := cfg.Obs.Counter("atpg/worker_panics_recovered")
@@ -425,14 +481,14 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		esc = NewEscalator(c, eng)
 		satMemo = make(map[fcache.Key]bool)
 	}
-	escalate := func(i int, f *fault.Fault) (SearchOutcome, *TestVec) {
+	escalate := func(i int, f *fault.Fault) (SearchOutcome, *TestVec, obs.Tier, int64) {
 		if keys[i].Zero() {
 			keys[i] = hasher.FaultKey(f)
 		}
 		if !keys[i].Zero() && satMemo[keys[i]] {
 			res.SATMemoHits++
 			cSatMemoHits.Inc()
-			return ProvenImpossible, nil
+			return ProvenImpossible, nil, obs.TierSATMemo, 0
 		}
 		srng := rand.New(rand.NewSource(faultSeed(cfg.Seed^satSeedSalt, f.ID)))
 		out, tv, sst := esc.Resolve(f, srng)
@@ -452,7 +508,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 				satMemo[keys[i]] = true
 			}
 		}
-		return out, tv
+		return out, tv, obs.TierSAT, sst.Conflicts
 	}
 	cursor := 0
 	for cursor < len(remaining) {
@@ -500,6 +556,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 				f := l.Faults[i]
 				if unclassified(f) {
 					f.Status = fault.Aborted
+					prov[i].tier = obs.TierPodem
 					res.Quarantined = append(res.Quarantined, f.ID)
 					cQuarantined.Inc()
 				}
@@ -512,15 +569,26 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 			cSearches.Inc()
 			cBacktracks.Add(int64(outcomes[j].bt))
 			hBacktracks.Observe(float64(outcomes[j].bt))
+			totSearches++
+			totBacktracks += int64(outcomes[j].bt)
 			f := l.Faults[i]
 			if !unclassified(f) {
 				cCollateral.Inc()
 				continue // dropped by an earlier test in this merge
 			}
 			out, escTV := outcomes[j].out, outcomes[j].tv
+			tier, conf, us := obs.TierPodem, int64(0), outcomes[j].us
 			if out == LimitExceeded && esc != nil {
-				out, escTV = escalate(i, f)
+				var esc0 int64
+				if timed {
+					esc0 = obs.NowMicros()
+				}
+				out, escTV, tier, conf = escalate(i, f)
+				if timed {
+					us += obs.NowMicros() - esc0
+				}
 			}
+			prov[i] = provInfo{tier, outcomes[j].bt, conf, us}
 			switch out {
 			case FoundTest:
 				tv := escTV
@@ -543,6 +611,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 				for dj, k := range active {
 					if det[dj] != 0 {
 						l.Faults[k].Status = fault.Detected
+						prov[k].tier = obs.TierCollateral
 						cCollateral.Inc()
 						if witness != nil {
 							witness[k] = t
@@ -625,7 +694,7 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 	}
 
 	res.Tests = tests
-	for _, f := range l.Faults {
+	for i, f := range l.Faults {
 		switch f.Status {
 		case fault.Detected:
 			res.Detected++
@@ -634,6 +703,68 @@ func Run(c *netlist.Circuit, l *fault.List, cfg Config) Result {
 		case fault.Aborted:
 			res.Aborted++
 		}
+		if f.Status != fault.Untried {
+			res.Tiers.Add(prov[i].tier)
+		}
+	}
+
+	// Flight-recorder emission: one stage record, then every verdict in
+	// fault-ID order — all from state the sequential merge wrote, so the
+	// records (minus timings) are byte-identical at any worker count. A
+	// cancelled run emits nothing: its statuses are a prefix of a stage,
+	// and the resumed run will re-analyze and emit the complete stage.
+	if cfg.Ledger != nil && !res.Cancelled {
+		cfg.Ledger.Stage(obs.LedgerRecord{
+			Stage:        cfg.Stage,
+			Circuit:      c.Name,
+			Gates:        len(c.Gates),
+			Faults:       len(l.Faults),
+			Detected:     res.Detected,
+			Undetectable: res.Undetectable,
+			Aborted:      res.Aborted,
+			Tiers:        res.Tiers,
+			Searches:     totSearches,
+			Backtracks:   totBacktracks,
+			Conflicts:    res.SATConflicts,
+			Micros:       obs.NowMicros() - runT0,
+		})
+		for i, f := range l.Faults {
+			if f.Status == fault.Untried {
+				continue
+			}
+			cfg.Ledger.Verdict(obs.LedgerRecord{
+				Fault:  f.ID,
+				Status: f.Status.String(),
+				Tier:   prov[i].tier,
+				BT:     prov[i].bt,
+				Conf:   prov[i].conf,
+				Micros: prov[i].us,
+			})
+		}
+	}
+	if timed {
+		// The run's costliest searches, for the report's slow-search block.
+		// Only faults that ran (or escalated) their own search carry timing.
+		var slow []obs.SlowSearch
+		for i, f := range l.Faults {
+			switch prov[i].tier {
+			case obs.TierPodem, obs.TierSAT, obs.TierSATMemo:
+				slow = append(slow, obs.SlowSearch{
+					Fault: f.ID, Tier: prov[i].tier,
+					Backtracks: prov[i].bt, Micros: prov[i].us,
+				})
+			}
+		}
+		sort.Slice(slow, func(a, b int) bool {
+			if slow[a].Micros != slow[b].Micros {
+				return slow[a].Micros > slow[b].Micros
+			}
+			return slow[a].Fault < slow[b].Fault
+		})
+		if len(slow) > 5 {
+			slow = slow[:5]
+		}
+		res.Slowest = slow
 	}
 	if reg := cfg.Obs.Registry(); reg != nil {
 		reg.Counter("atpg/faults_classified").Add(int64(len(l.Faults)))

@@ -242,6 +242,55 @@ func (c *Cache) Tamper(seed int64, rate float64) int {
 	return damaged
 }
 
+// ExportedEntry is one cache entry in portable form, for journaling the
+// cache's content into a checkpoint (tier attribution in the provenance
+// ledger is cache-history-dependent, so a resumed sweep must restore the
+// cache a killed run had built, not just what replay re-derives).
+type ExportedEntry struct {
+	Key    Key          `json:"key"`
+	Status fault.Status `json:"status"`
+	Init   []uint8      `json:"init,omitempty"`
+	Vec    []uint8      `json:"vec,omitempty"`
+}
+
+// Export snapshots the cache's intact entries in sorted key order — a
+// deterministic function of the cache content. Entries failing the
+// integrity check are skipped (not deleted; the next Lookup handles that).
+func (c *Cache) Export() []ExportedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]Key, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]ExportedEntry, 0, len(keys))
+	for _, k := range keys {
+		s := c.entries[k]
+		if s.ver != EntryVersion || s.sum != checksum(s.e) {
+			continue
+		}
+		out = append(out, ExportedEntry{Key: k, Status: s.e.Status, Init: s.e.Init, Vec: s.e.Vec})
+	}
+	return out
+}
+
+// Import stores every exported entry under normal Store semantics (first
+// write wins, invalid statuses and overflow dropped) and returns how many
+// landed. Importing an Export of the same cache is a no-op.
+func (c *Cache) Import(entries []ExportedEntry) int {
+	before := c.Stats().Stores
+	for _, e := range entries {
+		c.Store(e.Key, Entry{Status: e.Status, Init: e.Init, Vec: e.Vec})
+	}
+	return int(c.Stats().Stores - before)
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -103,6 +103,13 @@ type Env struct {
 	// harness's baseline. Every analysis result is byte-identical across
 	// modes.
 	Spatial geom.SpatialMode
+	// Ledger, when non-nil, is the run flight recorder: every fault-
+	// classification stage the environment runs appends one stage record
+	// plus per-fault verdict provenance (see obs.Ledger and atpg.Config.
+	// Ledger). The pre-physical internal screen (UndetectableInternal) does
+	// not emit — its analyses are advisory, not verdict stages. nil is off
+	// and free.
+	Ledger *obs.Ledger
 }
 
 // IncrStats summarizes what an AnalyzeIncremental call reused from the
@@ -200,14 +207,14 @@ func (e *Env) lintDesign(d *Design) error {
 // analyzeFaults is the analysis tail shared by Analyze and
 // AnalyzeIncremental: build the DFM fault universe from the layout, then
 // classify it.
-func (e *Env) analyzeFaults(d *Design) error {
+func (e *Env) analyzeFaults(d *Design, stage string) error {
 	sp := obs.Start(e.Obs, "flow/dfm")
 	d.Faults, d.DFMRep, d.DFMScan, d.DFMStats = dfm.BuildFaultsScanStats(d.C, d.Lay, e.Prof, e.Spatial)
 	sp.Annotate(obs.Int("faults", d.Faults.Len()))
 	sp.End()
 	e.Obs.Counter("dfm/full_builds").Inc()
 	e.publishScanStats(d.DFMStats)
-	return e.classifyFaults(d)
+	return e.classifyFaults(d, stage)
 }
 
 // publishScanStats exports one DFM build's scan-cost accounting: what the
@@ -233,9 +240,11 @@ func (e *Env) publishScanStats(s dfm.ScanStats) {
 // the stage runs under its own deadline derived from Env.Ctx; expiry or
 // cancellation aborts the analysis with resilience.ErrInterrupted and the
 // partially-classified Design is never returned to the caller.
-func (e *Env) classifyFaults(d *Design) error {
+func (e *Env) classifyFaults(d *Design, stage string) error {
 	sp := obs.Start(e.Obs, "flow/atpg", obs.Int("faults", d.Faults.Len()))
 	cfg := e.atpgConfig()
+	cfg.Ledger = e.Ledger
+	cfg.Stage = stage
 	if e.StageTimeout > 0 {
 		base := e.Ctx
 		if base == nil {
@@ -279,7 +288,7 @@ func (e *Env) Analyze(c *netlist.Circuit, die geom.Rect) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := e.analyzeFaults(d); err != nil {
+	if err := e.analyzeFaults(d, "analyze"); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -303,7 +312,7 @@ func (e *Env) VerifyFaults(d *Design) (*Design, error) {
 	nd := *d
 	cache := e.FaultCache
 	e.FaultCache = nil
-	err := e.analyzeFaults(&nd)
+	err := e.analyzeFaults(&nd, "verify")
 	e.FaultCache = cache
 	if err != nil {
 		return nil, err
@@ -396,7 +405,7 @@ func (e *Env) AnalyzeIncremental(c *netlist.Circuit, prev *Design) (*Design, err
 		e.Obs.Counter("dfm/full_builds").Inc()
 		e.publishScanStats(d.DFMStats)
 	}
-	if err := e.classifyFaults(d); err != nil {
+	if err := e.classifyFaults(d, "analyze-incr"); err != nil {
 		return nil, err
 	}
 	return d, nil

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 )
 
@@ -15,6 +16,11 @@ import (
 //	/metrics      the registry snapshot as JSON
 //	/spans        the in-flight span stack — the pipeline's live call
 //	              stack, so a stuck q-sweep is diagnosable from outside
+//	/ledger       the run flight recorder's recent lines (404 until a
+//	              ledger is attached); ?follow=1 streams new lines until
+//	              the ledger closes or the client disconnects
+//	/healthz      liveness probe: "ok\n" with status 200
+//	/version      the obs schema version and go runtime, as JSON
 //	/debug/pprof  the standard net/http/pprof handlers
 //
 // The server runs until the process exits or the caller calls Close; it
@@ -59,6 +65,58 @@ func debugMux(t *Tracer) *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		enc.Encode(rows)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/version", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{
+			"schema": Version,
+			"go":     runtime.Version(),
+		})
+	})
+	mux.HandleFunc("/ledger", func(w http.ResponseWriter, r *http.Request) {
+		l := t.Ledger()
+		if l == nil {
+			http.Error(w, "no ledger attached (run with -ledger)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flush := func() {
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+		follow := r.URL.Query().Get("follow") != ""
+		// Subscribe before dumping the tail so no line can fall in the gap;
+		// a line in both tail and channel would duplicate, so under follow
+		// the tail is skipped and the client sees lines from now on.
+		if !follow {
+			for _, line := range l.Tail() {
+				w.Write([]byte(line))
+				w.Write([]byte{'\n'})
+			}
+			return
+		}
+		ch, cancel := l.Follow()
+		defer cancel()
+		flush()
+		for {
+			select {
+			case line, ok := <-ch:
+				if !ok {
+					return
+				}
+				if _, err := w.Write(append([]byte(line), '\n')); err != nil {
+					return
+				}
+				flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

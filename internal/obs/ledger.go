@@ -1,0 +1,552 @@
+// The run flight recorder: a deterministic, append-only JSONL ledger that
+// records one provenance event per fault verdict — which engine tier decided
+// the fault, at what search cost — plus one stage record per analysis and
+// one iter record per accepted resynthesis iteration.
+//
+// Determinism contract: every field except the timing fields ("us") is a
+// pure function of (circuit, configuration, cache content). The canonical
+// form of a ledger — each record re-encoded with its timing zeroed, summary
+// records dropped — is therefore byte-identical at any worker count, and a
+// run killed after iteration k and resumed produces two ledgers whose
+// canonical concatenation equals the uninterrupted run's. The SHA-256 digest
+// in the trailing summary record covers exactly that canonical form, so two
+// runs agree iff their digests agree.
+//
+// The Ledger follows the package's "nil means off, and off is free"
+// contract: every method is a no-op on a nil receiver, so the engine emits
+// unconditionally and a run without -ledger pays only nil checks.
+package obs
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tier names the engine tier that decided a fault's verdict. Exactly one
+// tier decides each fault:
+//
+//	cache       a trusted Undetectable verdict from the fault-verdict
+//	            cache, or a detection while replaying cached witnesses
+//	implic      the static implication screen proved it undetectable with
+//	            zero searches
+//	collateral  detected by simulation without its own search — a random-
+//	            phase pattern or a test another fault's search emitted
+//	podem       its own PODEM search decided it (including quarantined
+//	            searches, which end Aborted)
+//	sat         a fresh CDCL escalation solved it after PODEM gave up
+//	sat-memo    a within-run memoized undetectability proof of a
+//	            cone-isomorphic fault settled it
+type Tier string
+
+// The provenance tiers, in pipeline order.
+const (
+	TierCache      Tier = "cache"
+	TierImplic     Tier = "implic"
+	TierCollateral Tier = "collateral"
+	TierPodem      Tier = "podem"
+	TierSAT        Tier = "sat"
+	TierSATMemo    Tier = "sat-memo"
+)
+
+// TierCounts is a per-tier verdict count — the provenance breakdown of one
+// analysis stage or resynthesis iteration.
+type TierCounts struct {
+	Cache      int `json:"cache,omitempty"`
+	Implic     int `json:"implic,omitempty"`
+	Collateral int `json:"collateral,omitempty"`
+	Podem      int `json:"podem,omitempty"`
+	SAT        int `json:"sat,omitempty"`
+	SATMemo    int `json:"sat_memo,omitempty"`
+}
+
+// Add counts one verdict decided by the given tier (unknown tiers are
+// ignored — they can only come from a decoded foreign ledger).
+func (t *TierCounts) Add(tier Tier) {
+	switch tier {
+	case TierCache:
+		t.Cache++
+	case TierImplic:
+		t.Implic++
+	case TierCollateral:
+		t.Collateral++
+	case TierPodem:
+		t.Podem++
+	case TierSAT:
+		t.SAT++
+	case TierSATMemo:
+		t.SATMemo++
+	}
+}
+
+// Merge accumulates another breakdown into t.
+func (t *TierCounts) Merge(o TierCounts) {
+	t.Cache += o.Cache
+	t.Implic += o.Implic
+	t.Collateral += o.Collateral
+	t.Podem += o.Podem
+	t.SAT += o.SAT
+	t.SATMemo += o.SATMemo
+}
+
+// Total sums the breakdown.
+func (t TierCounts) Total() int {
+	return t.Cache + t.Implic + t.Collateral + t.Podem + t.SAT + t.SATMemo
+}
+
+// LedgerRecord is the decoded form of one ledger line, flat across the four
+// record types; T discriminates. Fields not belonging to the record's type
+// stay at their zero values.
+type LedgerRecord struct {
+	T string `json:"t"` // "stage", "verdict", "iter" or "summary"
+
+	// Stage records: one per analysis (label "analyze", "analyze-incr" or
+	// "verify"), emitted before its verdicts.
+	Stage        string     `json:"stage,omitempty"`
+	Circuit      string     `json:"circuit,omitempty"`
+	Gates        int        `json:"gates,omitempty"`
+	Faults       int        `json:"faults,omitempty"`
+	Detected     int        `json:"detected,omitempty"`
+	Undetectable int        `json:"undetectable,omitempty"`
+	Aborted      int        `json:"aborted,omitempty"`
+	Tiers        TierCounts `json:"tiers,omitempty"`
+	Searches     int64      `json:"searches,omitempty"`
+	Backtracks   int64      `json:"backtracks,omitempty"`
+	Conflicts    int64      `json:"conflicts,omitempty"`
+
+	// Verdict records: one per fault, in fault-ID order within a stage.
+	Fault  int    `json:"fault,omitempty"`
+	Status string `json:"status,omitempty"`
+	Tier   Tier   `json:"tier,omitempty"`
+	BT     int    `json:"bt,omitempty"`
+	Conf   int64  `json:"conf,omitempty"`
+
+	// Iter records: one per accepted resynthesis iteration.
+	Q     int `json:"q,omitempty"`
+	Phase int `json:"phase,omitempty"`
+	Iter  int `json:"iter,omitempty"`
+	U     int `json:"u,omitempty"`
+	Smax  int `json:"smax,omitempty"`
+	F     int `json:"f,omitempty"`
+
+	// Micros is wall-clock cost (stage wall time, or one search's cost).
+	// It is the one field excluded from the canonical form and the digest.
+	Micros int64 `json:"us,omitempty"`
+
+	// Summary record (written by Close, excluded from the digest): the
+	// event count and the SHA-256 digest of the canonical ledger.
+	Events int    `json:"events,omitempty"`
+	Digest string `json:"digest,omitempty"`
+}
+
+// Record type discriminators.
+const (
+	recStage   = "stage"
+	recVerdict = "verdict"
+	recIter    = "iter"
+	recSummary = "summary"
+)
+
+// Typed encode shapes: one struct per record type so each line carries only
+// its own fields. Both the file line and the canonical digest line come from
+// encodeRecord, which is the single encoder — the digest a reader recomputes
+// from decoded records matches the writer's by construction.
+type stageJSON struct {
+	T            string     `json:"t"`
+	Stage        string     `json:"stage"`
+	Circuit      string     `json:"circuit"`
+	Gates        int        `json:"gates"`
+	Faults       int        `json:"faults"`
+	Detected     int        `json:"detected"`
+	Undetectable int        `json:"undetectable"`
+	Aborted      int        `json:"aborted"`
+	Tiers        TierCounts `json:"tiers"`
+	Searches     int64      `json:"searches"`
+	Backtracks   int64      `json:"backtracks"`
+	Conflicts    int64      `json:"conflicts"`
+	Micros       int64      `json:"us,omitempty"`
+}
+
+type verdictJSON struct {
+	T      string `json:"t"`
+	Fault  int    `json:"fault"`
+	Status string `json:"status"`
+	Tier   Tier   `json:"tier"`
+	BT     int    `json:"bt,omitempty"`
+	Conf   int64  `json:"conf,omitempty"`
+	Micros int64  `json:"us,omitempty"`
+}
+
+type iterJSON struct {
+	T     string     `json:"t"`
+	Q     int        `json:"q"`
+	Phase int        `json:"phase"`
+	Iter  int        `json:"iter"`
+	U     int        `json:"u"`
+	Smax  int        `json:"smax"`
+	F     int        `json:"f"`
+	Tiers TierCounts `json:"tiers"`
+}
+
+type summaryJSON struct {
+	T      string `json:"t"`
+	Events int    `json:"events"`
+	Digest string `json:"digest"`
+}
+
+// encodeRecord renders one record as its JSON line (no trailing newline).
+// canonical zeroes the timing field — the digest input — and is a no-op for
+// the record types that carry no timing.
+func encodeRecord(rec LedgerRecord, canonical bool) ([]byte, error) {
+	us := rec.Micros
+	if canonical {
+		us = 0
+	}
+	switch rec.T {
+	case recStage:
+		return json.Marshal(stageJSON{
+			T: recStage, Stage: rec.Stage, Circuit: rec.Circuit,
+			Gates: rec.Gates, Faults: rec.Faults,
+			Detected: rec.Detected, Undetectable: rec.Undetectable, Aborted: rec.Aborted,
+			Tiers: rec.Tiers, Searches: rec.Searches, Backtracks: rec.Backtracks,
+			Conflicts: rec.Conflicts, Micros: us,
+		})
+	case recVerdict:
+		return json.Marshal(verdictJSON{
+			T: recVerdict, Fault: rec.Fault, Status: rec.Status, Tier: rec.Tier,
+			BT: rec.BT, Conf: rec.Conf, Micros: us,
+		})
+	case recIter:
+		return json.Marshal(iterJSON{
+			T: recIter, Q: rec.Q, Phase: rec.Phase, Iter: rec.Iter,
+			U: rec.U, Smax: rec.Smax, F: rec.F, Tiers: rec.Tiers,
+		})
+	case recSummary:
+		return json.Marshal(summaryJSON{T: recSummary, Events: rec.Events, Digest: rec.Digest})
+	}
+	return nil, fmt.Errorf("obs: ledger record type %q", rec.T)
+}
+
+// ledgerTail bounds the in-memory ring of recent lines served by the /ledger
+// debug endpoint.
+const ledgerTail = 512
+
+// Ledger is the append-only run flight recorder. All methods are safe for
+// concurrent use and are no-ops on a nil receiver.
+type Ledger struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer // non-nil when the ledger owns the file
+	h      hash.Hash // SHA-256 over the canonical lines
+	events int
+	err    error // first write/encode error; sticky
+	closed bool
+
+	tail []string // ring of the most recent lines, oldest first
+	subs []chan string
+}
+
+// NewLedger wraps an arbitrary writer (a buffer in tests, a pipe in a
+// server) as a ledger. Close flushes but does not close the writer.
+func NewLedger(w io.Writer) *Ledger {
+	return &Ledger{w: bufio.NewWriter(w), h: sha256.New()}
+}
+
+// CreateLedger creates (truncating) the ledger file at path. Close flushes
+// and closes it.
+func CreateLedger(path string) (*Ledger, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create ledger: %w", err)
+	}
+	l := NewLedger(f)
+	l.c = f
+	return l, nil
+}
+
+// append encodes and writes one record, feeding the digest (summary records
+// excluded), the tail ring, and any followers.
+func (l *Ledger) append(rec LedgerRecord) {
+	if l == nil {
+		return
+	}
+	line, err := encodeRecord(rec, false)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.err != nil {
+		return
+	}
+	if rec.T != recSummary {
+		canon, err := encodeRecord(rec, true)
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.h.Write(canon)
+		l.h.Write([]byte{'\n'})
+		l.events++
+	}
+	if _, err := l.w.Write(append(line, '\n')); err != nil {
+		l.err = fmt.Errorf("obs: ledger write: %w", err)
+		return
+	}
+	s := string(line)
+	if len(l.tail) == ledgerTail {
+		copy(l.tail, l.tail[1:])
+		l.tail[len(l.tail)-1] = s
+	} else {
+		l.tail = append(l.tail, s)
+	}
+	for _, ch := range l.subs {
+		select {
+		case ch <- s:
+		default: // a stalled follower drops lines rather than stalling the run
+		}
+	}
+}
+
+func (l *Ledger) fail(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+}
+
+// Stage records one analysis stage's summary. Emit it before the stage's
+// verdicts; rec.T is set by the ledger.
+func (l *Ledger) Stage(rec LedgerRecord) {
+	if l == nil {
+		return
+	}
+	rec.T = recStage
+	l.append(rec)
+}
+
+// Verdict records one fault's provenance event.
+func (l *Ledger) Verdict(rec LedgerRecord) {
+	if l == nil {
+		return
+	}
+	rec.T = recVerdict
+	l.append(rec)
+}
+
+// Iter records one accepted resynthesis iteration.
+func (l *Ledger) Iter(rec LedgerRecord) {
+	if l == nil {
+		return
+	}
+	rec.T = recIter
+	l.append(rec)
+}
+
+// Events returns the number of digested records appended so far.
+func (l *Ledger) Events() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events
+}
+
+// Digest returns the hex SHA-256 of the canonical ledger so far.
+func (l *Ledger) Digest() string {
+	if l == nil {
+		return ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprintf("%x", l.h.Sum(nil))
+}
+
+// Err returns the first write or encode error (sticky; nil on a nil ledger).
+func (l *Ledger) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Tail returns a copy of the most recent lines (the /ledger endpoint's dump).
+func (l *Ledger) Tail() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.tail...)
+}
+
+// Follow subscribes to lines appended after the call. The channel closes
+// when the ledger does; cancel unsubscribes early. A follower that falls
+// behind misses lines instead of blocking the run. nil ledger: a closed
+// channel and a no-op cancel.
+func (l *Ledger) Follow() (<-chan string, func()) {
+	if l == nil {
+		ch := make(chan string)
+		close(ch)
+		return ch, func() {}
+	}
+	ch := make(chan string, 256)
+	l.mu.Lock()
+	if l.closed {
+		close(ch)
+		l.mu.Unlock()
+		return ch, func() {}
+	}
+	l.subs = append(l.subs, ch)
+	l.mu.Unlock()
+	cancel := func() {
+		l.mu.Lock()
+		for i, c := range l.subs {
+			if c == ch {
+				l.subs = append(l.subs[:i], l.subs[i+1:]...)
+				close(ch)
+				break
+			}
+		}
+		l.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Close writes the trailing summary record (event count + digest), flushes,
+// closes the file when the ledger owns one, and closes every follower. It
+// returns the first error the ledger hit. Closing twice, or a nil ledger,
+// is a no-op.
+func (l *Ledger) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	digest := fmt.Sprintf("%x", l.h.Sum(nil))
+	events := l.events
+	l.mu.Unlock()
+	l.append(LedgerRecord{T: recSummary, Events: events, Digest: digest})
+	l.mu.Lock()
+	l.closed = true
+	if ferr := l.w.Flush(); ferr != nil && l.err == nil {
+		l.err = fmt.Errorf("obs: ledger flush: %w", ferr)
+	}
+	if l.c != nil {
+		if cerr := l.c.Close(); cerr != nil && l.err == nil {
+			l.err = fmt.Errorf("obs: ledger close: %w", cerr)
+		}
+	}
+	for _, ch := range l.subs {
+		close(ch)
+	}
+	l.subs = nil
+	err := l.err
+	l.mu.Unlock()
+	return err
+}
+
+// maxLedgerLine bounds one ledger line for the decoder — far above anything
+// the writer emits, low enough that a hostile input cannot balloon memory.
+const maxLedgerLine = 1 << 20
+
+// ReadLedger decodes a JSONL ledger stream. Unknown record types, invalid
+// JSON, and oversized lines are errors; blank lines are skipped. The decoder
+// never panics on malformed input (pinned by FuzzLedger).
+func ReadLedger(r io.Reader) ([]LedgerRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLedgerLine)
+	var recs []LedgerRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec LedgerRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("obs: ledger line %d: %w", lineNo, err)
+		}
+		switch rec.T {
+		case recStage, recVerdict, recIter, recSummary:
+		default:
+			return nil, fmt.Errorf("obs: ledger line %d: unknown record type %q", lineNo, rec.T)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: ledger line %d: %w", lineNo+1, err)
+	}
+	return recs, nil
+}
+
+// CanonicalLedger re-encodes decoded records into the canonical byte form:
+// timings zeroed (the us fields vanish under omitempty) and summary records
+// dropped. Two ledgers are equivalent — same verdicts, same tiers, same
+// stage and iteration structure — iff their canonical forms are equal, which
+// is also exactly what the digest covers: the canonical form of a killed
+// run's ledger concatenated with its resumed continuation's equals the
+// uninterrupted run's.
+func CanonicalLedger(recs []LedgerRecord) ([]byte, error) {
+	var out []byte
+	for _, rec := range recs {
+		if rec.T == recSummary {
+			continue
+		}
+		line, err := encodeRecord(rec, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out, nil
+}
+
+// LedgerDigest recomputes the canonical digest of decoded records — equal to
+// the writer's Digest() (and its summary record) for an unmodified ledger.
+func LedgerDigest(recs []LedgerRecord) (string, error) {
+	canon, err := CanonicalLedger(recs)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(canon)), nil
+}
+
+// SlowSearch identifies one of a run's costliest searches: the fault, the
+// tier that finally decided it, and the wall micros its search spent
+// (PODEM plus any escalation).
+type SlowSearch struct {
+	Fault      int
+	Tier       Tier
+	Backtracks int
+	Micros     int64
+}
+
+// ledgerEpoch anchors NowMicros. Only differences of NowMicros values are
+// meaningful.
+var ledgerEpoch = time.Now()
+
+// NowMicros returns wall micros since an arbitrary process epoch. It exists
+// so the deterministic engine packages (which the vetdfm suite bans from
+// reading the clock directly) can stamp the ledger's timing fields — the
+// fields the canonical form and digest exclude — without owning a clock.
+func NowMicros() int64 {
+	return time.Since(ledgerEpoch).Microseconds()
+}

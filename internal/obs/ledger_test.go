@@ -1,0 +1,390 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The flight recorder's contract: a written ledger decodes to the records
+// that were appended; the digest a reader recomputes equals the one the
+// writer recorded; the canonical form is timing-blind; and every method is a
+// no-op on a nil ledger.
+
+// record appends one of each record type and returns the ledger's buffer.
+func recordFixture(l *Ledger) {
+	l.Stage(LedgerRecord{
+		Stage: "analyze", Circuit: "c17", Gates: 6, Faults: 22,
+		Detected: 20, Undetectable: 1, Aborted: 1,
+		Tiers:    TierCounts{Collateral: 18, Podem: 3, SAT: 1},
+		Searches: 4, Backtracks: 9, Conflicts: 2, Micros: 1234,
+	})
+	l.Verdict(LedgerRecord{Fault: 0, Status: "detected", Tier: TierCollateral})
+	l.Verdict(LedgerRecord{Fault: 7, Status: "undetectable", Tier: TierSAT, BT: 41, Conf: 2, Micros: 987})
+	l.Iter(LedgerRecord{Q: 5, Phase: 1, Iter: 1, U: 3, Smax: 4, F: 30, Tiers: TierCounts{Cache: 30}})
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLedger(&buf)
+	recordFixture(l)
+	wantDigest := l.Digest()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadLedger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three digested events plus the trailing summary.
+	if len(recs) != 5 {
+		t.Fatalf("decoded %d records, want 5", len(recs))
+	}
+	last := recs[len(recs)-1]
+	if last.T != "summary" || last.Events != 4 || last.Digest != wantDigest {
+		t.Errorf("summary = %+v, want events=4 digest=%s", last, wantDigest)
+	}
+	// A reader recomputes the writer's digest from the decoded records.
+	got, err := LedgerDigest(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantDigest {
+		t.Errorf("reader digest %s != writer digest %s", got, wantDigest)
+	}
+	// Field fidelity through the typed encoders.
+	if recs[0].Tiers != (TierCounts{Collateral: 18, Podem: 3, SAT: 1}) || recs[0].Micros != 1234 {
+		t.Errorf("stage record lost fields: %+v", recs[0])
+	}
+	if recs[1].Fault != 0 || recs[1].Status != "detected" || recs[1].Tier != TierCollateral {
+		t.Errorf("fault-ID-zero verdict lost fields: %+v", recs[1])
+	}
+	if recs[2].BT != 41 || recs[2].Conf != 2 || recs[2].Micros != 987 {
+		t.Errorf("verdict cost fields lost: %+v", recs[2])
+	}
+	if recs[3].Iter != 1 || recs[3].Tiers.Cache != 30 {
+		t.Errorf("iter record lost fields: %+v", recs[3])
+	}
+}
+
+func TestCanonicalFormIgnoresTiming(t *testing.T) {
+	var a, b bytes.Buffer
+	la, lb := NewLedger(&a), NewLedger(&b)
+	la.Verdict(LedgerRecord{Fault: 3, Status: "detected", Tier: TierPodem, BT: 2, Micros: 11})
+	lb.Verdict(LedgerRecord{Fault: 3, Status: "detected", Tier: TierPodem, BT: 2, Micros: 99999})
+	if la.Digest() != lb.Digest() {
+		t.Error("digests differ on timing-only difference")
+	}
+	la.Close()
+	lb.Close()
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("file bytes should differ (timing is recorded), only the canonical form is blind to it")
+	}
+	ra, _ := ReadLedger(bytes.NewReader(a.Bytes()))
+	rb, _ := ReadLedger(bytes.NewReader(b.Bytes()))
+	ca, err := CanonicalLedger(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CanonicalLedger(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("canonical forms differ:\n%s\n%s", ca, cb)
+	}
+}
+
+// TestCanonicalConcatenation pins the resume identity the differential tests
+// build on: splitting a record stream across two ledgers and concatenating
+// their canonical forms equals the unsplit ledger's canonical form.
+func TestCanonicalConcatenation(t *testing.T) {
+	emitAll := func(ls ...*Ledger) {
+		for _, l := range ls {
+			recordFixture(l)
+		}
+	}
+	var whole, part1, part2 bytes.Buffer
+	lw, l1, l2 := NewLedger(&whole), NewLedger(&part1), NewLedger(&part2)
+	emitAll(lw)
+	emitAll(lw)
+	emitAll(l1)
+	emitAll(l2)
+	lw.Close()
+	l1.Close()
+	l2.Close()
+	canon := func(b *bytes.Buffer) []byte {
+		recs, err := ReadLedger(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CanonicalLedger(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if got, want := canon(&whole), append(canon(&part1), canon(&part2)...); !bytes.Equal(got, want) {
+		t.Errorf("canonical(whole) != canonical(part1)+canonical(part2)\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestNilLedger(t *testing.T) {
+	var l *Ledger
+	l.Stage(LedgerRecord{Stage: "analyze"})
+	l.Verdict(LedgerRecord{Fault: 1})
+	l.Iter(LedgerRecord{Iter: 1})
+	if l.Events() != 0 || l.Digest() != "" || l.Err() != nil || l.Tail() != nil {
+		t.Error("nil ledger accessors not zero")
+	}
+	ch, cancel := l.Follow()
+	if _, open := <-ch; open {
+		t.Error("nil Follow channel not closed")
+	}
+	cancel()
+	if err := l.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	// A tracer without an attached ledger reports nil too.
+	var tr *Tracer
+	tr.AttachLedger(NewLedger(io.Discard))
+	if tr.Ledger() != nil {
+		t.Error("nil tracer holds a ledger")
+	}
+}
+
+func TestLedgerFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := CreateLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordFixture(l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// Appending after Close is swallowed, not written.
+	l.Verdict(LedgerRecord{Fault: 9, Status: "detected", Tier: TierPodem})
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadLedger(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[4].T != "summary" {
+		t.Fatalf("file holds %d records, want 4 + summary", len(recs))
+	}
+}
+
+func TestLedgerTailAndFollow(t *testing.T) {
+	l := NewLedger(io.Discard)
+	ch, cancel := l.Follow()
+	defer cancel()
+	for i := 0; i < ledgerTail+10; i++ {
+		l.Verdict(LedgerRecord{Fault: i, Status: "detected", Tier: TierCollateral})
+	}
+	tail := l.Tail()
+	if len(tail) != ledgerTail {
+		t.Fatalf("tail holds %d lines, want %d", len(tail), ledgerTail)
+	}
+	if !strings.Contains(tail[len(tail)-1], fmt.Sprintf(`"fault":%d`, ledgerTail+9)) {
+		t.Errorf("tail did not keep the newest line: %s", tail[len(tail)-1])
+	}
+	if !strings.Contains(tail[0], fmt.Sprintf(`"fault":%d`, 10)) {
+		t.Errorf("tail did not evict the oldest lines: %s", tail[0])
+	}
+	// The follower saw the first lines before its buffer overflowed, and its
+	// channel closes with the ledger.
+	first := <-ch
+	if !strings.Contains(first, `"fault":0`) {
+		t.Errorf("follower's first line = %s", first)
+	}
+	l.Close()
+	open := true
+	for open {
+		_, open = <-ch
+	}
+}
+
+func TestReadLedgerRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`{"t":"wormhole"}`,
+		`{"t":"verdict"`,
+		`not json at all`,
+	} {
+		if _, err := ReadLedger(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ReadLedger(%q) accepted malformed input", bad)
+		}
+	}
+	// Blank lines are tolerated (trailing newline artifacts).
+	recs, err := ReadLedger(strings.NewReader("\n\n{\"t\":\"iter\",\"q\":1}\n\n"))
+	if err != nil || len(recs) != 1 {
+		t.Errorf("blank-line tolerance: recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestTierCounts(t *testing.T) {
+	var tc TierCounts
+	for _, tier := range []Tier{TierCache, TierImplic, TierCollateral, TierPodem, TierSAT, TierSATMemo, Tier("alien")} {
+		tc.Add(tier)
+	}
+	want := TierCounts{Cache: 1, Implic: 1, Collateral: 1, Podem: 1, SAT: 1, SATMemo: 1}
+	if tc != want {
+		t.Errorf("Add walked the tiers wrong: %+v", tc)
+	}
+	if tc.Total() != 6 {
+		t.Errorf("Total = %d, want 6 (unknown tier dropped)", tc.Total())
+	}
+	tc.Merge(TierCounts{Podem: 4, SATMemo: 2})
+	if tc.Podem != 5 || tc.SATMemo != 3 {
+		t.Errorf("Merge: %+v", tc)
+	}
+}
+
+// FuzzLedger: the decoder and re-encoder never panic on arbitrary input, and
+// on inputs they accept, canonicalization is a fixed point — decoding the
+// canonical form and canonicalizing again is byte-identical.
+func FuzzLedger(f *testing.F) {
+	var seed bytes.Buffer
+	l := NewLedger(&seed)
+	recordFixture(l)
+	l.Close()
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"t":"verdict","fault":0,"status":"detected","tier":"cache"}`))
+	f.Add([]byte(`{"t":"stage"}` + "\n" + `{"t":"summary","events":1,"digest":"xyz"}`))
+	f.Add([]byte("\x00\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadLedger(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		canon, err := CanonicalLedger(recs)
+		if err != nil {
+			t.Fatalf("decoded records failed to re-encode: %v", err)
+		}
+		again, err := ReadLedger(bytes.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical form does not decode: %v\n%s", err, canon)
+		}
+		canon2, err := CanonicalLedger(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonicalization is not a fixed point:\n%s\nvs\n%s", canon, canon2)
+		}
+		d1, _ := LedgerDigest(recs)
+		d2, _ := LedgerDigest(again)
+		if d1 != d2 {
+			t.Fatalf("digest not stable across canonicalization: %s vs %s", d1, d2)
+		}
+	})
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("bt", 10, 100, 1000)
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500) // third bucket (100, 1000]
+	}
+	hs := reg.Snapshot().Histograms["bt"]
+	if hs.P50 != 10 {
+		t.Errorf("p50 = %g, want 10 (first-bucket mass reports the first bound)", hs.P50)
+	}
+	if hs.P95 <= 100 || hs.P95 > 1000 {
+		t.Errorf("p95 = %g, want within (100, 1000]", hs.P95)
+	}
+	if !(hs.P50 <= hs.P95 && hs.P95 <= hs.P99) {
+		t.Errorf("quantiles not monotone: %g %g %g", hs.P50, hs.P95, hs.P99)
+	}
+
+	// Overflow mass clamps to the last bound.
+	h2 := reg.Histogram("of", 1, 2)
+	for i := 0; i < 10; i++ {
+		h2.Observe(99)
+	}
+	if got := reg.Snapshot().Histograms["of"].P99; got != 2 {
+		t.Errorf("overflow p99 = %g, want last bound 2", got)
+	}
+
+	// Empty histogram: all quantiles zero.
+	reg.Histogram("empty", 1, 2)
+	es := reg.Snapshot().Histograms["empty"]
+	if es.P50 != 0 || es.P95 != 0 || es.P99 != 0 {
+		t.Errorf("empty histogram quantiles: %g %g %g", es.P50, es.P95, es.P99)
+	}
+
+	// Degenerate snapshots don't divide by zero or index out of range.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("zero-value snapshot quantile = %g", got)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	tr := testTracer()
+	ledger := NewLedger(io.Discard)
+	tr.AttachLedger(ledger)
+	ledger.Verdict(LedgerRecord{Fault: 5, Status: "undetectable", Tier: TierImplic})
+
+	srv, addr, err := ServeDebug(tr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/version"); code != 200 ||
+		!strings.Contains(body, Version) || !strings.Contains(body, "go1") {
+		t.Errorf("/version = %d %q", code, body)
+	}
+	if code, body := get("/ledger"); code != 200 || !strings.Contains(body, `"fault":5`) {
+		t.Errorf("/ledger = %d %q", code, body)
+	}
+
+	// Without a ledger attached, /ledger is explicit about it.
+	tr2 := testTracer()
+	srv2, addr2, err := ServeDebug(tr2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp, err := http.Get("http://" + addr2.String() + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/ledger without a ledger = %d, want 404", resp.StatusCode)
+	}
+}

@@ -185,12 +185,48 @@ func (s *Series) Values() []float64 {
 }
 
 // HistogramSnapshot is the exported state of one histogram. Counts has one
-// entry per bound plus the final +Inf bucket.
+// entry per bound plus the final +Inf bucket. P50/P95/P99 are bucket-
+// interpolated quantile estimates (0 while the histogram is empty).
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts
+// by linear interpolation inside the bucket holding the q-th observation.
+// The first bucket resolves to its upper bound (its lower edge is unknown),
+// and the +Inf bucket to the last finite bound — so estimates are always
+// finite and monotone in q. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 || len(s.Counts) != len(s.Bounds)+1 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		switch {
+		case i == 0:
+			return s.Bounds[0]
+		case i == len(s.Bounds):
+			return s.Bounds[len(s.Bounds)-1]
+		default:
+			lo, hi := s.Bounds[i-1], s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of a registry, shaped for JSON export
@@ -225,13 +261,17 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		h.mu.Lock()
-		snap.Histograms[name] = HistogramSnapshot{
+		hs := HistogramSnapshot{
 			Bounds: append([]float64(nil), h.bounds...),
 			Counts: append([]int64(nil), h.counts...),
 			Sum:    h.sum,
 			Count:  h.n,
 		}
 		h.mu.Unlock()
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
+		snap.Histograms[name] = hs
 	}
 	for name, s := range r.series {
 		snap.Series[name] = s.Values()

@@ -66,10 +66,37 @@ type Tracer struct {
 	now        func() time.Time
 	allocBytes func() uint64
 
-	mu    sync.Mutex
-	t0    time.Time
-	stack []*Span // in-flight spans, open order
-	spans []*Span // every started span, start order (ID = index)
+	mu     sync.Mutex
+	t0     time.Time
+	stack  []*Span // in-flight spans, open order
+	spans  []*Span // every started span, start order (ID = index)
+	ledger *Ledger // run flight recorder, when AttachLedger was called
+}
+
+// Version identifies the observability exports' schema — bumped when the
+// trace, metrics-snapshot, or ledger formats change shape. Served by the
+// debug server's /version endpoint.
+const Version = "dfmresyn-obs/2"
+
+// AttachLedger exposes the run's ledger on the debug server's /ledger
+// endpoint. No-op on a nil tracer.
+func (t *Tracer) AttachLedger(l *Ledger) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ledger = l
+	t.mu.Unlock()
+}
+
+// Ledger returns the attached ledger, or nil.
+func (t *Tracer) Ledger() *Ledger {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ledger
 }
 
 // New builds a Tracer with a fresh Registry, wall clock, and heap probe.

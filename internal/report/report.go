@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"dfmresyn/internal/flow"
+	"dfmresyn/internal/obs"
 	"dfmresyn/internal/resyn"
 )
 
@@ -107,6 +108,26 @@ func IncrRow(name string, analyses, netsReused, netsRerouted int) string {
 func ResilienceRow(name string, recovered, quarantined int, corrupt uint64, replayed int) string {
 	return fmt.Sprintf("%-12s resil recovered=%-4d quarantined=%-4d cache_dropped=%-4d replayed=%d",
 		name, recovered, quarantined, corrupt, replayed)
+}
+
+// ProvRow renders a provenance breakdown next to a circuit's Table II rows:
+// which engine tier decided the verdicts of one analysis (label "orig" for
+// the baseline analysis, "final" for the cache-bypassed signoff). Both
+// breakdowns are pure functions of (circuit, configuration) — the orig
+// analysis runs cacheless and the signoff bypasses the cache — so prov rows
+// are identical across worker counts, resumes and chaos injection; they
+// shift only when a tier is reconfigured (-staticproof, -satescalate).
+func ProvRow(name, which string, t obs.TierCounts) string {
+	return fmt.Sprintf("%-12s prov  %-5s cache=%-4d implic=%-4d collateral=%-4d podem=%-4d sat=%-4d sat-memo=%d",
+		name, which, t.Cache, t.Implic, t.Collateral, t.Podem, t.SAT, t.SATMemo)
+}
+
+// SlowRow renders one of a run's costliest searches (the ledger's top-K
+// slow-search block). Wall micros vary run to run, so the row is diagnostic
+// and belongs on stderr, like ResilienceRow.
+func SlowRow(name string, rank int, s obs.SlowSearch) string {
+	return fmt.Sprintf("%-12s slow  #%d fault=%-6d tier=%-10s backtracks=%-7d us=%d",
+		name, rank, s.Fault, s.Tier, s.Backtracks, s.Micros)
 }
 
 // Fig2Trace renders the per-iteration cluster evolution (the series behind

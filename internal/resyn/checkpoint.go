@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"dfmresyn/internal/fcache"
 	"dfmresyn/internal/flow"
 	"dfmresyn/internal/netlist"
 	"dfmresyn/internal/obs"
@@ -40,7 +41,7 @@ import (
 // silently resuming wrong state.
 const (
 	checkpointKind    = "resyn-sweep"
-	checkpointVersion = 1
+	checkpointVersion = 2 // v2: CacheEntries journals the fault-verdict cache
 )
 
 // commitRecord journals one accepted iteration: where in the sweep it
@@ -118,6 +119,14 @@ type Checkpoint struct {
 
 	// Commits is the full accepted-iteration chain, oldest first.
 	Commits []commitRecord `json:"commits"`
+
+	// CacheEntries journals the fault-verdict cache content at commit time
+	// (sorted key order). Replay alone under-populates the cache — it skips
+	// the rejected candidates' analyses and the internal screens the killed
+	// run performed — and provenance tier attribution is cache-history-
+	// dependent, so the continuation imports this before replaying: its
+	// ledger records then continue the killed run's byte for byte.
+	CacheEntries []fcache.ExportedEntry `json:"cacheEntries,omitempty"`
 }
 
 // circuitText serializes a circuit with the exact-order codec.
@@ -159,6 +168,9 @@ func (s *state) writeCheckpoint(phase, iter int, p2 float64) error {
 		ConstraintBlocked: s.constraintBlocked,
 		Gen:               s.gen,
 		Commits:           s.commits,
+	}
+	if s.env.FaultCache != nil {
+		ck.CacheEntries = s.env.FaultCache.Export()
 	}
 	return resilience.WriteJournal(s.opt.Journal, checkpointKind, checkpointVersion, ck)
 }
@@ -272,6 +284,22 @@ func Resume(env *flow.Env, orig *flow.Design, path string, opt Options) (*Result
 func (s *state) replay(ck *Checkpoint) error {
 	sp := obs.Start(s.env.Obs, "resyn/replay", obs.Int("commits", len(ck.Commits)))
 	defer sp.End()
+	// Restore the killed run's verdict cache before re-analyzing anything:
+	// replay's own analyses only re-derive the committed circuits' verdicts,
+	// not the rejected candidates' or the internal screens', and provenance
+	// tier attribution downstream depends on exactly which verdicts are
+	// cached. First-write-wins Store semantics make the import idempotent.
+	if s.env.FaultCache != nil && len(ck.CacheEntries) > 0 {
+		n := s.env.FaultCache.Import(ck.CacheEntries)
+		s.env.Obs.Counter("resyn/cache_entries_imported").Add(int64(n))
+	}
+	// The ledger stays silent for the whole replayed prefix: the killed
+	// run already emitted those records, so the resumed run's ledger must
+	// start exactly where the killed run's stopped — their concatenation
+	// (timings stripped) equals the uninterrupted run's ledger.
+	ledger := s.env.Ledger
+	s.env.Ledger = nil
+	defer func() { s.env.Ledger = ledger }()
 	for i, rec := range ck.Commits {
 		if err := resilience.Err(s.env.Ctx); err != nil {
 			return fmt.Errorf("resyn: resume cancelled during replay of commit %d/%d: %w", i+1, len(ck.Commits), err)

@@ -199,6 +199,11 @@ type Result struct {
 	// definitive verdict, and the solver conflicts those proofs cost.
 	SATEscalations int
 	SATConflicts   int64
+	// Tiers totals the per-verdict provenance breakdown over every
+	// PDesign() analysis of the sweep (accepted and rejected candidates
+	// alike; see atpg.Result.Tiers) — which engine tier carried the
+	// sweep's classification work.
+	Tiers obs.TierCounts
 }
 
 // IterStats is the telemetry of one accepted resynthesis iteration.
@@ -212,6 +217,12 @@ type IterStats struct {
 	// spent inside this iteration (0/0 for a directly accepted candidate).
 	BacktrackTried    int
 	BacktrackAccepted int
+	// Tiers is the provenance breakdown of the committed design's analysis
+	// (atpg.Result.Tiers): which engine tier decided its verdicts. On a
+	// resumed run, replayed rows reflect the replay-time cache state — more
+	// cache hits than the original run had at that commit — so the row-level
+	// Tiers of replayed commits are informational, not identity-checked.
+	Tiers obs.TierCounts
 }
 
 // IncrTotals accumulates flow.IncrStats over every AnalyzeIncremental of a
@@ -698,6 +709,7 @@ func (s *state) attempt(region *netlist.Region, allowed func(*library.Cell) bool
 		s.res.Quarantined += len(newD.Result.Quarantined)
 		s.res.SATEscalations += newD.Result.SATEscalations
 		s.res.SATConflicts += newD.Result.SATConflicts
+		s.res.Tiers.Merge(newD.Result.Tiers)
 		if newD.Incr != nil {
 			s.res.Incr.Analyses++
 			s.res.Incr.NetsReused += newD.Incr.RouteReused
@@ -806,6 +818,15 @@ func (s *state) recordCommit(d *flow.Design, rec commitRecord) {
 		SmaxFrac:          smaxFrac(d),
 		BacktrackTried:    rec.BtTried,
 		BacktrackAccepted: rec.BtAcc,
+		Tiers:             d.Result.Tiers,
+	})
+	// One iter record per accepted iteration. Replay calls recordCommit with
+	// the environment's ledger nilled, so a resumed run's ledger continues
+	// exactly where the killed run's stopped.
+	s.env.Ledger.Iter(obs.LedgerRecord{
+		Q: rec.Q, Phase: rec.Phase, Iter: rec.Iter,
+		U: u, Smax: smax, F: d.Faults.Len(),
+		Tiers: d.Result.Tiers,
 	})
 	s.env.Obs.Counter("resyn/commits").Inc()
 	s.env.Obs.Series("resyn/smax_frac").Append(smaxFrac(d))
