@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench benchflow bench-smoke fuzz obs-smoke chaos-smoke sat-smoke obsdiff-smoke
+.PHONY: check fmt vet build test race lint bench benchflow bench-smoke fuzz obs-smoke chaos-smoke sat-smoke obsdiff-smoke serve-smoke
 
-check: fmt vet build test race lint benchflow bench-smoke obs-smoke chaos-smoke sat-smoke obsdiff-smoke
+check: fmt vet build test race lint benchflow bench-smoke obs-smoke chaos-smoke sat-smoke obsdiff-smoke serve-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -129,6 +129,16 @@ sat-smoke:
 	$(GO) test -run 'TestEscalat' ./internal/atpg/
 	$(GO) test -run 'TestSATEscalationDeterminism' .
 
+# Analysis-server chaos smoke, across real OS processes: start dfmserve,
+# submit a q-sweep, kill -9 the server the moment the job's checkpoint hits
+# disk, restart on the same data directory, and assert the re-admitted job
+# resumes to a ledger digest byte-identical to an uninterrupted run's —
+# then that a second cold process reports warm hits from the shared verdict
+# store. (The same test runs under `make test`; this target keeps the
+# acceptance run invocable, and debuggable, on its own.)
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -v -timeout 15m ./cmd/dfmserve/
+
 # Short fuzz passes over every hand-rolled parser/decoder: the canonical
 # netlist reader, the exact-order checkpoint codec, the journal envelope,
 # and the sweep-checkpoint loader. Corpora grow under -fuzztime as long as
@@ -141,3 +151,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzImplic -fuzztime=30s ./internal/implic/
 	$(GO) test -fuzz=FuzzCNF -fuzztime=30s ./internal/atpg/
 	$(GO) test -fuzz=FuzzLedger -fuzztime=30s ./internal/obs/
+	$(GO) test -fuzz=FuzzVstore -fuzztime=30s ./internal/vstore/

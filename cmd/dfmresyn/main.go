@@ -29,7 +29,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -412,8 +411,10 @@ func run() (err error) {
 }
 
 // shutdownDebugServer drains the introspection server's in-flight requests
-// with a bounded grace period before the process exits.
-func shutdownDebugServer(srv *http.Server) {
+// with a bounded grace period before the process exits. Shutdown flips
+// /readyz to draining and releases any /ledger?follow=1 streams, so the
+// grace period bounds real request work, not an idle stream.
+func shutdownDebugServer(srv *obs.DebugServer) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -1,0 +1,116 @@
+// Command dfmserve is the long-running multi-tenant analysis server:
+// clients POST circuits plus sweep options to /jobs and poll (or stream)
+// results; a bounded scheduler runs the sweeps; every job's state is
+// journaled so a killed server restarts into a consistent fleet and
+// resumes interrupted jobs from their checkpoints; and a persistent
+// content-addressed verdict store under -datadir warms every job from all
+// previous jobs' and processes' classification work.
+//
+// Exit codes: 0 on clean shutdown (SIGINT/SIGTERM drain), 1 on startup or
+// serve errors.
+//
+// Endpoints (see internal/serve): POST /jobs, GET /jobs, GET /jobs/{id},
+// GET /jobs/{id}/ledger[?follow=1], GET /store, plus the standard debug
+// set (/metrics /spans /healthz /readyz /version /debug/pprof).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dfmresyn/internal/serve"
+)
+
+var (
+	addr       = flag.String("addr", "127.0.0.1:8424", "listen address")
+	addrFile   = flag.String("addrfile", "", "write the bound address to this file (':0' support for scripts and tests)")
+	dataDir    = flag.String("datadir", "", "persistent state directory (required): verdict store, job journals, checkpoints, ledgers")
+	slots      = flag.Int("slots", 0, "concurrently running jobs (0 = NumCPU)")
+	queueCap   = flag.Int("queue", 0, "pending-job queue bound (0 = 16)")
+	jobTimeout = flag.Duration("jobtimeout", 0, "per-job wall-time bound (0 = none)")
+	drainWait  = flag.Duration("drain", 2*time.Minute, "graceful-drain bound on SIGINT/SIGTERM")
+	chaosPanic = flag.Float64("chaospanic", 0, "inject ATPG worker panics at this rate into every job (chaos harness)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dfmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *dataDir == "" {
+		return fmt.Errorf("-datadir is required")
+	}
+	s, err := serve.New(serve.Options{
+		DataDir:    *dataDir,
+		Slots:      *slots,
+		QueueCap:   *queueCap,
+		JobTimeout: *jobTimeout,
+		ChaosPanic: *chaosPanic,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Drain(ctx)
+		return err
+	}
+	if *addrFile != "" {
+		// Atomic write: a script polling the file never reads a torn
+		// address.
+		tmp := *addrFile + ".tmp"
+		if werr := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); werr == nil {
+			os.Rename(tmp, *addrFile)
+		}
+	}
+	st := s.Store().Stats()
+	fmt.Fprintf(os.Stderr, "dfmserve: listening on http://%s (datadir %s, store %d entries", ln.Addr(), *dataDir, s.Store().Len())
+	if st.HealedRecords > 0 || st.QuarantinedSegs > 0 {
+		fmt.Fprintf(os.Stderr, ", healed %d records, quarantined %d segments", st.HealedRecords, st.QuarantinedSegs)
+	}
+	fmt.Fprintln(os.Stderr, ")")
+
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "dfmserve: %v: draining (bound %v)\n", sig, *drainWait)
+		// Readiness flips to 503 immediately while the listener keeps
+		// answering, so probes and clients see an orderly drain; running
+		// jobs are interrupted at their next deterministic boundary and
+		// journaled re-admittable — the next start resumes them.
+		dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if derr := s.Drain(dctx); derr != nil {
+			fmt.Fprintln(os.Stderr, "dfmserve:", derr)
+		}
+		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer hcancel()
+		srv.Shutdown(hctx)
+		fmt.Fprintln(os.Stderr, "dfmserve: drained")
+		return nil
+	case err := <-serveErr:
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		s.Drain(ctx)
+		return err
+	}
+}

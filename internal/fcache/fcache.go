@@ -69,7 +69,11 @@ type Stats struct {
 	// mismatch or an EntryVersion the reader does not speak. Each such
 	// entry cost one recompute and can never have produced a verdict.
 	Corrupt uint64
-	Entries int
+	// WarmHits counts the subset of Hits that landed on entries imported
+	// from a persistent verdict store (ImportWarm) rather than computed by
+	// this process — the cross-process amortization a shared store buys.
+	WarmHits uint64
+	Entries  int
 }
 
 // HitRate returns Hits/Lookups, or 0 when no lookups happened.
@@ -87,6 +91,9 @@ type slot struct {
 	e   Entry
 	ver uint16
 	sum uint32
+	// warm marks an entry imported from a persistent store rather than
+	// computed by this process; hits on it count into Stats.WarmHits.
+	warm bool
 }
 
 // Cache is a concurrency-safe fault-verdict cache. A single Cache is meant
@@ -97,10 +104,11 @@ type Cache struct {
 	entries map[Key]slot
 	limit   int
 
-	lookups uint64
-	hits    uint64
-	stores  uint64
-	corrupt uint64
+	lookups  uint64
+	hits     uint64
+	stores   uint64
+	corrupt  uint64
+	warmHits uint64
 
 	// cCorrupt mirrors integrity drops into the run's metrics registry
 	// when the cache is instrumented (nil no-ops otherwise).
@@ -167,6 +175,9 @@ func (c *Cache) Lookup(k Key) (Entry, bool) {
 		return Entry{}, false
 	}
 	c.hits++
+	if s.warm {
+		c.warmHits++
+	}
 	return s.e, true
 }
 
@@ -176,19 +187,25 @@ func (c *Cache) Lookup(k Key) (Entry, bool) {
 // Aborted/Untried statuses, and stores into a full cache are dropped.
 // Witness slices are copied; the caller keeps ownership of its buffers.
 func (c *Cache) Store(k Key, e Entry) {
+	c.store(k, e, false)
+}
+
+// store is the shared write path of Store and ImportWarm; warm tags the
+// entry as externally sourced for Stats.WarmHits accounting.
+func (c *Cache) store(k Key, e Entry, warm bool) bool {
 	if k.Zero() {
-		return
+		return false
 	}
 	if e.Status != fault.Detected && e.Status != fault.Undetectable {
-		return
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.entries[k]; dup {
-		return
+		return false
 	}
 	if len(c.entries) >= c.limit {
-		return
+		return false
 	}
 	if e.Init != nil {
 		e.Init = append([]uint8(nil), e.Init...)
@@ -196,8 +213,9 @@ func (c *Cache) Store(k Key, e Entry) {
 	if e.Vec != nil {
 		e.Vec = append([]uint8(nil), e.Vec...)
 	}
-	c.entries[k] = slot{e: e, ver: EntryVersion, sum: checksum(e)}
+	c.entries[k] = slot{e: e, ver: EntryVersion, sum: checksum(e), warm: warm}
 	c.stores++
+	return true
 }
 
 // Tamper deterministically damages a fraction of the cached entries, for
@@ -284,11 +302,27 @@ func (c *Cache) Export() []ExportedEntry {
 // write wins, invalid statuses and overflow dropped) and returns how many
 // landed. Importing an Export of the same cache is a no-op.
 func (c *Cache) Import(entries []ExportedEntry) int {
-	before := c.Stats().Stores
+	n := 0
 	for _, e := range entries {
-		c.Store(e.Key, Entry{Status: e.Status, Init: e.Init, Vec: e.Vec})
+		if c.store(e.Key, Entry{Status: e.Status, Init: e.Init, Vec: e.Vec}, false) {
+			n++
+		}
 	}
-	return int(c.Stats().Stores - before)
+	return n
+}
+
+// ImportWarm is Import for entries sourced from a persistent verdict store:
+// identical store semantics, but hits on the imported entries are counted
+// into Stats.WarmHits — the measure of how much ATPG work the shared store
+// saved this process. Returns how many entries landed.
+func (c *Cache) ImportWarm(entries []ExportedEntry) int {
+	n := 0
+	for _, e := range entries {
+		if c.store(e.Key, Entry{Status: e.Status, Init: e.Init, Vec: e.Vec}, true) {
+			n++
+		}
+	}
+	return n
 }
 
 // Len returns the number of cached entries.
@@ -302,5 +336,5 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Lookups: c.lookups, Hits: c.hits, Stores: c.stores, Corrupt: c.corrupt, Entries: len(c.entries)}
+	return Stats{Lookups: c.lookups, Hits: c.hits, Stores: c.stores, Corrupt: c.corrupt, WarmHits: c.warmHits, Entries: len(c.entries)}
 }

@@ -1,13 +1,51 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Health is the liveness/readiness state a debug server reports. Liveness
+// (/healthz) is unconditional: a process that answers at all is alive.
+// Readiness (/readyz) flips to 503 the moment draining starts, so a load
+// balancer or submission client stops routing new work to a process that is
+// shutting down — while /healthz keeps answering 200 so the drain itself is
+// not mistaken for a crash. The zero value is ready; nil is always ready.
+type Health struct {
+	draining atomic.Bool
+}
+
+// SetDraining marks the process as shutting down: /readyz turns 503 while
+// /healthz stays 200. It is idempotent and safe from any goroutine.
+func (h *Health) SetDraining() {
+	if h != nil {
+		h.draining.Store(true)
+	}
+}
+
+// Draining reports whether SetDraining was called.
+func (h *Health) Draining() bool {
+	return h != nil && h.draining.Load()
+}
+
+// DebugServer is a running live-introspection HTTP server: the listener, its
+// health state, and the shutdown channel that terminates streaming handlers
+// (/ledger?follow=1) which would otherwise hold Shutdown open forever.
+type DebugServer struct {
+	srv    *http.Server
+	addr   net.Addr
+	health *Health
+
+	closeOnce sync.Once
+	done      chan struct{} // closed on Shutdown/Close; follow loops select on it
+}
 
 // ServeDebug starts the live-introspection HTTP server on addr and returns
 // the server plus the bound address (useful with a ":0" addr in tests).
@@ -18,26 +56,62 @@ import (
 //	              stack, so a stuck q-sweep is diagnosable from outside
 //	/ledger       the run flight recorder's recent lines (404 until a
 //	              ledger is attached); ?follow=1 streams new lines until
-//	              the ledger closes or the client disconnects
+//	              the ledger closes, the client disconnects, or the
+//	              server shuts down
 //	/healthz      liveness probe: "ok\n" with status 200
+//	/readyz       readiness probe: "ready\n" 200 while serving, 503
+//	              "draining\n" once Shutdown begins
 //	/version      the obs schema version and go runtime, as JSON
 //	/debug/pprof  the standard net/http/pprof handlers
 //
-// The server runs until the process exits or the caller calls Close; it
-// serves snapshots only and never blocks the traced run.
-func ServeDebug(t *Tracer, addr string) (*http.Server, net.Addr, error) {
+// The server runs until the process exits or the caller calls Shutdown
+// (graceful, bounded by its context) or Close (immediate).
+func ServeDebug(t *Tracer, addr string) (*DebugServer, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: debugMux(t)}
-	go srv.Serve(ln)
-	return srv, ln.Addr(), nil
+	s := &DebugServer{
+		addr:   ln.Addr(),
+		health: &Health{},
+		done:   make(chan struct{}),
+	}
+	s.srv = &http.Server{Handler: DebugMux(t, s.health, s.done)}
+	go s.srv.Serve(ln)
+	return s, s.addr, nil
 }
 
-// debugMux builds the debug server's handler (exposed for in-process
-// tests).
-func debugMux(t *Tracer) *http.ServeMux {
+// Addr returns the server's bound address.
+func (s *DebugServer) Addr() net.Addr { return s.addr }
+
+// Health returns the server's health state, so an embedding process (the
+// analysis server) can share one draining flag between its own admission
+// control and the /readyz probe.
+func (s *DebugServer) Health() *Health { return s.health }
+
+// Shutdown drains the server gracefully, bounded by ctx: readiness flips to
+// draining, in-flight streaming handlers are released (a /ledger?follow=1
+// client sees EOF instead of pinning the server), and the listener closes
+// once the remaining requests finish or the context expires. Safe to call
+// more than once.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	s.health.SetDraining()
+	s.closeOnce.Do(func() { close(s.done) })
+	return s.srv.Shutdown(ctx)
+}
+
+// Close shuts the server down immediately (tests and fatal paths).
+func (s *DebugServer) Close() error {
+	s.health.SetDraining()
+	s.closeOnce.Do(func() { close(s.done) })
+	return s.srv.Close()
+}
+
+// DebugMux builds the debug endpoints onto a fresh mux. It is exported so a
+// larger server (cmd/dfmserve) can mount its own routes next to the standard
+// introspection set. h reports /readyz (nil: always ready); shutdown, when
+// non-nil, terminates streaming handlers when closed.
+func DebugMux(t *Tracer, h *Health, shutdown <-chan struct{}) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -70,6 +144,15 @@ func debugMux(t *Tracer) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
 	mux.HandleFunc("/version", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]string{
@@ -83,40 +166,7 @@ func debugMux(t *Tracer) *http.ServeMux {
 			http.Error(w, "no ledger attached (run with -ledger)", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		flush := func() {
-			if f, ok := w.(http.Flusher); ok {
-				f.Flush()
-			}
-		}
-		follow := r.URL.Query().Get("follow") != ""
-		// Subscribe before dumping the tail so no line can fall in the gap;
-		// a line in both tail and channel would duplicate, so under follow
-		// the tail is skipped and the client sees lines from now on.
-		if !follow {
-			for _, line := range l.Tail() {
-				w.Write([]byte(line))
-				w.Write([]byte{'\n'})
-			}
-			return
-		}
-		ch, cancel := l.Follow()
-		defer cancel()
-		flush()
-		for {
-			select {
-			case line, ok := <-ch:
-				if !ok {
-					return
-				}
-				if _, err := w.Write(append([]byte(line), '\n')); err != nil {
-					return
-				}
-				flush()
-			case <-r.Context().Done():
-				return
-			}
-		}
+		ServeLedger(w, r, l, shutdown)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -124,4 +174,48 @@ func debugMux(t *Tracer) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// ServeLedger writes a ledger to one HTTP client: the recent tail by
+// default, or a live NDJSON stream with ?follow=1 that ends when the ledger
+// closes, the client disconnects, or shutdown closes. Exported so the
+// analysis server's per-job /ledger endpoints reuse the exact semantics of
+// the debug server's.
+func ServeLedger(w http.ResponseWriter, r *http.Request, l *Ledger, shutdown <-chan struct{}) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	follow := r.URL.Query().Get("follow") != ""
+	// Subscribe before dumping the tail so no line can fall in the gap;
+	// a line in both tail and channel would duplicate, so under follow
+	// the tail is skipped and the client sees lines from now on.
+	if !follow {
+		for _, line := range l.Tail() {
+			w.Write([]byte(line))
+			w.Write([]byte{'\n'})
+		}
+		return
+	}
+	ch, cancel := l.Follow()
+	defer cancel()
+	flush()
+	for {
+		select {
+		case line, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(append([]byte(line), '\n')); err != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		case <-shutdown:
+			return
+		}
+	}
 }

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadyzDrain pins the /readyz contract: 200 "ready" while serving, 503
+// "draining" once Shutdown begins — while /healthz stays 200 throughout, so
+// a drain is never mistaken for a crash.
+func TestReadyzDrain(t *testing.T) {
+	tr := New()
+	srv, addr, err := ServeDebug(tr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("/readyz before drain = %d %q, want 200 ready", code, body)
+	}
+	// Flip the shared health state the way an embedding server does, then
+	// verify the probe reports draining before the listener goes away.
+	srv.Health().SetDraining()
+	if code, body := get("/readyz"); code != 503 || body != "draining\n" {
+		t.Fatalf("/readyz during drain = %d %q, want 503 draining", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz during drain = %d %q, want 200 ok", code, body)
+	}
+}
+
+// TestShutdownReleasesFollowStream is the regression test for the shutdown
+// fix: an in-flight /ledger?follow=1 stream used to pin Shutdown until its
+// client went away; now Shutdown's context deadline bounds the drain and the
+// follower sees EOF promptly.
+func TestShutdownReleasesFollowStream(t *testing.T) {
+	tr := New()
+	ledger := NewLedger(io.Discard)
+	tr.AttachLedger(ledger)
+	srv, addr, err := ServeDebug(tr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr.String() + "/ledger?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Prove the stream is live before shutting down: one record must arrive.
+	ledger.Verdict(LedgerRecord{Fault: 7, Status: "detected", Tier: TierPodem})
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(line, `"fault":7`) {
+		t.Fatalf("follow stream first line = %q, %v", line, err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	// The stream must terminate (EOF) without the client disconnecting.
+	if _, err := io.ReadAll(br); err != nil {
+		t.Fatalf("follow stream did not end cleanly: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown = %v, want nil (stream released before deadline)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown still blocked after the follow stream ended")
+	}
+}

@@ -243,6 +243,7 @@ type Ledger struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
 	c      io.Closer // non-nil when the ledger owns the file
+	f      *os.File  // sync target when the ledger owns a file
 	h      hash.Hash // SHA-256 over the canonical lines
 	events int
 	err    error // first write/encode error; sticky
@@ -267,6 +268,7 @@ func CreateLedger(path string) (*Ledger, error) {
 	}
 	l := NewLedger(f)
 	l.c = f
+	l.f = f
 	return l, nil
 }
 
@@ -299,6 +301,25 @@ func (l *Ledger) append(rec LedgerRecord) {
 	if _, err := l.w.Write(append(line, '\n')); err != nil {
 		l.err = fmt.Errorf("obs: ledger write: %w", err)
 		return
+	}
+	// Durability barrier at every iter record: the resynthesis loop writes
+	// its checkpoint journal right after emitting the commit's iter record,
+	// and crash recovery truncates the on-disk ledger at the checkpoint's
+	// commit count — so the iter record (and everything before it) must be
+	// on disk before the checkpoint that references it can land. Without
+	// this, a SIGKILL can lose up to a bufio buffer of records that the
+	// checkpoint claims were written.
+	if rec.T == recIter {
+		if err := l.w.Flush(); err != nil {
+			l.err = fmt.Errorf("obs: ledger flush: %w", err)
+			return
+		}
+		if l.f != nil {
+			if err := l.f.Sync(); err != nil {
+				l.err = fmt.Errorf("obs: ledger sync: %w", err)
+				return
+			}
+		}
 	}
 	s := string(line)
 	if len(l.tail) == ledgerTail {

@@ -1,0 +1,447 @@
+// Package vstore is the persistent, content-addressed fault-verdict store:
+// fcache's 128-bit structural cone keys and per-entry CRC integrity, grown
+// into an append-only on-disk segment format shared across jobs and
+// processes. A warm fleet imports the store into each job's verdict cache
+// before analysis (Prewarm → fcache.ImportWarm) and appends the job's
+// freshly computed verdicts afterwards (Merge), so proofs paid for once are
+// skipped by every later job that submits a structurally similar design.
+//
+// Soundness leans on exactly the properties that make fcache's reuse policy
+// sound (see that package's doc): Undetectable entries are semantic facts
+// about a labeled cone, and Detected entries carry a witness vector that the
+// consumer replays — a stale or colliding entry fails to detect and the
+// fault falls back to PODEM. The store therefore never needs invalidation;
+// it only ever grows, and damage is dropped, never trusted:
+//
+//   - Every record carries a magic, explicit lengths, and a CRC-32 over its
+//     content. Decoding stops at the first damaged record and Open truncates
+//     the segment back to its last intact byte — a torn tail from a crash
+//     mid-append heals on the next open, losing only the torn record(s),
+//     which the next job simply recomputes.
+//   - A segment whose header is unreadable is quarantined aside wholesale
+//     (renamed, not deleted) and its entries are recomputed over time.
+//   - A single-writer flock serializes processes: one process owns the store
+//     directory at a time; a second opener fails fast with ErrLocked rather
+//     than interleaving appends.
+//
+// Segments rotate at a size bound so no single file grows unboundedly and a
+// quarantined segment bounds the damage. Within a process the store is
+// goroutine-safe.
+package vstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"dfmresyn/internal/fault"
+	"dfmresyn/internal/fcache"
+)
+
+// segHeader identifies a store segment and its schema version. Bump the
+// version when the record layout changes: old segments then quarantine
+// instead of decoding wrong.
+const segHeader = "dfmvseg v1\n"
+
+// recMagic starts every record, so a decoder landing on damaged bytes fails
+// immediately instead of misreading lengths from garbage.
+const recMagic = uint16(0xD51E)
+
+// maxVecLen bounds the witness-vector lengths a decoder will allocate for.
+// It is far above any real circuit's PI count and low enough that a damaged
+// length field cannot balloon memory.
+const maxVecLen = 1 << 20
+
+// DefaultMaxSegBytes is the rotation bound: when the tail segment exceeds
+// it, the next Merge starts a new segment.
+const DefaultMaxSegBytes = 16 << 20
+
+// ErrLocked reports that another process holds the store.
+var ErrLocked = errors.New("vstore: store is locked by another process")
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Segments / Entries describe the store as loaded plus this process's
+	// appends.
+	Segments int
+	Entries  int
+	// Appended counts entries this process merged in.
+	Appended int
+	// HealedRecords / HealedBytes count torn or corrupt trailing records
+	// truncated away at Open; QuarantinedSegs counts segments set aside
+	// wholesale for an unreadable header.
+	HealedRecords   int
+	HealedBytes     int64
+	QuarantinedSegs int
+	// Prewarmed totals the entries handed to caches via Prewarm.
+	Prewarmed int
+}
+
+// Store is an open verdict store: the on-disk segments under one directory,
+// an in-memory key index, and the exclusive inter-process lock.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	lock     *os.File
+	tail     *os.File // current append segment
+	tailN    int      // its ordinal
+	tailSize int64
+	maxSeg   int64
+	entries  map[fcache.Key]fcache.ExportedEntry
+	order    []fcache.Key // insertion-ordered keys (segments are scanned sorted)
+	stats    Stats
+}
+
+// Open opens (creating if needed) the store directory, takes the exclusive
+// lock, loads every segment — healing torn tails and quarantining unreadable
+// segments — and leaves the store ready for Merge/Prewarm. A second process
+// opening the same directory gets ErrLocked.
+func Open(dir string) (*Store, error) {
+	return OpenLimit(dir, DefaultMaxSegBytes)
+}
+
+// OpenLimit is Open with an explicit segment-rotation bound (tests use a
+// tiny bound to exercise rotation).
+func OpenLimit(dir string, maxSegBytes int64) (*Store, error) {
+	if maxSegBytes <= 0 {
+		maxSegBytes = DefaultMaxSegBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vstore: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vstore: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("%w (%s)", ErrLocked, dir)
+	}
+	s := &Store{
+		dir:     dir,
+		lock:    lock,
+		maxSeg:  maxSegBytes,
+		entries: make(map[fcache.Key]fcache.ExportedEntry),
+	}
+	if err := s.load(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// segPath names segment n.
+func (s *Store) segPath(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%06d.vseg", n))
+}
+
+// load scans the segment files in ordinal order, healing as it goes, and
+// opens the highest one for appending.
+func (s *Store) load() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.vseg"))
+	if err != nil {
+		return fmt.Errorf("vstore: %w", err)
+	}
+	sort.Strings(names)
+	maxN := 0
+	for _, name := range names {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%06d.vseg", &n); err != nil {
+			continue // foreign file; leave it alone
+		}
+		if n > maxN {
+			maxN = n
+		}
+		if err := s.loadSegment(name); err != nil {
+			return err
+		}
+	}
+	if maxN == 0 {
+		return s.startSegment(1)
+	}
+	// Append to the highest segment (possibly just truncated back to a
+	// healthy prefix by loadSegment). If that very segment was quarantined,
+	// start a fresh one after it — ordinals never move backwards, so a
+	// future un-quarantine cannot collide.
+	f, err := os.OpenFile(s.segPath(maxN), os.O_WRONLY|os.O_APPEND, 0o644)
+	if os.IsNotExist(err) {
+		return s.startSegment(maxN + 1)
+	}
+	if err != nil {
+		return fmt.Errorf("vstore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("vstore: %w", err)
+	}
+	s.tail, s.tailN, s.tailSize = f, maxN, st.Size()
+	return nil
+}
+
+// loadSegment reads one segment, indexes its intact records, truncates a
+// damaged tail in place, and quarantines the file wholesale when even the
+// header is wrong.
+func (s *Store) loadSegment(name string) error {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return fmt.Errorf("vstore: %w", err)
+	}
+	entries, goodLen, ok := DecodeSegment(data)
+	if !ok {
+		// Not a v1 segment at all: set it aside for a human (or a future
+		// reader version) instead of deleting evidence, and recompute.
+		s.stats.QuarantinedSegs++
+		if err := os.Rename(name, name+".quarantine"); err != nil {
+			return fmt.Errorf("vstore: quarantine %s: %w", name, err)
+		}
+		return nil
+	}
+	if goodLen < len(data) {
+		// Torn or corrupt tail: drop it. The lost records are recomputed by
+		// the next job that needs them — dropping is always sound, trusting
+		// damaged bytes never is.
+		s.stats.HealedRecords++
+		s.stats.HealedBytes += int64(len(data) - goodLen)
+		if err := os.Truncate(name, int64(goodLen)); err != nil {
+			return fmt.Errorf("vstore: heal %s: %w", name, err)
+		}
+	}
+	s.stats.Segments++
+	for _, e := range entries {
+		if _, dup := s.entries[e.Key]; dup {
+			continue
+		}
+		s.entries[e.Key] = e
+		s.order = append(s.order, e.Key)
+	}
+	return nil
+}
+
+// startSegment creates segment n (which must not exist) and makes it the
+// append tail.
+func (s *Store) startSegment(n int) error {
+	f, err := os.OpenFile(s.segPath(n), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("vstore: %w", err)
+	}
+	if _, err := f.WriteString(segHeader); err != nil {
+		f.Close()
+		return fmt.Errorf("vstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("vstore: %w", err)
+	}
+	if s.tail != nil {
+		s.tail.Close()
+	}
+	s.tail, s.tailN, s.tailSize = f, n, int64(len(segHeader))
+	s.stats.Segments++
+	return nil
+}
+
+// appendRecord encodes one entry onto buf.
+func appendRecord(buf []byte, e fcache.ExportedEntry) []byte {
+	start := len(buf)
+	buf = binary.LittleEndian.AppendUint16(buf, recMagic)
+	buf = append(buf, byte(e.Status))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Key[0])
+	buf = binary.LittleEndian.AppendUint64(buf, e.Key[1])
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Init)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Vec)))
+	buf = append(buf, e.Init...)
+	buf = append(buf, e.Vec...)
+	sum := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// decodeRecord decodes one record at data[off:]. It returns the entry, the
+// offset just past the record, and whether the record was intact. It never
+// panics on arbitrary bytes (pinned by FuzzVstore).
+func decodeRecord(data []byte, off int) (fcache.ExportedEntry, int, bool) {
+	var e fcache.ExportedEntry
+	const fixed = 2 + 1 + 8 + 8 + 4 + 4 // magic, status, key, lengths
+	if off+fixed > len(data) {
+		return e, 0, false
+	}
+	if binary.LittleEndian.Uint16(data[off:]) != recMagic {
+		return e, 0, false
+	}
+	st := fault.Status(data[off+2])
+	if st != fault.Detected && st != fault.Undetectable {
+		return e, 0, false
+	}
+	e.Status = st
+	e.Key[0] = binary.LittleEndian.Uint64(data[off+3:])
+	e.Key[1] = binary.LittleEndian.Uint64(data[off+11:])
+	initLen := binary.LittleEndian.Uint32(data[off+19:])
+	vecLen := binary.LittleEndian.Uint32(data[off+23:])
+	if initLen > maxVecLen || vecLen > maxVecLen {
+		return e, 0, false
+	}
+	end := off + fixed + int(initLen) + int(vecLen)
+	if end+4 > len(data) {
+		return e, 0, false
+	}
+	want := binary.LittleEndian.Uint32(data[end:])
+	if crc32.ChecksumIEEE(data[off:end]) != want {
+		return e, 0, false
+	}
+	if e.Key.Zero() {
+		return e, 0, false
+	}
+	if initLen > 0 {
+		e.Init = append([]uint8(nil), data[off+fixed:off+fixed+int(initLen)]...)
+	}
+	if vecLen > 0 {
+		e.Vec = append([]uint8(nil), data[off+fixed+int(initLen):end]...)
+	}
+	return e, end + 4, true
+}
+
+// DecodeSegment decodes a segment image. ok is false when the header is not
+// this version's (the caller quarantines the file). Otherwise it returns
+// every intact record plus goodLen, the byte offset of the first damaged
+// record (== len(data) for a fully intact segment) — the truncation point
+// for self-healing. Exported for the fuzz harness: it must never panic and
+// never return a record whose checksum did not verify.
+func DecodeSegment(data []byte) (entries []fcache.ExportedEntry, goodLen int, ok bool) {
+	if len(data) < len(segHeader) || string(data[:len(segHeader)]) != segHeader {
+		return nil, 0, false
+	}
+	off := len(segHeader)
+	for off < len(data) {
+		e, next, recOK := decodeRecord(data, off)
+		if !recOK {
+			return entries, off, true
+		}
+		entries = append(entries, e)
+		off = next
+	}
+	return entries, off, true
+}
+
+// Merge appends every entry whose key the store has not seen, fsyncs the
+// tail, and rotates segments past the size bound. It returns how many
+// entries were appended. Entries with invalid statuses or zero keys are
+// skipped (the decoder would reject them anyway).
+func (s *Store) Merge(entries []fcache.ExportedEntry) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf []byte
+	added := 0
+	for _, e := range entries {
+		if e.Key.Zero() {
+			continue
+		}
+		if e.Status != fault.Detected && e.Status != fault.Undetectable {
+			continue
+		}
+		if _, dup := s.entries[e.Key]; dup {
+			continue
+		}
+		if int64(len(e.Init))+int64(len(e.Vec)) > maxVecLen {
+			continue
+		}
+		buf = appendRecord(buf, e)
+		s.entries[e.Key] = e
+		s.order = append(s.order, e.Key)
+		added++
+	}
+	if added == 0 {
+		return 0, nil
+	}
+	if s.tailSize > s.maxSeg {
+		if err := s.startSegment(s.tailN + 1); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.tail.Write(buf); err != nil {
+		return 0, fmt.Errorf("vstore: append: %w", err)
+	}
+	if err := s.tail.Sync(); err != nil {
+		return 0, fmt.Errorf("vstore: sync: %w", err)
+	}
+	s.tailSize += int64(len(buf))
+	s.stats.Appended += added
+	return added, nil
+}
+
+// Export snapshots the store's entries in sorted key order — the same
+// deterministic order fcache.Export uses.
+func (s *Store) Export() []fcache.ExportedEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := append([]fcache.Key(nil), s.order...)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]fcache.ExportedEntry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.entries[k])
+	}
+	return out
+}
+
+// Prewarm imports the store's entries into a verdict cache as warm entries
+// (hits on them count into fcache.Stats.WarmHits) and returns how many
+// landed. An empty store is a free no-op, so a cold fleet's first job runs
+// exactly as if no store existed.
+func (s *Store) Prewarm(c *fcache.Cache) int {
+	n := c.ImportWarm(s.Export())
+	s.mu.Lock()
+	s.stats.Prewarmed += n
+	s.mu.Unlock()
+	return n
+}
+
+// Len returns the number of distinct keys in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	return st
+}
+
+// Close syncs and closes the tail segment and releases the inter-process
+// lock. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	if s.tail != nil {
+		if err := s.tail.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.tail.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.tail = nil
+	}
+	if s.lock != nil {
+		syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
+		if err := s.lock.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.lock = nil
+	}
+	return first
+}
